@@ -1,0 +1,259 @@
+//! Schematic-level netlists for the SCE cells used by the paper's Table 2
+//! designs (JTL, splitter, merger, C element, inverted C element).
+//!
+//! Transport stages are genuine RCSJ junction chains: a JTL propagates a
+//! fluxon through two biased junctions; a splitter drives two branches from
+//! one junction. Multi-input *decision* cells (C, InvC, M) use real junction
+//! input stages and storage inductors, with the release of the output
+//! junction supervised by a rule (see [`Decision`]) — a macromodel that
+//! keeps the per-junction ODE cost of schematic simulation while making the
+//! logical function exact (see DESIGN.md §3 for the substitution rationale).
+
+use crate::engine::{CellNetlist, Component, Decision};
+
+/// Standard junction critical current (mA).
+pub const IC: f64 = 0.25;
+/// Shunt resistance for βc ≈ 1 (Ω).
+pub const RSHUNT: f64 = 2.3;
+/// Junction capacitance (pF).
+pub const CJ: f64 = 0.25;
+/// Bias fraction of critical current.
+pub const BIAS: f64 = 0.7;
+
+fn jj(a: usize) -> Component {
+    Component::Jj {
+        a,
+        ic: IC,
+        r: RSHUNT,
+        c: CJ,
+    }
+}
+
+fn bias(node: usize) -> Component {
+    Component::Bias {
+        node,
+        i: BIAS * IC,
+    }
+}
+
+fn l(a: usize, b: usize, val: f64) -> Component {
+    Component::Inductor { a, b, l: val }
+}
+
+/// A two-stage Josephson transmission line: `in → L → J1 → L → J2 (out)`.
+pub fn jtl_cell() -> CellNetlist {
+    let components = vec![
+        l(1, 2, 2.0),
+        jj(2),
+        bias(2),
+        l(2, 3, 2.0),
+        jj(3),
+        bias(3),
+    ];
+    CellNetlist {
+        name: "JTL".into(),
+        nodes: 4,
+        components,
+        inputs: vec![1],
+        outputs: vec![4], // component index of the output JJ
+        input_jjs: vec![],
+        decision: None,
+        decision_delay: 0.0,
+    }
+}
+
+/// A splitter: one input junction driving two output branches.
+pub fn splitter_cell() -> CellNetlist {
+    let components = vec![
+        l(1, 2, 2.0),
+        jj(2), // input/confluence junction (component 1)
+        bias(2),
+        l(2, 3, 3.0),
+        jj(3), // left output junction (component 4)
+        bias(3),
+        l(2, 4, 3.0),
+        jj(4), // right output junction (component 7)
+        bias(4),
+    ];
+    CellNetlist {
+        name: "S".into(),
+        nodes: 5,
+        components,
+        inputs: vec![1],
+        outputs: vec![4, 7],
+        input_jjs: vec![],
+        decision: None,
+        decision_delay: 0.0,
+    }
+}
+
+/// Input stage + storage loop + supervised decision junction, shared by the
+/// three decision cells. `decision_delay` is the condition-to-overdrive
+/// latency, used to balance converging paths (the inverted C element is
+/// given extra delay so a min-max pair's LOW and HIGH latencies match,
+/// mirroring the JTL padding at the pulse level).
+fn decision_cell(name: &str, rule: Decision, decision_delay: f64) -> CellNetlist {
+    let components = vec![
+        // Input a: injection node 1 → L → junction at node 2.
+        l(1, 2, 2.0),
+        jj(2), // component 1: input junction a
+        bias(2),
+        // Input b: injection node 3 → L → junction at node 4.
+        l(3, 4, 2.0),
+        jj(4), // component 4: input junction b
+        bias(4),
+        // Storage loops into the common node 5.
+        l(2, 5, 8.0),
+        l(4, 5, 8.0),
+        // Decision junction: high critical current so it only fires when
+        // overdriven by the supervisor.
+        Component::Jj {
+            a: 5,
+            ic: 3.2 * IC,
+            r: RSHUNT,
+            c: CJ,
+        }, // component 8: output junction
+        Component::Bias { node: 5, i: 0.1 },
+    ];
+    CellNetlist {
+        name: name.into(),
+        nodes: 6,
+        components,
+        inputs: vec![1, 3],
+        outputs: vec![8],
+        input_jjs: vec![1, 4],
+        decision: Some((rule, 8)),
+        decision_delay,
+    }
+}
+
+/// C element (coincidence): fires once both inputs have arrived.
+pub fn c_cell() -> CellNetlist {
+    decision_cell("C", Decision::Coincidence, 1.5)
+}
+
+/// Inverted C element: fires on the first input of each pair.
+pub fn c_inv_cell() -> CellNetlist {
+    decision_cell("C_INV", Decision::FirstArrival, 4.3)
+}
+
+/// Merger (confluence buffer): fires on every input pulse.
+pub fn merger_cell() -> CellNetlist {
+    decision_cell("M", Decision::Merge, 1.5)
+}
+
+/// Look up the analog netlist for a pulse-level cell by machine name.
+/// Returns `None` for cells without an analog model.
+pub fn netlist_for(machine_name: &str) -> Option<CellNetlist> {
+    match machine_name {
+        "JTL" => Some(jtl_cell()),
+        "S" => Some(splitter_cell()),
+        "C" => Some(c_cell()),
+        "C_INV" => Some(c_inv_cell()),
+        "M" => Some(merger_cell()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AnalogSim;
+
+    fn single_pulse_times(ev: &crate::engine::AnalogEvents, label: &str) -> Vec<f64> {
+        ev.pulses.get(label).cloned().unwrap_or_default()
+    }
+
+    #[test]
+    fn jtl_propagates_one_pulse_per_injection() {
+        let mut sim = AnalogSim::new();
+        let j = sim.add_cell(jtl_cell());
+        sim.stimulate(j, 0, &[20.0, 60.0]);
+        sim.probe(j, 0, "OUT");
+        let ev = sim.run(100.0);
+        let out = single_pulse_times(&ev, "OUT");
+        assert_eq!(out.len(), 2, "got {out:?}");
+        assert!(out[0] > 20.0 && out[0] < 35.0, "{out:?}");
+        assert!(out[1] > 60.0 && out[1] < 75.0, "{out:?}");
+    }
+
+    #[test]
+    fn jtl_chain_propagates_between_cells() {
+        let mut sim = AnalogSim::new();
+        let j1 = sim.add_cell(jtl_cell());
+        let j2 = sim.add_cell(jtl_cell());
+        sim.connect((j1, 0), (j2, 0));
+        sim.stimulate(j1, 0, &[20.0]);
+        sim.probe(j2, 0, "OUT");
+        let ev = sim.run(100.0);
+        assert_eq!(single_pulse_times(&ev, "OUT").len(), 1);
+    }
+
+    #[test]
+    fn splitter_duplicates_pulses() {
+        let mut sim = AnalogSim::new();
+        let s = sim.add_cell(splitter_cell());
+        sim.stimulate(s, 0, &[20.0]);
+        sim.probe(s, 0, "L");
+        sim.probe(s, 1, "R");
+        let ev = sim.run(60.0);
+        assert_eq!(single_pulse_times(&ev, "L").len(), 1);
+        assert_eq!(single_pulse_times(&ev, "R").len(), 1);
+    }
+
+    #[test]
+    fn c_cell_waits_for_both_inputs() {
+        let mut sim = AnalogSim::new();
+        let c = sim.add_cell(c_cell());
+        sim.stimulate(c, 0, &[20.0]);
+        sim.stimulate(c, 1, &[50.0]);
+        sim.probe(c, 0, "Q");
+        let ev = sim.run(100.0);
+        let q = single_pulse_times(&ev, "Q");
+        assert_eq!(q.len(), 1, "{q:?}");
+        assert!(q[0] > 50.0, "fires only after the second input: {q:?}");
+    }
+
+    #[test]
+    fn c_cell_single_input_never_fires() {
+        let mut sim = AnalogSim::new();
+        let c = sim.add_cell(c_cell());
+        sim.stimulate(c, 0, &[20.0]);
+        sim.probe(c, 0, "Q");
+        let ev = sim.run(100.0);
+        assert!(single_pulse_times(&ev, "Q").is_empty());
+    }
+
+    #[test]
+    fn c_inv_fires_on_first_and_absorbs_second() {
+        let mut sim = AnalogSim::new();
+        let c = sim.add_cell(c_inv_cell());
+        sim.stimulate(c, 0, &[20.0]);
+        sim.stimulate(c, 1, &[50.0]);
+        sim.probe(c, 0, "Q");
+        let ev = sim.run(100.0);
+        let q = single_pulse_times(&ev, "Q");
+        assert_eq!(q.len(), 1, "{q:?}");
+        assert!(q[0] > 20.0 && q[0] < 40.0, "fires after the first: {q:?}");
+    }
+
+    #[test]
+    fn merger_forwards_every_pulse() {
+        let mut sim = AnalogSim::new();
+        let m = sim.add_cell(merger_cell());
+        sim.stimulate(m, 0, &[20.0, 80.0]);
+        sim.stimulate(m, 1, &[50.0]);
+        sim.probe(m, 0, "Q");
+        let ev = sim.run(120.0);
+        assert_eq!(single_pulse_times(&ev, "Q").len(), 3);
+    }
+
+    #[test]
+    fn netlist_lookup() {
+        assert!(netlist_for("JTL").is_some());
+        assert!(netlist_for("AND").is_none());
+        assert_eq!(jtl_cell().jj_count(), 2);
+        assert_eq!(splitter_cell().jj_count(), 3);
+        assert_eq!(c_cell().jj_count(), 3);
+    }
+}

@@ -1,0 +1,649 @@
+//! A small SPICE-class transient engine for superconductor cells: modified
+//! nodal analysis with backward-Euler integration and the resistively- and
+//! capacitively-shunted Josephson junction (RCSJ) model.
+//!
+//! Units are chosen so all values are O(1): millivolts, milliamps, ohms,
+//! picohenries, picofarads, picoseconds; the flux quantum is
+//! `Φ₀ = 2.0678 mV·ps`. The junction obeys
+//!
+//! ```text
+//! I = I_c · sin φ + V / R + C · dV/dt,     dφ/dt = (2π / Φ₀) · V
+//! ```
+//!
+//! and each 2π phase slip is one SFQ pulse.
+//!
+//! Circuits are partitioned per cell (the granularity designers netlist at):
+//! every cell is a small dense MNA system solved with Newton iteration at a
+//! fixed sub-picosecond timestep, and cells are coupled through standard
+//! SFQ current-pulse injections triggered by output-junction phase slips.
+//! This keeps the per-step cost proportional to the total junction count —
+//! the defining cost shape of schematic-level simulation — while letting
+//! arbitrarily large networks be composed.
+
+/// The magnetic flux quantum in mV·ps.
+pub const PHI0: f64 = 2.067833848;
+
+/// Index of a node within one cell's netlist (0 is ground).
+pub type Node = usize;
+
+/// One circuit element in a cell netlist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Component {
+    /// Linear resistor between two nodes (Ω).
+    Resistor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Resistance in ohms.
+        r: f64,
+    },
+    /// Inductor between two nodes (pH); its branch current is an unknown.
+    Inductor {
+        /// First terminal.
+        a: Node,
+        /// Second terminal.
+        b: Node,
+        /// Inductance in picohenries.
+        l: f64,
+    },
+    /// Josephson junction to ground with RCSJ shunt (I_c in mA, R in Ω,
+    /// C in pF).
+    Jj {
+        /// The junction's (non-ground) node.
+        a: Node,
+        /// Critical current (mA).
+        ic: f64,
+        /// Shunt resistance (Ω).
+        r: f64,
+        /// Junction capacitance (pF).
+        c: f64,
+    },
+    /// Constant bias current injected into a node (mA).
+    Bias {
+        /// Target node.
+        node: Node,
+        /// Current (mA), positive into the node.
+        i: f64,
+    },
+}
+
+/// A logical decision rule supervising a multi-input cell (see the crate
+/// docs: decision cells are macromodelled — transport is fully analog, the
+/// storage-loop release decision is rule-driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Fire the output once *both* inputs have arrived (C element).
+    Coincidence,
+    /// Fire on the *first* input of each pair; absorb the second
+    /// (inverted C element).
+    FirstArrival,
+    /// Fire on *every* input pulse (merger).
+    Merge,
+}
+
+/// A cell netlist: components plus its pulse interface.
+#[derive(Debug, Clone)]
+pub struct CellNetlist {
+    /// Cell type name, e.g. `"JTL"`.
+    pub name: String,
+    /// Number of nodes, including ground (node 0).
+    pub nodes: usize,
+    /// The elements.
+    pub components: Vec<Component>,
+    /// Injection node per input port.
+    pub inputs: Vec<Node>,
+    /// Monitored output junction (index into `components`) per output port.
+    pub outputs: Vec<usize>,
+    /// Input-stage junctions (indices into `components`) whose phase slips
+    /// count as "input k arrived", in port order; empty for pure transport
+    /// cells.
+    pub input_jjs: Vec<usize>,
+    /// Decision rule plus the junction (component index) it overdrives;
+    /// `None` for pure transport cells (JTL, splitter).
+    pub decision: Option<(Decision, usize)>,
+    /// Delay between the decision condition being met and the overdrive of
+    /// the output junction (ps) — the designer's path-balancing knob.
+    pub decision_delay: f64,
+}
+
+impl CellNetlist {
+    /// Number of netlist "lines" (components), the paper's size metric for
+    /// schematic models.
+    pub fn line_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of Josephson junctions.
+    pub fn jj_count(&self) -> usize {
+        self.components
+            .iter()
+            .filter(|c| matches!(c, Component::Jj { .. }))
+            .count()
+    }
+}
+
+/// Shape of an injected SFQ stimulus pulse: `i(t) = ipk · exp(-(t-t₀)²/2σ²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PulseShape {
+    /// Peak current (mA).
+    pub ipk: f64,
+    /// Width parameter σ (ps).
+    pub sigma: f64,
+}
+
+impl Default for PulseShape {
+    fn default() -> Self {
+        PulseShape {
+            ipk: 0.45,
+            sigma: 1.0,
+        }
+    }
+}
+
+/// Runtime state of one cell instance.
+#[derive(Debug)]
+struct CellState {
+    net: CellNetlist,
+    /// Node voltages (index 0 = ground, kept at 0).
+    v: Vec<f64>,
+    /// Inductor branch currents, one per Inductor component (in order).
+    il: Vec<f64>,
+    /// JJ phases, one per Jj component (in order).
+    phi: Vec<f64>,
+    /// Pulse-slip counters per JJ (phase passing odd multiples of π).
+    slips: Vec<u64>,
+    /// Pending input injections: (center time, input port, counted yet).
+    injections: Vec<(f64, usize, bool)>,
+    /// Decision bookkeeping: input pulses delivered per port, fires issued,
+    /// and output pulses already reported (decision outputs are debounced to
+    /// one pulse per fire).
+    seen: Vec<u64>,
+    fires: u64,
+    reported_fires: u64,
+    /// Overdrive currents scheduled by the decision rule (center time).
+    overdrives: Vec<f64>,
+    /// Dense solver workspace.
+    n_unknowns: usize,
+    inductor_ids: Vec<usize>,
+    jj_ids: Vec<usize>,
+}
+
+impl CellState {
+    fn new(net: CellNetlist) -> Self {
+        let inductor_ids: Vec<usize> = net
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Component::Inductor { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let jj_ids: Vec<usize> = net
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c, Component::Jj { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let n_unknowns = (net.nodes - 1) + inductor_ids.len();
+        CellState {
+            v: vec![0.0; net.nodes],
+            il: vec![0.0; inductor_ids.len()],
+            phi: vec![0.0; jj_ids.len()],
+            slips: vec![0; jj_ids.len()],
+            injections: Vec::new(),
+            seen: vec![0; net.inputs.len()],
+            fires: 0,
+            reported_fires: 0,
+            overdrives: Vec::new(),
+            n_unknowns,
+            inductor_ids,
+            jj_ids,
+            net,
+        }
+    }
+
+    /// Advance one backward-Euler step of size `dt` ending at time `t`.
+    /// Returns the output ports that emitted a pulse during this step.
+    fn step(&mut self, t: f64, dt: f64, shape: PulseShape) -> Vec<usize> {
+        let n = self.n_unknowns;
+        let nn = self.net.nodes - 1; // real (non-ground) nodes
+        let mut a = vec![0.0f64; n * n];
+        let mut rhs = vec![0.0f64; n];
+        let mut v_new: Vec<f64> = self.v.clone();
+
+        // External injections (inputs + decision overdrives) at this step.
+        // Each injection also counts as "input arrived" for the decision
+        // rule the first time its center passes.
+        let mut inj = vec![0.0f64; self.net.nodes];
+        for (tc, port, counted) in self.injections.iter_mut() {
+            let x = (t - *tc) / shape.sigma;
+            if x.abs() < 6.0 {
+                inj[self.net.inputs[*port]] += shape.ipk * (-0.5 * x * x).exp();
+            }
+            if t >= *tc && !*counted {
+                *counted = true;
+                self.seen[*port] += 1;
+            }
+        }
+        if let Some((_, fire_jj)) = self.net.decision {
+            if let Component::Jj { a: node, ic, .. } = self.net.components[fire_jj] {
+                for &tc in &self.overdrives {
+                    let x = (t - tc) / shape.sigma;
+                    if x.abs() < 6.0 {
+                        // Push the decision junction well past critical.
+                        inj[node] += 1.6 * ic * (-0.5 * x * x).exp();
+                    }
+                }
+            }
+        }
+
+        // Newton iteration on the new node voltages.
+        for _iter in 0..25 {
+            for e in a.iter_mut() {
+                *e = 0.0;
+            }
+            for e in rhs.iter_mut() {
+                *e = 0.0;
+            }
+            let mut l_idx = 0usize;
+            let mut j_idx = 0usize;
+            let idx = |node: Node| node - 1; // unknown index of a node
+            let stamp =
+                |a: &mut Vec<f64>, r: usize, c: usize, v: f64| a[r * n + c] += v;
+            for comp in &self.net.components {
+                match *comp {
+                    Component::Resistor { a: na, b: nb, r } => {
+                        let g = 1.0 / r;
+                        if na != 0 {
+                            stamp(&mut a, idx(na), idx(na), g);
+                        }
+                        if nb != 0 {
+                            stamp(&mut a, idx(nb), idx(nb), g);
+                        }
+                        if na != 0 && nb != 0 {
+                            stamp(&mut a, idx(na), idx(nb), -g);
+                            stamp(&mut a, idx(nb), idx(na), -g);
+                        }
+                    }
+                    Component::Inductor { a: na, b: nb, l } => {
+                        // Branch row: V_a - V_b - (L/dt)(I - I_prev) = 0.
+                        let row = nn + l_idx;
+                        if na != 0 {
+                            stamp(&mut a, row, idx(na), 1.0);
+                            stamp(&mut a, idx(na), row, 1.0);
+                        }
+                        if nb != 0 {
+                            stamp(&mut a, row, idx(nb), -1.0);
+                            stamp(&mut a, idx(nb), row, -1.0);
+                        }
+                        stamp(&mut a, row, row, -l / dt);
+                        rhs[row] += -(l / dt) * self.il[l_idx];
+                        l_idx += 1;
+                    }
+                    Component::Jj { a: na, ic, r, c } => {
+                        let k = std::f64::consts::PI / PHI0; // dφ = k (V+Vold) dt (trapezoid)
+                        let vg = v_new[na];
+                        let phi_new = self.phi[j_idx] + k * dt * (self.v[na] + vg);
+                        let g_sin = ic * phi_new.cos() * k * dt;
+                        let i_sin = ic * phi_new.sin();
+                        let g = 1.0 / r + c / dt + g_sin;
+                        let i_eq = i_sin - g_sin * vg - (c / dt) * self.v[na];
+                        let ui = idx(na);
+                        stamp(&mut a, ui, ui, g);
+                        rhs[ui] -= i_eq;
+                        j_idx += 1;
+                    }
+                    Component::Bias { node, i } => {
+                        if node != 0 {
+                            rhs[idx(node)] += i;
+                        }
+                    }
+                }
+            }
+            for (node, &cur) in inj.iter().enumerate() {
+                if node != 0 && cur != 0.0 {
+                    rhs[idx(node)] += cur;
+                }
+            }
+
+            // Dense Gaussian elimination with partial pivoting.
+            let mut x = rhs.clone();
+            let mut m = a.clone();
+            for col in 0..n {
+                let mut piv = col;
+                for r in col + 1..n {
+                    if m[r * n + col].abs() > m[piv * n + col].abs() {
+                        piv = r;
+                    }
+                }
+                if m[piv * n + col].abs() < 1e-12 {
+                    continue; // singular row: leave as-is
+                }
+                if piv != col {
+                    for c2 in 0..n {
+                        m.swap(col * n + c2, piv * n + c2);
+                    }
+                    x.swap(col, piv);
+                }
+                let d = m[col * n + col];
+                for r in col + 1..n {
+                    let f = m[r * n + col] / d;
+                    if f == 0.0 {
+                        continue;
+                    }
+                    for c2 in col..n {
+                        m[r * n + c2] -= f * m[col * n + c2];
+                    }
+                    x[r] -= f * x[col];
+                }
+            }
+            for col in (0..n).rev() {
+                let mut s = x[col];
+                for c2 in col + 1..n {
+                    s -= m[col * n + c2] * x[c2];
+                }
+                let d = m[col * n + col];
+                x[col] = if d.abs() < 1e-12 { 0.0 } else { s / d };
+            }
+
+            // Convergence check on node voltages.
+            let mut delta = 0.0f64;
+            for node in 1..self.net.nodes {
+                let nv = x[node - 1];
+                delta = delta.max((nv - v_new[node]).abs());
+                v_new[node] = nv;
+            }
+            if delta < 1e-9 {
+                // Commit inductor currents.
+                for li in 0..self.inductor_ids.len() {
+                    self.il[li] = x[nn + li];
+                }
+                break;
+            }
+            if _iter == 24 {
+                for li in 0..self.inductor_ids.len() {
+                    self.il[li] = x[nn + li];
+                }
+            }
+        }
+
+        // Commit phases and detect slips.
+        let mut fired_ports = Vec::new();
+        let k = std::f64::consts::PI / PHI0;
+        for (j_idx, &comp_idx) in self.jj_ids.clone().iter().enumerate() {
+            if let Component::Jj { a: na, .. } = self.net.components[comp_idx] {
+                let dphi = k * dt * (self.v[na] + v_new[na]);
+                let old = self.phi[j_idx];
+                let new = old + dphi;
+                // Count crossings of odd multiples of π (pulse centers).
+                let crossings = |p: f64| ((p + std::f64::consts::PI)
+                    / (2.0 * std::f64::consts::PI))
+                    .floor() as i64;
+                let slipped = crossings(new) - crossings(old);
+                self.phi[j_idx] = new;
+                if slipped > 0 {
+                    self.slips[j_idx] += slipped as u64;
+                    for (port, &out_comp) in self.net.outputs.iter().enumerate() {
+                        if out_comp == comp_idx {
+                            if self.net.decision.is_some() {
+                                // Debounce: one output pulse per decision
+                                // fire, however vigorously the junction spun.
+                                while self.reported_fires < self.fires {
+                                    self.reported_fires += 1;
+                                    fired_ports.push(port);
+                                }
+                            } else {
+                                for _ in 0..slipped {
+                                    fired_ports.push(port);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.v = v_new;
+
+        // Decision rule: schedule an overdrive when the condition is met.
+        if let Some((rule, _)) = self.net.decision {
+            let should_fire = match rule {
+                Decision::Coincidence => self.seen.iter().copied().min().unwrap_or(0) > self.fires,
+                Decision::FirstArrival => {
+                    // Fire on the 1st, 3rd, 5th… input pulse overall.
+                    let total: u64 = self.seen.iter().sum();
+                    total >= 2 * self.fires + 1
+                }
+                Decision::Merge => self.seen.iter().sum::<u64>() > self.fires,
+            };
+            if should_fire {
+                self.fires += 1;
+                self.overdrives.push(t + self.net.decision_delay);
+            }
+        }
+
+        // Drop spent injections.
+        self.injections
+            .retain(|&(tc, _, _)| t - tc < 6.0 * shape.sigma);
+        self.overdrives.retain(|&tc| t - tc < 6.0 * shape.sigma);
+        fired_ports
+    }
+}
+
+/// A transient simulation over a network of analog cells.
+#[derive(Debug)]
+pub struct AnalogSim {
+    cells: Vec<CellState>,
+    /// (cell, output port) → (cell, input port) connections.
+    routes: Vec<((usize, usize), (usize, usize))>,
+    /// Observed outputs: (cell, output port, label).
+    probes: Vec<(usize, usize, String)>,
+    /// Sampled node voltages: (cell, node, label).
+    voltage_probes: Vec<(usize, usize, String)>,
+    /// Sample every k-th timestep for voltage traces.
+    pub trace_stride: usize,
+    /// External stimuli: (cell, input port, times).
+    stimuli: Vec<(usize, usize, Vec<f64>)>,
+    /// Timestep (ps).
+    pub dt: f64,
+    /// Stimulus pulse shape.
+    pub shape: PulseShape,
+}
+
+/// The recorded pulse times per probe label, plus run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct AnalogEvents {
+    /// Pulse times (ps) per probe label.
+    pub pulses: std::collections::BTreeMap<String, Vec<f64>>,
+    /// Sampled voltage traces per trace label: `(time ps, voltage mV)`.
+    pub traces: std::collections::BTreeMap<String, Vec<(f64, f64)>>,
+    /// Total timesteps taken.
+    pub steps: usize,
+    /// Total Josephson junctions simulated.
+    pub jjs: usize,
+    /// Total netlist lines (components) simulated.
+    pub lines: usize,
+}
+
+impl AnalogEvents {
+    /// Render a sampled voltage trace as a small ASCII oscillogram:
+    /// one row per amplitude band, `width` columns across the full run.
+    pub fn render_trace(&self, label: &str, width: usize, height: usize) -> String {
+        let Some(tr) = self.traces.get(label) else {
+            return format!("(no trace '{label}')\n");
+        };
+        if tr.is_empty() {
+            return format!("(empty trace '{label}')\n");
+        }
+        let t1 = tr.last().expect("nonempty").0.max(f64::MIN_POSITIVE);
+        let vmax = tr
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let width = width.max(10);
+        let height = height.max(3) | 1; // odd so there is a zero row
+        let mut grid = vec![vec![' '; width]; height];
+        for &(t, v) in tr {
+            let col = ((t / t1) * (width - 1) as f64).round() as usize;
+            let row = (((1.0 - v / vmax) / 2.0) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = '*';
+        }
+        let mut out = String::new();
+        for (r, row) in grid.iter().enumerate() {
+            let marker = if r == height / 2 { '-' } else { ' ' };
+            out.push(marker);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{label}: 0..{t1:.0} ps, +/-{vmax:.2} mV\n"));
+        out
+    }
+}
+
+impl AnalogSim {
+    /// Create an empty simulation with a 0.1 ps timestep.
+    pub fn new() -> Self {
+        AnalogSim {
+            cells: Vec::new(),
+            routes: Vec::new(),
+            probes: Vec::new(),
+            voltage_probes: Vec::new(),
+            trace_stride: 5,
+            stimuli: Vec::new(),
+            dt: 0.1,
+            shape: PulseShape::default(),
+        }
+    }
+
+    /// Add a cell instance; returns its index.
+    pub fn add_cell(&mut self, net: CellNetlist) -> usize {
+        self.cells.push(CellState::new(net));
+        self.cells.len() - 1
+    }
+
+    /// Connect `(from_cell, out_port)` to `(to_cell, in_port)`.
+    pub fn connect(&mut self, from: (usize, usize), to: (usize, usize)) {
+        self.routes.push((from, to));
+    }
+
+    /// Drive `(cell, in_port)` with stimulus pulses at the given times.
+    pub fn stimulate(&mut self, cell: usize, port: usize, times: &[f64]) {
+        self.stimuli.push((cell, port, times.to_vec()));
+    }
+
+    /// Record pulses on `(cell, out_port)` under `label`.
+    pub fn probe(&mut self, cell: usize, port: usize, label: &str) {
+        self.probes.push((cell, port, label.to_string()));
+    }
+
+    /// Sample the voltage of `(cell, node)` every `trace_stride` steps,
+    /// recorded under `label` (the raw analog waveform of Fig. 16 d–f).
+    pub fn trace_node(&mut self, cell: usize, node: usize, label: &str) {
+        self.voltage_probes.push((cell, node, label.to_string()));
+    }
+
+    /// Run the transient analysis until `t_end` (ps).
+    pub fn run(&mut self, t_end: f64) -> AnalogEvents {
+        let mut ev = AnalogEvents {
+            jjs: self.cells.iter().map(|c| c.net.jj_count()).sum(),
+            lines: self.cells.iter().map(|c| c.net.line_count()).sum(),
+            ..Default::default()
+        };
+        // Schedule external stimuli.
+        for (cell, port, times) in self.stimuli.clone() {
+            for t in times {
+                self.cells[cell].injections.push((t, port, false));
+            }
+        }
+        let steps = (t_end / self.dt).ceil() as usize;
+        let mut t = 0.0;
+        for step in 0..steps {
+            t += self.dt;
+            ev.steps += 1;
+            if step % self.trace_stride == 0 {
+                for (cell, node, label) in &self.voltage_probes {
+                    let v = self.cells[*cell].v.get(*node).copied().unwrap_or(0.0);
+                    ev.traces.entry(label.clone()).or_default().push((t, v));
+                }
+            }
+            for ci in 0..self.cells.len() {
+                let fired = self.cells[ci].step(t, self.dt, self.shape);
+                for port in fired {
+                    for &((fc, fp), (tc, tp)) in &self.routes {
+                        if fc == ci && fp == port {
+                            self.cells[tc].injections.push((t + 1.0, tp, false));
+                        }
+                    }
+                    for (pc, pp, label) in &self.probes {
+                        if *pc == ci && *pp == port {
+                            ev.pulses.entry(label.clone()).or_default().push(t);
+                        }
+                    }
+                }
+            }
+        }
+        ev
+    }
+}
+
+impl Default for AnalogSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::jtl_cell;
+
+    #[test]
+    fn voltage_trace_captures_the_pulse() {
+        let mut sim = AnalogSim::new();
+        let j = sim.add_cell(jtl_cell());
+        sim.stimulate(j, 0, &[20.0]);
+        sim.probe(j, 0, "OUT");
+        sim.trace_node(j, 3, "V_OUT");
+        let ev = sim.run(60.0);
+        let tr = &ev.traces["V_OUT"];
+        assert!(!tr.is_empty());
+        // The output junction's voltage peaks around the pulse and is ~0
+        // long before it.
+        let peak = tr.iter().map(|(_, v)| v.abs()).fold(0.0, f64::max);
+        assert!(peak > 0.1, "peak {peak} mV");
+        // After the bias turn-on transient settles and before the pulse
+        // arrives, the junction is quiescent.
+        let quiescent: f64 = tr
+            .iter()
+            .filter(|(t, _)| *t > 12.0 && *t < 16.0)
+            .map(|(_, v)| v.abs())
+            .fold(0.0, f64::max);
+        assert!(quiescent < 0.05, "quiescent {quiescent} mV");
+        assert!(peak > 4.0 * quiescent.max(1e-3));
+    }
+
+    #[test]
+    fn render_trace_produces_an_oscillogram() {
+        let mut sim = AnalogSim::new();
+        let j = sim.add_cell(jtl_cell());
+        sim.stimulate(j, 0, &[20.0]);
+        sim.trace_node(j, 2, "V");
+        let ev = sim.run(40.0);
+        let plot = ev.render_trace("V", 60, 9);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("mV"));
+        assert_eq!(ev.render_trace("missing", 60, 9), "(no trace 'missing')\n");
+    }
+
+    #[test]
+    fn slip_counting_is_monotone() {
+        let mut sim = AnalogSim::new();
+        let j = sim.add_cell(jtl_cell());
+        sim.stimulate(j, 0, &[20.0, 50.0, 80.0]);
+        sim.probe(j, 0, "OUT");
+        let ev = sim.run(120.0);
+        let out = &ev.pulses["OUT"];
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+}

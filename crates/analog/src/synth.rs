@@ -1,0 +1,118 @@
+//! Map a pulse-level [`Circuit`] onto an
+//! [`AnalogSim`]: every machine instance becomes its schematic netlist,
+//! every wire a pulse route, every input source a stimulus, and every
+//! circuit output a probe. This is how the Table 2 / Fig. 16 baselines are
+//! produced from the *same* design descriptions as the pulse simulations.
+
+use crate::cells::netlist_for;
+use crate::engine::AnalogSim;
+use rlse_core::circuit::{Circuit, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error raised when a circuit uses a cell with no analog model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedCell {
+    /// Machine name lacking a netlist.
+    pub cell: String,
+}
+
+impl fmt::Display for UnsupportedCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no analog netlist for cell '{}'", self.cell)
+    }
+}
+
+impl std::error::Error for UnsupportedCell {}
+
+/// Build an analog simulation mirroring `circ`.
+///
+/// # Errors
+///
+/// Fails with [`UnsupportedCell`] if the circuit contains a machine without
+/// an analog netlist (only JTL, S, M, C, and C_INV are modelled) or a hole.
+pub fn from_circuit(circ: &Circuit) -> Result<AnalogSim, UnsupportedCell> {
+    let mut sim = AnalogSim::new();
+    let mut cell_of: HashMap<usize, usize> = HashMap::new();
+    // Instantiate cells.
+    for n in 0..circ.node_count() {
+        let node = NodeId(n);
+        if let Some(spec) = circ.node_machine(node) {
+            let net = netlist_for(spec.name()).ok_or_else(|| UnsupportedCell {
+                cell: spec.name().to_string(),
+            })?;
+            let idx = sim.add_cell(net);
+            cell_of.insert(n, idx);
+        } else if circ.node_source_times(node).is_none() {
+            return Err(UnsupportedCell {
+                cell: circ.node_wire_name(node),
+            });
+        }
+    }
+    // Wires: connect, stimulate, probe.
+    for wi in 0..circ.wire_count() {
+        let w = circ.wire_at(wi);
+        if !circ.wire_has_driver(w) {
+            continue; // retired loopback placeholder
+        }
+        let (driver, dport) = circ.wire_driver(w);
+        let sink = circ.wire_sink(w);
+        match (circ.node_source_times(driver), sink) {
+            (Some(times), Some((snode, sport))) => {
+                sim.stimulate(cell_of[&snode.0], sport, times);
+            }
+            (Some(_), None) => {} // dangling input: nothing to drive
+            (None, Some((snode, sport))) => {
+                sim.connect((cell_of[&driver.0], dport), (cell_of[&snode.0], sport));
+            }
+            (None, None) => {
+                sim.probe(cell_of[&driver.0], dport, circ.wire_name(w));
+            }
+        }
+    }
+    Ok(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_cells::{jtl, s};
+
+    #[test]
+    fn jtl_chain_synthesizes_and_runs() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[20.0], "A");
+        let q1 = jtl(&mut circ, a).unwrap();
+        let q2 = jtl(&mut circ, q1).unwrap();
+        circ.inspect(q2, "Q");
+        let mut sim = from_circuit(&circ).unwrap();
+        let ev = sim.run(100.0);
+        assert_eq!(ev.pulses.get("Q").map(Vec::len), Some(1));
+        assert_eq!(ev.jjs, 4);
+    }
+
+    #[test]
+    fn splitter_fanout_synthesizes() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[20.0], "A");
+        let (l, r) = s(&mut circ, a).unwrap();
+        circ.inspect(l, "L");
+        circ.inspect(r, "R");
+        let mut sim = from_circuit(&circ).unwrap();
+        let ev = sim.run(80.0);
+        assert_eq!(ev.pulses.get("L").map(Vec::len), Some(1));
+        assert_eq!(ev.pulses.get("R").map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn unsupported_cells_error() {
+        use rlse_cells::and_s;
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[20.0], "A");
+        let b = circ.inp_at(&[30.0], "B");
+        let clk = circ.inp_at(&[50.0], "CLK");
+        let q = and_s(&mut circ, a, b, clk).unwrap();
+        circ.inspect(q, "Q");
+        assert!(from_circuit(&circ).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benches for the Table 2 comparison and the pulse simulator's
+//! scaling behavior: pulse-level simulation of each Table 2 design, the
+//! analog (schematic-level) counterparts, and a bitonic-size sweep showing
+//! the per-event cost of the discrete-event simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rlse_analog::synth::from_circuit;
+use rlse_bench::{bench_bitonic, bench_c, bench_c_inv, bench_min_max};
+use rlse_core::sim::Simulation;
+
+fn pulse_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pulse_sim");
+    for (name, build) in [
+        ("c_element", bench_c as fn() -> rlse_bench::Bench),
+        ("inv_c", bench_c_inv),
+        ("min_max", bench_min_max),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Simulation::new(build().circuit),
+                |mut sim| sim.run().unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    for n in [4usize, 8, 16, 32] {
+        group.bench_function(format!("bitonic_{n}"), |b| {
+            b.iter_batched(
+                || Simulation::new(bench_bitonic(n).circuit),
+                |mut sim| sim.run().unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn analog_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analog_sim");
+    group.sample_size(10);
+    group.bench_function("c_element", |b| {
+        b.iter_batched(
+            || from_circuit(&bench_c().circuit).unwrap(),
+            |mut sim| sim.run(450.0),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("min_max", |b| {
+        b.iter_batched(
+            || from_circuit(&bench_min_max().circuit).unwrap(),
+            |mut sim| sim.run(450.0),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pulse_level, analog_level);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerate the paper's **Figure 12**: simulation of the Synchronous And
+//! Element, with pulses on Q at exactly 209.2, 259.2, and 309.2 ps, plus the
+//! waveform plot of Fig. 12b.
+
+use rlse_bench::bench_and;
+use rlse_core::plot::{render, PlotOptions};
+use rlse_core::sim::Simulation;
+
+fn main() {
+    let bench = bench_and();
+    let mut sim = Simulation::new(bench.circuit);
+    let events = sim.run().expect("Figure 12 inputs are violation-free");
+    println!("Figure 12: Synchronous And Element simulation\n");
+    println!(
+        "{}",
+        render(
+            &events,
+            PlotOptions {
+                width: 100,
+                range: Some((0.0, 330.0)),
+            }
+        )
+    );
+    let q = events.times("Q");
+    println!("events['Q'] = {q:?}");
+    assert_eq!(q, &[209.2, 259.2, 309.2], "matches the paper's assertion");
+    println!("assert events['Q'] == [209.2, 259.2, 309.2]  ✓");
+}

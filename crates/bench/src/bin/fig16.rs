@@ -1,0 +1,48 @@
+//! Regenerate the paper's **Figure 16**: pulse-level waveforms of the C
+//! element, min-max pair, and 8-input bitonic sorter (panels a–c), and —
+//! with `--analog` — the corresponding schematic-level simulations
+//! (panels d–f) from the rlse-analog baseline.
+
+use rlse_analog::synth::from_circuit;
+use rlse_bench::{bench_bitonic, bench_c, bench_min_max, simulate, Bench};
+use rlse_core::plot::render_default;
+
+fn pulse_panel(bench: Bench, label: &str) {
+    let name = bench.name;
+    let (events, secs, _) = simulate(bench);
+    println!("--- Figure 16{label}: RLSE simulation ({name}) [{secs:.6}s] ---\n");
+    println!("{}", render_default(&events));
+}
+
+fn analog_panel(bench: Bench, label: &str, t_end: f64) {
+    let name = bench.name;
+    let mut sim = from_circuit(&bench.circuit).expect("analog-modelled design");
+    let start = std::time::Instant::now();
+    let ev = sim.run(t_end);
+    let secs = start.elapsed().as_secs_f64();
+    println!("--- Figure 16{label}: circuit simulation ({name}) [{secs:.3}s, {} JJs] ---\n", ev.jjs);
+    for (wire, times) in &ev.pulses {
+        let rounded: Vec<f64> = times.iter().map(|t| (t * 10.0).round() / 10.0).collect();
+        println!("  {wire}: {rounded:?}");
+    }
+    println!();
+}
+
+fn main() {
+    let analog = std::env::args().any(|a| a == "--analog");
+    pulse_panel(bench_c(), "a");
+    pulse_panel(bench_min_max(), "b");
+    pulse_panel(bench_bitonic(8), "c");
+    if analog {
+        analog_panel(bench_c(), "d", 450.0);
+        analog_panel(bench_min_max(), "e", 450.0);
+        analog_panel(bench_bitonic(8), "f", 300.0);
+        println!(
+            "Note: as in the paper, the circuit-level propagation delays differ\n\
+             from the purely compositional pulse-level delays (loading effects);\n\
+             the pulse *order* on every output is what must (and does) agree."
+        );
+    } else {
+        println!("(run with --analog for the circuit-simulation panels d–f)");
+    }
+}

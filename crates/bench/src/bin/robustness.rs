@@ -1,0 +1,71 @@
+//! Regenerate the paper's **§5.2 variability study**: add Gaussian jitter to
+//! every propagation delay of the 8-input bitonic sorter and measure how
+//! often the design still sorts correctly, sweeping the jitter σ.
+//!
+//! Failures are either detected timing violations (transition-time or
+//! past-constraint errors during simulation) or erroneous outputs observed
+//! afterwards — the two failure modes the paper describes.
+
+use rlse_bench::{bench_bitonic, bitonic_times, Table};
+use rlse_core::prelude::*;
+
+fn run_once(sigma: f64, seed: u64) -> Result<bool, Error> {
+    let bench = bench_bitonic(8);
+    let mut sim = Simulation::new(bench.circuit)
+        .variability(Variability::Gaussian { std: sigma })
+        .seed(seed);
+    let events = sim.run()?;
+    // Rank-order check from §5.2: one pulse per output, in time order.
+    let mut prev = f64::NEG_INFINITY;
+    for k in 0..8 {
+        let times = events.times(&format!("o{k}"));
+        if times.len() != 1 || times[0] < prev {
+            return Ok(false);
+        }
+        prev = times[0];
+    }
+    Ok(true)
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    println!(
+        "Section 5.2: bitonic sorter robustness under delay variability\n\
+         ({} trials per sigma; inputs {:?})\n",
+        trials,
+        bitonic_times(8)
+    );
+    let mut table = Table::new(&[
+        "sigma (ps)",
+        "ok",
+        "wrong order",
+        "timing violation",
+        "success rate",
+    ]);
+    for sigma in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 3.0] {
+        let (mut ok, mut wrong, mut violation) = (0u64, 0u64, 0u64);
+        for seed in 0..trials {
+            match run_once(sigma, seed) {
+                Ok(true) => ok += 1,
+                Ok(false) => wrong += 1,
+                Err(_) => violation += 1,
+            }
+        }
+        table.row(vec![
+            format!("{sigma}"),
+            ok.to_string(),
+            wrong.to_string(),
+            violation.to_string(),
+            format!("{:.0}%", 100.0 * ok as f64 / trials as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Small jitter is tolerated; as sigma approaches the cells' transition\n\
+         times and the input spacing, violations and mis-ordered outputs appear,\n\
+         signalling that the network needs redesign margin (paper §5.2)."
+    );
+}

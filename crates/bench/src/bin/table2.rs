@@ -1,0 +1,76 @@
+//! Regenerate the paper's **Table 2**: simulation times and model sizes of
+//! schematic-level (analog) vs pulse-level (RLSE) models for the C element,
+//! inverted C element, min-max pair, and 8-input bitonic sorter.
+//!
+//! Run with `cargo run -p rlse-bench --bin table2 --release`.
+
+use rlse_analog::synth::from_circuit;
+use rlse_bench::{bench_bitonic, bench_c, bench_c_inv, bench_min_max, simulate, Table};
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(&[
+        "Name",
+        "Schematic Lines",
+        "Schematic Time (s)",
+        "RLSE Size",
+        "RLSE Time (s)",
+        "Size ratio",
+        "Speedup",
+    ]);
+    let mut size_ratios = Vec::new();
+    let mut speedups = Vec::new();
+
+    for (bench, t_end) in [
+        (bench_c(), 450.0),
+        (bench_c_inv(), 450.0),
+        (bench_min_max(), 450.0),
+        (bench_bitonic(8), 300.0),
+    ] {
+        let name = bench.name;
+        let size = bench.size;
+
+        // Schematic level: synthesize the same circuit into the analog
+        // engine and run the transient analysis.
+        let mut analog = from_circuit(&bench.circuit)
+            .expect("Table 2 designs use only analog-modelled cells");
+        let start = Instant::now();
+        let aev = analog.run(t_end);
+        let analog_secs = start.elapsed().as_secs_f64();
+
+        // Pulse level.
+        let (events, pulse_secs, _) = simulate(bench);
+        let pulse_count = events.pulse_count();
+
+        let size_ratio = aev.lines as f64 / size as f64;
+        let speedup = analog_secs / pulse_secs.max(1e-9);
+        size_ratios.push(size_ratio);
+        speedups.push(speedup);
+        table.row(vec![
+            name.to_string(),
+            aev.lines.to_string(),
+            format!("{analog_secs:.3}"),
+            size.to_string(),
+            format!("{pulse_secs:.6}"),
+            format!("{size_ratio:.1}x"),
+            format!("{speedup:.0}x"),
+        ]);
+        eprintln!(
+            "  {name}: analog {} JJs / {} steps, pulse level {} pulses",
+            aev.jjs, aev.steps, pulse_count
+        );
+    }
+
+    println!("\nTable 2: RLSE vs schematic-level simulation\n");
+    println!("{}", table.render());
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "Average: schematic models are {:.1}x larger and {:.0}x slower to simulate.",
+        avg(&size_ratios),
+        avg(&speedups)
+    );
+    println!(
+        "(Paper: 16.6x smaller RLSE models, 9879x faster; absolute numbers differ\n\
+         because the schematic baseline here is rlse-analog, not Cadence.)"
+    );
+}

@@ -1,0 +1,146 @@
+//! Regenerate the paper's **Table 3**: for the 16 basic cells and 6 larger
+//! designs — PyLSE-level size/cells/states/transitions, the generated TA
+//! network's automata/locations/transitions/channels, model-checking time
+//! and states explored for Query 1 (output correctness) and Query 2 (error
+//! states unreachable), and the comparison ratios.
+//!
+//! Designs whose exploration exceeds the state budget are reported `inf`,
+//! matching the paper's `∞` rows (xSFQ adder, bitonic sorters).
+//!
+//! Run with `cargo run -p rlse-bench --bin table3 --release -- [budget]`.
+
+use rlse_bench::{all_design_benches, cell_bench, expected_outputs, simulate, Bench, Table};
+use rlse_cells::defs;
+use rlse_ta::mc::{check, McOptions, McQuery};
+use rlse_ta::translate::{translate_circuit_with, TranslateOptions};
+
+struct Row {
+    name: String,
+    size: usize,
+    cells: usize,
+    states: usize,
+    trans: usize,
+    ta: usize,
+    locs: usize,
+    ta_trans: usize,
+    chans: usize,
+    time: String,
+    explored: String,
+}
+
+fn run_bench(bench: Bench, budget: usize) -> Row {
+    let name = bench.name.to_string();
+    let size = bench.size;
+    let (events, _, circ) = simulate(bench);
+    let stats = circ.stats();
+    let tr = translate_circuit_with(&circ, TranslateOptions::default())
+        .expect("Table 3 designs contain no holes");
+    let net_stats = tr.net.stats();
+    let expected: Vec<(String, Vec<f64>)> = expected_outputs(&circ, &events);
+    let expected_refs: Vec<(&str, Vec<f64>)> = expected
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.clone()))
+        .collect();
+    let opts = McOptions {
+        max_states: budget,
+        max_seconds: 120.0,
+    };
+    let q1 = check(&tr.net, &McQuery::query1(&tr, &expected_refs), opts);
+    let q2 = check(&tr.net, &McQuery::query2(&tr), opts);
+    if q1.holds == Some(false) {
+        eprintln!("  WARNING {name}: Query 1 fails: {:?}", q1.violation);
+    }
+    if q2.holds == Some(false) {
+        eprintln!("  WARNING {name}: Query 2 fails: {:?}", q2.violation);
+    }
+    let fmt_pair = |a: &str, b: &str| {
+        if a == b {
+            a.to_string()
+        } else {
+            format!("{a}/{b}")
+        }
+    };
+    let time_of = |r: &rlse_ta::mc::McResult| match r.holds {
+        None => "inf".to_string(),
+        Some(_) if r.time_secs < 1.0 => "<1".to_string(),
+        Some(_) => format!("{:.0}", r.time_secs),
+    };
+    let states_of = |r: &rlse_ta::mc::McResult| match r.holds {
+        None => "N/A".to_string(),
+        Some(_) => r.states.to_string(),
+    };
+    Row {
+        name,
+        size,
+        cells: stats.cells,
+        states: stats.states,
+        trans: stats.transitions,
+        ta: net_stats.automata,
+        locs: net_stats.locations,
+        ta_trans: net_stats.edges,
+        chans: net_stats.channels,
+        time: fmt_pair(&time_of(&q1), &time_of(&q2)),
+        explored: fmt_pair(&states_of(&q1), &states_of(&q2)),
+    }
+}
+
+fn main() {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+    eprintln!("state budget per query: {budget}");
+
+    let mut rows = Vec::new();
+    for (name, spec) in defs::all_cells() {
+        rows.push(run_bench(cell_bench(name, &spec), budget));
+        eprintln!("  done: {name}");
+    }
+    for bench in all_design_benches() {
+        let name = bench.name;
+        rows.push(run_bench(bench, budget));
+        eprintln!("  done: {name}");
+    }
+
+    let (mut r1, mut r2, mut r3) = (Vec::new(), Vec::new(), Vec::new());
+    for r in &rows {
+        r1.push(r.ta as f64 / r.cells as f64);
+        r2.push(r.locs as f64 / r.states as f64);
+        r3.push(r.ta_trans as f64 / r.trans as f64);
+    }
+    let rendered = {
+        let mut t2 = Table::new(&[
+            "Name", "Size", "Cells", "States", "Tran.", "TA", "Locs.", "Tran.(U)", "Chan.",
+            "Time (s)", "States expl.", "TA/Cells", "Locs./States", "Tr(U)/Tr(P)",
+        ]);
+        for (i, r) in rows.iter().enumerate() {
+            t2.row(vec![
+                r.name.clone(),
+                r.size.to_string(),
+                r.cells.to_string(),
+                r.states.to_string(),
+                r.trans.to_string(),
+                r.ta.to_string(),
+                r.locs.to_string(),
+                r.ta_trans.to_string(),
+                r.chans.to_string(),
+                r.time.clone(),
+                r.explored.clone(),
+                format!("{:.2}", r1[i]),
+                format!("{:.2}", r2[i]),
+                format!("{:.2}", r3[i]),
+            ]);
+        }
+        t2.render()
+    };
+    println!("\nTable 3: PyLSE-level vs UPPAAL-level sizes and verification\n");
+    println!("{rendered}");
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "Averages: {:.2} TA per cell, {:.2} locations per machine state, {:.2} TA transitions per machine transition.",
+        avg(&r1),
+        avg(&r2),
+        avg(&r3)
+    );
+    println!("(Paper: 3.02 TA/cell, 18.99 locations/state, 9.05 transitions ratio.)");
+}

@@ -1,0 +1,47 @@
+//! Export UPPAAL artifacts (XML model + TCTL query file) for every basic
+//! cell and every larger design, into `target/uppaal/`. Feed any pair to a
+//! real UPPAAL installation: `verifyta <name>.xml <name>.q`.
+//!
+//! Run with `cargo run -p rlse-bench --bin uppaal_export --release`.
+
+use rlse_bench::{all_design_benches, cell_bench, expected_outputs, simulate};
+use rlse_cells::defs;
+use rlse_ta::translate::{sanitize, translate_circuit};
+use rlse_ta::uppaal::{query1_tctl, query2_tctl, to_uppaal_xml};
+use std::path::Path;
+
+fn export(dir: &Path, name: &str, bench: rlse_bench::Bench) -> std::io::Result<()> {
+    let (events, _, circ) = simulate(bench);
+    let expected = expected_outputs(&circ, &events);
+    let refs: Vec<(&str, Vec<f64>)> = expected
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.clone()))
+        .collect();
+    let tr = translate_circuit(&circ).expect("no holes in exported designs");
+    let base = sanitize(&name.to_lowercase());
+    std::fs::write(dir.join(format!("{base}.xml")), to_uppaal_xml(&tr.net))?;
+    std::fs::write(
+        dir.join(format!("{base}.q")),
+        format!("{}\n{}\n", query1_tctl(&tr, &refs), query2_tctl(&tr)),
+    )?;
+    let stats = tr.net.stats();
+    println!(
+        "{name:<16} -> {base}.xml ({} automata, {} locations), {base}.q",
+        stats.automata, stats.locations
+    );
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("target/uppaal");
+    std::fs::create_dir_all(dir)?;
+    for (name, spec) in defs::all_cells() {
+        export(dir, name, cell_bench(name, &spec))?;
+    }
+    for bench in all_design_benches() {
+        let name = bench.name;
+        export(dir, name, bench)?;
+    }
+    println!("\nwrote UPPAAL models and queries to {}", dir.display());
+    Ok(())
+}

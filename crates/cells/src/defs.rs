@@ -1,0 +1,465 @@
+//! Definitions of the 16 basic SCE cells of the paper's Table 3.
+//!
+//! Timing parameters for the Synchronous And Element come straight from the
+//! paper (setup 2.8 ps, hold 3.0 ps, firing delay 9.2 ps, 11 JJs), as do the
+//! delays used by the min-max pair (splitter 11 ps, C element 12 ps,
+//! inverted C element 14 ps). The remaining values are plausible RSFQ
+//! numbers in the same range; every cell accepts per-instance overrides via
+//! [`rlse_core::circuit::NodeOverrides`].
+//!
+//! Clocked (synchronous RSFQ) cells model their hold time as the transition
+//! time of each `clk` edge and their setup time as a `*` past constraint on
+//! each `clk` edge, exactly as the paper's Figure 8 does for the AND cell.
+
+use rlse_core::machine::{EdgeDef, Machine};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Nominal setup time of clocked cells, from the paper's AND cell (ps).
+pub const SETUP_TIME: f64 = 2.8;
+/// Nominal hold time of clocked cells, from the paper's AND cell (ps).
+pub const HOLD_TIME: f64 = 3.0;
+
+/// Past-constraint list shared by every clocked cell's `clk` edges.
+const PC: &[(&str, f64)] = &[("*", SETUP_TIME)];
+
+macro_rules! cached {
+    ($name:ident, $build:expr) => {
+        /// Return the (cached) machine definition for this cell.
+        pub fn $name() -> Arc<Machine> {
+            static CELL: OnceLock<Arc<Machine>> = OnceLock::new();
+            Arc::clone(CELL.get_or_init(|| $build))
+        }
+    };
+}
+
+cached!(c_elem, {
+    // C element (coincidence): fires q once both inputs have arrived.
+    // Firing delay 12 ps (paper §4.1). Table 3: 6 transitions, 3 states.
+    Machine::new(
+        "C",
+        &["a", "b"],
+        &["q"],
+        12.0,
+        7,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "idle", transition_time: 2.0, firing: "q", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "idle", transition_time: 2.0, firing: "q", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+        ],
+    )
+    .expect("C element definition is well-formed")
+});
+
+cached!(c_inv_elem, {
+    // Inverted C element (first-arrival): fires q on the first input to
+    // arrive; the matching later input is absorbed without firing.
+    // Firing delay 14 ps (paper §4.1). Table 3: 6 transitions, 3 states.
+    Machine::new(
+        "C_INV",
+        &["a", "b"],
+        &["q"],
+        14.0,
+        5,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", transition_time: 2.0, firing: "q", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", transition_time: 2.0, firing: "q", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "idle", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "idle", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+        ],
+    )
+    .expect("inverted C element definition is well-formed")
+});
+
+cached!(m_elem, {
+    // Merger (confluence buffer): every input pulse is forwarded to q.
+    // Table 3: 2 transitions, 1 state.
+    Machine::new(
+        "M",
+        &["a", "b"],
+        &["q"],
+        6.3,
+        5,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "idle", firing: "q", ..Default::default() },
+        ],
+    )
+    .expect("merger definition is well-formed")
+});
+
+cached!(s_elem, {
+    // Splitter: duplicates each input pulse onto l and r.
+    // Firing delay 11 ps (paper §4.1). Table 3: 1 transition, 1 state.
+    Machine::new(
+        "S",
+        &["a"],
+        &["l", "r"],
+        11.0,
+        3,
+        &[EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "l,r", ..Default::default() }],
+    )
+    .expect("splitter definition is well-formed")
+});
+
+cached!(jtl_elem, {
+    // Josephson transmission line: forwards pulses, adding delay.
+    // Table 3: 1 transition, 1 state.
+    Machine::new(
+        "JTL",
+        &["a"],
+        &["q"],
+        5.7,
+        2,
+        &[EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() }],
+    )
+    .expect("JTL definition is well-formed")
+});
+
+cached!(and_elem, {
+    // Synchronous And Element, verbatim from the paper's Figure 8.
+    // Table 3: size 11, 12 transitions, 4 states.
+    Machine::new(
+        "AND",
+        &["a", "b", "clk"],
+        &["q"],
+        9.2,
+        11,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "a,b", dst: "ab_arr", ..Default::default() },
+        ],
+    )
+    .expect("AND definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(or_elem, {
+    // Synchronous Or Element. Table 3: size 4, 6 transitions, 2 states.
+    Machine::new(
+        "OR",
+        &["a", "b", "clk"],
+        &["q"],
+        8.2,
+        10,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a,b", dst: "arr", ..Default::default() },
+            EdgeDef { src: "arr", trigger: "a,b", dst: "arr", ..Default::default() },
+            EdgeDef { src: "arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("OR definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(nand_elem, {
+    // Synchronous Nand Element: fires on clk unless both inputs arrived.
+    // Table 3: 12 transitions, 4 states.
+    Machine::new(
+        "NAND",
+        &["a", "b", "clk"],
+        &["q"],
+        9.8,
+        13,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "a", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "b", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("NAND definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(nor_elem, {
+    // Synchronous Nor Element: fires on clk only if no input arrived.
+    // Table 3: 6 transitions, 2 states.
+    Machine::new(
+        "NOR",
+        &["a", "b", "clk"],
+        &["q"],
+        8.6,
+        12,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a", dst: "arr", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "arr", ..Default::default() },
+            EdgeDef { src: "arr", trigger: "a", dst: "arr", ..Default::default() },
+            EdgeDef { src: "arr", trigger: "b", dst: "arr", ..Default::default() },
+            EdgeDef { src: "arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("NOR definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(xor_elem, {
+    // Synchronous Xor Element: fires on clk if exactly one input arrived;
+    // a second pulse of the *other* input cancels back to idle.
+    // Table 3: 9 transitions, 3 states.
+    Machine::new(
+        "XOR",
+        &["a", "b", "clk"],
+        &["q"],
+        7.9,
+        10,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "idle", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "idle", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("XOR definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(xnor_elem, {
+    // Synchronous Xnor Element: fires on clk if both or neither arrived.
+    // Table 3: 12 transitions, 4 states.
+    Machine::new(
+        "XNOR",
+        &["a", "b", "clk"],
+        &["q"],
+        9.4,
+        13,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "b_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "a", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "b", dst: "ab_arr", ..Default::default() },
+            EdgeDef { src: "ab_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("XNOR definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(inv_elem, {
+    // Synchronous Inverter: fires on clk only if no input pulse arrived.
+    // Table 3: 4 transitions, 2 states.
+    Machine::new(
+        "INV",
+        &["a", "clk"],
+        &["q"],
+        6.0,
+        9,
+        &[
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+            EdgeDef { src: "a_arr", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("INV definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(dro_elem, {
+    // Destructive readout (DRO / D flip-flop): stores a pulse on `a`, emits
+    // it on `clk`. Table 3: 4 transitions, 2 states.
+    Machine::new(
+        "DRO",
+        &["a", "clk"],
+        &["q"],
+        5.1,
+        6,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "stored", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "stored", trigger: "a", dst: "stored", ..Default::default() },
+            EdgeDef { src: "stored", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("DRO definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(dro_sr_elem, {
+    // DRO with set/reset: `set` stores, `rst` clears, `clk` reads
+    // destructively. Table 3: 6 transitions, 2 states.
+    Machine::new(
+        "DRO_SR",
+        &["set", "rst", "clk"],
+        &["q"],
+        5.1,
+        8,
+        &[
+            EdgeDef { src: "idle", trigger: "set", dst: "stored", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "rst", dst: "idle", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "stored", trigger: "set", dst: "stored", ..Default::default() },
+            EdgeDef { src: "stored", trigger: "rst", dst: "idle", ..Default::default() },
+            EdgeDef { src: "stored", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("DRO_SR definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(dro_c_elem, {
+    // DRO with complementary outputs: on clk, fires `q` if a pulse was
+    // stored, else `qn`. Table 3: 4 transitions, 2 states.
+    Machine::new(
+        "DRO_C",
+        &["a", "clk"],
+        &["q", "qn"],
+        5.1,
+        9,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "stored", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "qn", past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "stored", trigger: "a", dst: "stored", ..Default::default() },
+            EdgeDef { src: "stored", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("DRO_C definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(join2x2_elem, {
+    // 2x2 Join: dual-rail primitive taking complements (a_t, a_f) and
+    // (b_t, b_f) and firing one of tt/tf/ft/ff once one rail of each pair
+    // has arrived (paper §5.2). Table 3: 20 transitions, 5 states.
+    Machine::new(
+        "JOIN2x2",
+        &["a_t", "a_f", "b_t", "b_f"],
+        &["tt", "tf", "ft", "ff"],
+        6.0,
+        14,
+        &[
+            EdgeDef { src: "idle", trigger: "a_t", dst: "at", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "a_f", dst: "af", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b_t", dst: "bt", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b_f", dst: "bf", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "at", trigger: "b_t", dst: "idle", transition_time: 2.0, firing: "tt", ..Default::default() },
+            EdgeDef { src: "at", trigger: "b_f", dst: "idle", transition_time: 2.0, firing: "tf", ..Default::default() },
+            EdgeDef { src: "at", trigger: "a_t", dst: "at", ..Default::default() },
+            EdgeDef { src: "at", trigger: "a_f", dst: "at", ..Default::default() },
+            EdgeDef { src: "af", trigger: "b_t", dst: "idle", transition_time: 2.0, firing: "ft", ..Default::default() },
+            EdgeDef { src: "af", trigger: "b_f", dst: "idle", transition_time: 2.0, firing: "ff", ..Default::default() },
+            EdgeDef { src: "af", trigger: "a_t", dst: "af", ..Default::default() },
+            EdgeDef { src: "af", trigger: "a_f", dst: "af", ..Default::default() },
+            EdgeDef { src: "bt", trigger: "a_t", dst: "idle", transition_time: 2.0, firing: "tt", ..Default::default() },
+            EdgeDef { src: "bt", trigger: "a_f", dst: "idle", transition_time: 2.0, firing: "ft", ..Default::default() },
+            EdgeDef { src: "bt", trigger: "b_t", dst: "bt", ..Default::default() },
+            EdgeDef { src: "bt", trigger: "b_f", dst: "bt", ..Default::default() },
+            EdgeDef { src: "bf", trigger: "a_t", dst: "idle", transition_time: 2.0, firing: "tf", ..Default::default() },
+            EdgeDef { src: "bf", trigger: "a_f", dst: "idle", transition_time: 2.0, firing: "ff", ..Default::default() },
+            EdgeDef { src: "bf", trigger: "b_t", dst: "bf", ..Default::default() },
+            EdgeDef { src: "bf", trigger: "b_f", dst: "bf", ..Default::default() },
+        ],
+    )
+    .expect("2x2 join definition is well-formed")
+});
+
+/// Every basic cell, paired with its Table-3 display name, in the paper's
+/// row order.
+pub fn all_cells() -> Vec<(&'static str, Arc<Machine>)> {
+    vec![
+        ("C", c_elem()),
+        ("InvC", c_inv_elem()),
+        ("M", m_elem()),
+        ("S", s_elem()),
+        ("JTL", jtl_elem()),
+        ("And", and_elem()),
+        ("Or", or_elem()),
+        ("Nand", nand_elem()),
+        ("Nor", nor_elem()),
+        ("Xor", xor_elem()),
+        ("Xnor", xnor_elem()),
+        ("Inv", inv_elem()),
+        ("DRO", dro_elem()),
+        ("DRO SR", dro_sr_elem()),
+        ("DRO C", dro_c_elem()),
+        ("2x2 Join", join2x2_elem()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_shapes() {
+        // (name, size, states, transitions) from the paper's Table 3.
+        let expected = [
+            ("C", 6, 3, 6),
+            ("InvC", 6, 3, 6),
+            ("M", 2, 1, 2),
+            ("S", 1, 1, 1),
+            ("JTL", 1, 1, 1),
+            ("And", 11, 4, 12),
+            ("Or", 4, 2, 6),
+            ("Nand", 12, 4, 12),
+            ("Nor", 6, 2, 6),
+            ("Xor", 9, 3, 9),
+            ("Xnor", 12, 4, 12),
+            ("Inv", 4, 2, 4),
+            ("DRO", 4, 2, 4),
+            ("DRO SR", 6, 2, 6),
+            ("DRO C", 4, 2, 4),
+            ("2x2 Join", 20, 5, 20),
+        ];
+        let cells = all_cells();
+        assert_eq!(cells.len(), 16);
+        for ((name, size, states, trans), (got_name, m)) in expected.iter().zip(&cells) {
+            assert_eq!(name, got_name);
+            assert_eq!(m.definition_size(), *size, "{name} size");
+            assert_eq!(m.states().len(), *states, "{name} states");
+            assert_eq!(m.transitions().len(), *trans, "{name} transitions");
+        }
+    }
+
+    #[test]
+    fn every_cell_starts_idle_and_fires_something() {
+        for (name, m) in all_cells() {
+            assert_eq!(m.states()[m.start().0], "idle", "{name}");
+            assert!(
+                m.transitions().iter().any(|t| !t.firing.is_empty()),
+                "{name} fires"
+            );
+        }
+    }
+
+    #[test]
+    fn cells_are_cached() {
+        assert!(Arc::ptr_eq(&and_elem(), &and_elem()));
+    }
+}

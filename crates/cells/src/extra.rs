@@ -1,0 +1,224 @@
+//! Additional cells beyond the paper's 16-cell core library: standard RSFQ
+//! storage and toggle elements, and the race-logic primitives of the
+//! temporal conventions the paper cites (\[51, 52\]).
+
+use crate::defs::{HOLD_TIME, SETUP_TIME};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+use rlse_core::machine::{EdgeDef, Machine};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+const PC: &[(&str, f64)] = &[("*", SETUP_TIME)];
+
+macro_rules! cached {
+    ($name:ident, $build:expr) => {
+        /// Return the (cached) machine definition for this cell.
+        pub fn $name() -> Arc<Machine> {
+            static CELL: OnceLock<Arc<Machine>> = OnceLock::new();
+            Arc::clone(CELL.get_or_init(|| $build))
+        }
+    };
+}
+
+cached!(ndro_elem, {
+    // Non-destructive readout: `set` stores a 1, `rst` clears it, and `clk`
+    // reads the stored value *without* clearing it.
+    Machine::new(
+        "NDRO",
+        &["set", "rst", "clk"],
+        &["q"],
+        6.1,
+        11,
+        &[
+            EdgeDef { src: "idle", trigger: "set", dst: "stored", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "rst", dst: "idle", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "clk", dst: "idle", transition_time: HOLD_TIME, past_constraints: PC, ..Default::default() },
+            EdgeDef { src: "stored", trigger: "set", dst: "stored", ..Default::default() },
+            EdgeDef { src: "stored", trigger: "rst", dst: "idle", ..Default::default() },
+            EdgeDef { src: "stored", trigger: "clk", dst: "stored", transition_time: HOLD_TIME, firing: "q", past_constraints: PC, ..Default::default() },
+        ],
+    )
+    .expect("NDRO definition is well-formed")
+    .with_setup_hold(SETUP_TIME, HOLD_TIME)
+});
+
+cached!(tff_elem, {
+    // Toggle (T1) flip-flop: every second input pulse is forwarded.
+    Machine::new(
+        "TFF",
+        &["a"],
+        &["q"],
+        6.5,
+        5,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "half", transition_time: 2.0, ..Default::default() },
+            EdgeDef { src: "half", trigger: "a", dst: "idle", transition_time: 2.0, firing: "q", ..Default::default() },
+        ],
+    )
+    .expect("TFF definition is well-formed")
+});
+
+cached!(inhibit_elem, {
+    // Race-logic INHIBIT: a pulse on `a` propagates to `q` unless a pulse
+    // on `b` arrived first (then `a` is swallowed). A `b` after `a` has no
+    // effect on that evaluation; state persists until the next wave.
+    Machine::new(
+        "INHIBIT",
+        &["a", "b"],
+        &["q"],
+        7.0,
+        6,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "idle", transition_time: 2.0, firing: "q", ..Default::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "blocked", transition_time: 1.0, ..Default::default() },
+            EdgeDef { src: "blocked", trigger: "a", dst: "blocked", ..Default::default() },
+            EdgeDef { src: "blocked", trigger: "b", dst: "blocked", ..Default::default() },
+        ],
+    )
+    .expect("INHIBIT definition is well-formed")
+});
+
+/// Non-destructive readout: returns `q`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn ndro(circ: &mut Circuit, set: Wire, rst: Wire, clk: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&ndro_elem(), &[set, rst, clk])?[0])
+}
+
+/// Toggle flip-flop: forwards every second pulse.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn tff(circ: &mut Circuit, a: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&tff_elem(), &[a])?[0])
+}
+
+/// Race-logic inhibit: `a` passes unless `b` arrived first.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn inhibit(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&inhibit_elem(), &[a, b])?[0])
+}
+
+/// Race-logic / temporal-convention aliases (paper refs \[51, 52\]): in
+/// temporal encodings a value is *when* a pulse arrives, so MIN and MAX of
+/// two arrival times are computed by the first-arrival (inverted C) and
+/// last-arrival (C) elements.
+pub mod temporal {
+    use super::inhibit as inhibit_cell;
+    use rlse_core::circuit::{Circuit, Wire};
+    use rlse_core::error::Error;
+
+    /// Temporal MIN: fires at the earlier of the two arrivals
+    /// (first-arrival element).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a fanout violation.
+    pub fn first_arrival(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+        crate::functions::c_inv(circ, a, b)
+    }
+
+    /// Temporal MAX: fires at the later of the two arrivals (coincidence
+    /// element).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a fanout violation.
+    pub fn last_arrival(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+        crate::functions::c(circ, a, b)
+    }
+
+    /// Temporal INHIBIT: `a` unless `b` came first.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a fanout violation.
+    pub fn inhibit(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+        inhibit_cell(circ, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    #[test]
+    fn ndro_reads_without_clearing() {
+        let mut c = Circuit::new();
+        let set = c.inp_at(&[20.0], "SET");
+        let rst = c.inp_at(&[250.0], "RST");
+        let clk = c.inp(100.0, 100.0, 4, "CLK");
+        let q = ndro(&mut c, set, rst, clk).unwrap();
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        // Reads at 100 and 200 both see the stored 1 (non-destructive);
+        // rst at 250 clears it so 300 and 400 are silent.
+        assert_eq!(ev.times("Q"), &[106.1, 206.1]);
+    }
+
+    #[test]
+    fn tff_halves_the_pulse_train() {
+        let mut c = Circuit::new();
+        let a = c.inp(20.0, 20.0, 6, "A");
+        let q = tff(&mut c, a).unwrap();
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        assert_eq!(ev.times("Q").len(), 3);
+        // Fires on the 2nd, 4th, 6th pulses.
+        assert_eq!(ev.times("Q"), &[46.5, 86.5, 126.5]);
+    }
+
+    #[test]
+    fn inhibit_passes_a_when_first() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[20.0], "A");
+        let b = c.inp_at(&[50.0], "B");
+        let q = inhibit(&mut c, a, b).unwrap();
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        assert_eq!(ev.times("Q"), &[27.0]);
+    }
+
+    #[test]
+    fn inhibit_blocks_a_when_b_first() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[50.0], "A");
+        let b = c.inp_at(&[20.0], "B");
+        let q = inhibit(&mut c, a, b).unwrap();
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        assert!(ev.times("Q").is_empty());
+    }
+
+    #[test]
+    fn temporal_min_max_compute_order_statistics() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[30.0], "A");
+        let b = c.inp_at(&[70.0], "B");
+        let (a0, a1) = crate::functions::s(&mut c, a).unwrap();
+        let (b0, b1) = crate::functions::s(&mut c, b).unwrap();
+        let min = temporal::first_arrival(&mut c, a0, b0).unwrap();
+        let max = temporal::last_arrival(&mut c, a1, b1).unwrap();
+        c.inspect(min, "MIN");
+        c.inspect(max, "MAX");
+        let ev = Simulation::new(c).run().unwrap();
+        // MIN = 30 + 11 (splitter) + 14 (InvC); MAX = 70 + 11 + 12 (C).
+        assert_eq!(ev.times("MIN"), &[55.0]);
+        assert_eq!(ev.times("MAX"), &[93.0]);
+    }
+
+    #[test]
+    fn extra_cells_are_well_formed() {
+        for m in [ndro_elem(), tff_elem(), inhibit_elem()] {
+            assert!(rlse_core::validate::analyze_machine(&m).is_empty(), "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Wire-level helper functions (paper §4.1, Full-Circuit Design level).
+//!
+//! Each helper instantiates one cell in the circuit workspace and returns
+//! its output wire(s), so that basic cells resemble ordinary function calls:
+//!
+//! ```
+//! use rlse_core::prelude::*;
+//! use rlse_cells::{s, c, c_inv, jtl_delay};
+//!
+//! # fn main() -> Result<(), rlse_core::Error> {
+//! // The paper's min-max pair (Fig. 11b).
+//! let mut circ = Circuit::new();
+//! let a = circ.inp_at(&[115.0], "A");
+//! let b = circ.inp_at(&[64.0], "B");
+//! let (a0, a1) = s(&mut circ, a)?;
+//! let (b0, b1) = s(&mut circ, b)?;
+//! let low = c_inv(&mut circ, a0, b0)?;
+//! let high = c(&mut circ, a1, b1)?;
+//! let high = jtl_delay(&mut circ, high, 2.0)?;
+//! circ.inspect(low, "LOW");
+//! circ.inspect(high, "HIGH");
+//! let ev = Simulation::new(circ).run()?;
+//! assert_eq!(ev.times("LOW"), &[89.0]);   // 64 + 11 + 14
+//! assert_eq!(ev.times("HIGH"), &[140.0]); // 115 + 11 + 12 + 2
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::defs;
+use rlse_core::circuit::{Circuit, NodeOverrides, Wire};
+use rlse_core::error::Error;
+
+/// Splitter: duplicate `w` onto two wires.
+///
+/// # Errors
+///
+/// Fails if `w` already has a reader (fanout violation).
+pub fn s(circ: &mut Circuit, w: Wire) -> Result<(Wire, Wire), Error> {
+    let outs = circ.add_machine(&defs::s_elem(), &[w])?;
+    Ok((outs[0], outs[1]))
+}
+
+/// Split a wire `n` ways, creating `n-1` splitter elements arranged as a
+/// binary tree (Table 1, `split`). The returned wires are in left-to-right
+/// tree order; for `n == 1` the original wire is returned unchanged.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn split_n(circ: &mut Circuit, w: Wire, n: usize) -> Result<Vec<Wire>, Error> {
+    assert!(n > 0, "cannot split a wire 0 ways");
+    // Maintain a work queue of wires; split the widest-needed leaf until we
+    // have n leaves, keeping the tree balanced.
+    let mut need = vec![(w, n)];
+    let mut leaves = Vec::new();
+    while let Some((wire, k)) = need.pop() {
+        if k == 1 {
+            leaves.push(wire);
+            continue;
+        }
+        let (l, r) = s(circ, wire)?;
+        let lk = k / 2 + k % 2;
+        need.push((r, k / 2));
+        need.push((l, lk));
+    }
+    Ok(leaves)
+}
+
+/// C element (coincidence): fires once both `a` and `b` have arrived.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn c(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::c_elem(), &[a, b])?[0])
+}
+
+/// Inverted C element: fires on the first of `a`, `b`; absorbs the other.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn c_inv(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::c_inv_elem(), &[a, b])?[0])
+}
+
+/// Merger (confluence buffer): forwards every pulse on `a` or `b`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn m(circ: &mut Circuit, a: Wire, b: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::m_elem(), &[a, b])?[0])
+}
+
+/// Josephson transmission line with the default 5.7 ps delay.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn jtl(circ: &mut Circuit, a: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::jtl_elem(), &[a])?[0])
+}
+
+/// Josephson transmission line with an explicit firing delay (the paper's
+/// `jtl(high, firing_delay=2.0)`).
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn jtl_delay(circ: &mut Circuit, a: Wire, firing_delay: f64) -> Result<Wire, Error> {
+    Ok(circ.add_machine_with(
+        &defs::jtl_elem(),
+        &[a],
+        NodeOverrides {
+            firing_delay: Some(firing_delay),
+            ..Default::default()
+        },
+    )?[0])
+}
+
+/// A chain of `n` JTLs (path-balancing helper).
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn jtl_chain(circ: &mut Circuit, mut a: Wire, n: usize) -> Result<Wire, Error> {
+    for _ in 0..n {
+        a = jtl(circ, a)?;
+    }
+    Ok(a)
+}
+
+macro_rules! clocked2 {
+    ($(#[$doc:meta])* $fn_name:ident, $def:ident) => {
+        $(#[$doc])*
+        ///
+        /// # Errors
+        ///
+        /// Fails on a fanout violation.
+        pub fn $fn_name(circ: &mut Circuit, a: Wire, b: Wire, clk: Wire) -> Result<Wire, Error> {
+            Ok(circ.add_machine(&defs::$def(), &[a, b, clk])?[0])
+        }
+    };
+}
+
+clocked2!(
+    /// Synchronous AND: fires after a clock period in which both inputs pulsed.
+    and_s, and_elem
+);
+clocked2!(
+    /// Synchronous OR: fires after a clock period in which any input pulsed.
+    or_s, or_elem
+);
+clocked2!(
+    /// Synchronous NAND: fires unless both inputs pulsed this period.
+    nand_s, nand_elem
+);
+clocked2!(
+    /// Synchronous NOR: fires only if no input pulsed this period.
+    nor_s, nor_elem
+);
+clocked2!(
+    /// Synchronous XOR: fires if exactly one input pulsed this period.
+    xor_s, xor_elem
+);
+clocked2!(
+    /// Synchronous XNOR: fires if both or neither input pulsed this period.
+    xnor_s, xnor_elem
+);
+
+/// Synchronous inverter: fires on clk only if `a` did not pulse this period.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn inv_s(circ: &mut Circuit, a: Wire, clk: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::inv_elem(), &[a, clk])?[0])
+}
+
+/// Destructive readout: stores a pulse on `a`, releases it on `clk`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dro(circ: &mut Circuit, a: Wire, clk: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::dro_elem(), &[a, clk])?[0])
+}
+
+/// Set/reset DRO: `set` stores, `rst` clears, `clk` reads destructively.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dro_sr(circ: &mut Circuit, set: Wire, rst: Wire, clk: Wire) -> Result<Wire, Error> {
+    Ok(circ.add_machine(&defs::dro_sr_elem(), &[set, rst, clk])?[0])
+}
+
+/// Complementary-output DRO: returns `(q, qn)`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dro_c(circ: &mut Circuit, a: Wire, clk: Wire) -> Result<(Wire, Wire), Error> {
+    let outs = circ.add_machine(&defs::dro_c_elem(), &[a, clk])?;
+    Ok((outs[0], outs[1]))
+}
+
+/// 2x2 join on dual-rail pairs `(a_t, a_f)` and `(b_t, b_f)`; returns
+/// `(tt, tf, ft, ff)`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn join2x2(
+    circ: &mut Circuit,
+    a_t: Wire,
+    a_f: Wire,
+    b_t: Wire,
+    b_f: Wire,
+) -> Result<(Wire, Wire, Wire, Wire), Error> {
+    let outs = circ.add_machine(&defs::join2x2_elem(), &[a_t, a_f, b_t, b_f])?;
+    Ok((outs[0], outs[1], outs[2], outs[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    /// Run one clocked gate over four periods covering the full 2-input
+    /// truth table and return the pattern of output periods that fired.
+    /// Periods: 1: none, 2: a only, 3: b only, 4: both.
+    fn truth_table(
+        gate: fn(&mut Circuit, Wire, Wire, Wire) -> Result<Wire, Error>,
+    ) -> [bool; 4] {
+        let mut circ = Circuit::new();
+        // Period k spans (100k-100, 100k]. Pulses at mid-period.
+        let a = circ.inp_at(&[150.0, 350.0], "A");
+        let b = circ.inp_at(&[250.0, 360.0], "B");
+        let clk = circ.inp(100.0, 100.0, 4, "CLK");
+        let q = gate(&mut circ, a, b, clk).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        let mut fired = [false; 4];
+        for &t in ev.times("Q") {
+            // A pulse fired by the clock at 100*(k+1) reports period k.
+            let period = ((t / 100.0).floor() as usize) - 1;
+            assert!(period < 4, "unexpected output at {t}");
+            assert!(!fired[period], "double fire in period {period}");
+            fired[period] = true;
+        }
+        fired
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(truth_table(and_s), [false, false, false, true]);
+    }
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(truth_table(or_s), [false, true, true, true]);
+    }
+    #[test]
+    fn nand_truth_table() {
+        assert_eq!(truth_table(nand_s), [true, true, true, false]);
+    }
+    #[test]
+    fn nor_truth_table() {
+        assert_eq!(truth_table(nor_s), [true, false, false, false]);
+    }
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(truth_table(xor_s), [false, true, true, false]);
+    }
+    #[test]
+    fn xnor_truth_table() {
+        assert_eq!(truth_table(xnor_s), [true, false, false, true]);
+    }
+
+    #[test]
+    fn figure12_and_simulation() {
+        // The paper's Figure 12: Q fires at 209.2, 259.2, 309.2.
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
+        let b = circ.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
+        let clk = circ.inp(50.0, 50.0, 6, "CLK");
+        let q = and_s(&mut circ, a, b, clk).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("Q"), &[209.2, 259.2, 309.2]);
+    }
+
+    #[test]
+    fn figure13_setup_violation() {
+        // Moving B's first pulse to 99 violates the 2.8 ps setup before the
+        // clock at 100 (paper Fig. 13).
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
+        let b = circ.inp_at(&[99.0, 185.0, 225.0, 265.0], "B");
+        let clk = circ.inp(50.0, 50.0, 6, "CLK");
+        let q = and_s(&mut circ, a, b, clk).unwrap();
+        circ.inspect(q, "Q");
+        let err = Simulation::new(circ).run().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Prior input violation on FSM 'AND'"), "{msg}");
+        assert!(msg.contains("It was last seen at 99"), "{msg}");
+    }
+
+    #[test]
+    fn inverter_fires_only_on_empty_periods() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[150.0], "A");
+        let clk = circ.inp(100.0, 100.0, 3, "CLK");
+        let q = inv_s(&mut circ, a, clk).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        // Fires on clk at 100 (no a yet) and 300 (a consumed at 200).
+        assert_eq!(ev.times("Q"), &[106.0, 306.0]);
+    }
+
+    #[test]
+    fn dro_stores_and_releases() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[150.0], "A");
+        let clk = circ.inp(100.0, 100.0, 3, "CLK");
+        let q = dro(&mut circ, a, clk).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("Q"), &[205.1]);
+    }
+
+    #[test]
+    fn dro_sr_reset_clears_stored_pulse() {
+        let mut circ = Circuit::new();
+        let set = circ.inp_at(&[150.0, 350.0], "SET");
+        let rst = circ.inp_at(&[170.0], "RST");
+        let clk = circ.inp(100.0, 100.0, 5, "CLK");
+        let q = dro_sr(&mut circ, set, rst, clk).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        // set@150 cleared by rst@170, so clk@200 is silent; set@350 read at 400.
+        assert_eq!(ev.times("Q"), &[405.1]);
+    }
+
+    #[test]
+    fn dro_c_fires_complement() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[150.0], "A");
+        let clk = circ.inp(100.0, 100.0, 2, "CLK");
+        let (q, qn) = dro_c(&mut circ, a, clk).unwrap();
+        circ.inspect(q, "Q");
+        circ.inspect(qn, "QN");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("QN"), &[105.1]); // empty period
+        assert_eq!(ev.times("Q"), &[205.1]); // stored period
+    }
+
+    #[test]
+    fn join_fires_the_right_rail() {
+        let mut circ = Circuit::new();
+        let a_t = circ.inp_at(&[100.0], "A_T");
+        let a_f = circ.inp_at(&[200.0], "A_F");
+        let b_t = circ.inp_at(&[150.0, 220.0], "B_T");
+        let b_f = circ.inp_at(&[], "B_F");
+        let (tt, tf, ft, ff) = join2x2(&mut circ, a_t, a_f, b_t, b_f).unwrap();
+        for (w, n) in [(tt, "TT"), (tf, "TF"), (ft, "FT"), (ff, "FF")] {
+            circ.inspect(w, n);
+        }
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("TT"), &[156.0]); // a_t@100 + b_t@150
+        assert_eq!(ev.times("FT"), &[226.0]); // a_f@200 + b_t@220
+        assert!(ev.times("TF").is_empty());
+        assert!(ev.times("FF").is_empty());
+    }
+
+    #[test]
+    fn split_n_builds_a_binary_tree() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[100.0], "A");
+        let outs = split_n(&mut circ, a, 5).unwrap();
+        assert_eq!(outs.len(), 5);
+        // 4 splitters needed for a 5-way split.
+        assert_eq!(circ.stats().cells, 4);
+        for (i, w) in outs.iter().enumerate() {
+            circ.inspect(*w, &format!("O{i}"));
+        }
+        let ev = Simulation::new(circ).run().unwrap();
+        for i in 0..5 {
+            let t = ev.times(&format!("O{i}"));
+            assert_eq!(t.len(), 1);
+            // Depth 2 or 3 of splitters at 11 ps each.
+            assert!(t[0] == 122.0 || t[0] == 133.0, "O{i} at {}", t[0]);
+        }
+    }
+
+    #[test]
+    fn merger_and_jtl_chain() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[100.0], "A");
+        let b = circ.inp_at(&[200.0], "B");
+        let j = jtl_chain(&mut circ, a, 3).unwrap();
+        let q = m(&mut circ, j, b).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert!(ev.matches("Q", &[100.0 + 3.0 * 5.7 + 6.3, 206.3], 1e-9));
+    }
+
+    #[test]
+    fn c_requires_both_inputs() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[100.0, 300.0], "A");
+        let b = circ.inp_at(&[150.0], "B");
+        let q = c(&mut circ, a, b).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        // Fires at 150+12; the lone a@300 stays pending.
+        assert_eq!(ev.times("Q"), &[162.0]);
+    }
+
+    #[test]
+    fn c_inv_fires_on_first_only() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[100.0], "A");
+        let b = circ.inp_at(&[150.0], "B");
+        let q = c_inv(&mut circ, a, b).unwrap();
+        circ.inspect(q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("Q"), &[114.0]); // 100 + 14; b absorbed
+    }
+}

@@ -1,0 +1,61 @@
+//! # rlse-cells — the RLSE standard cell library
+//!
+//! The 16 basic SCE cells of the PyLSE paper's Table 3, defined as PyLSE
+//! Machines over [`rlse_core`], plus the wire-level helper functions that
+//! make cells compose like ordinary function calls (paper §4.1).
+//!
+//! Asynchronous transport and decision cells:
+//!
+//! * [`c`] / [`defs::c_elem`] — C element (coincidence; fires on the second
+//!   arrival)
+//! * [`c_inv`] / [`defs::c_inv_elem`] — inverted C element (first arrival)
+//! * [`m`] / [`defs::m_elem`] — merger (confluence buffer)
+//! * [`s`] / [`defs::s_elem`] — splitter (the only legal way to fan out)
+//! * [`jtl`] / [`defs::jtl_elem`] — Josephson transmission line
+//! * [`join2x2`] / [`defs::join2x2_elem`] — dual-rail 2x2 join
+//!
+//! Clocked (synchronous RSFQ) cells, all with the paper's 2.8 ps setup and
+//! 3.0 ps hold constraints:
+//!
+//! * [`and_s`], [`or_s`], [`nand_s`], [`nor_s`], [`xor_s`], [`xnor_s`],
+//!   [`inv_s`] — clocked logic gates
+//! * [`dro`], [`dro_sr`], [`dro_c`] — destructive-readout storage cells
+//!
+//! ## Example
+//!
+//! ```
+//! use rlse_core::prelude::*;
+//! use rlse_cells::prelude::*;
+//!
+//! # fn main() -> Result<(), rlse_core::Error> {
+//! let mut circ = Circuit::new();
+//! let a = circ.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
+//! let b = circ.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
+//! let clk = circ.inp(50.0, 50.0, 6, "CLK");
+//! let q = and_s(&mut circ, a, b, clk)?;
+//! circ.inspect(q, "Q");
+//! let events = Simulation::new(circ).run()?;
+//! assert_eq!(events.times("Q"), &[209.2, 259.2, 309.2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod defs;
+pub mod extra;
+mod functions;
+
+pub use extra::{inhibit, ndro, temporal, tff};
+pub use functions::{
+    and_s, c, c_inv, dro, dro_c, dro_sr, inv_s, join2x2, jtl, jtl_chain, jtl_delay, m, nand_s,
+    nor_s, or_s, s, split_n, xnor_s, xor_s,
+};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::defs::{HOLD_TIME, SETUP_TIME};
+    pub use crate::extra::{inhibit, ndro, tff};
+    pub use crate::functions::*;
+}

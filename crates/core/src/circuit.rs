@@ -1,0 +1,667 @@
+//! Circuits: networks of PyLSE Machines, holes, and input sources connected
+//! by wires (paper §3.2 and §4.1, Full-Circuit Design level).
+//!
+//! Wires are stateless and point-to-point: each wire has exactly one driver
+//! and at most one reader. SCE outputs cannot fan out; attempting to read a
+//! wire twice is a [`WiringError::FanoutViolation`] and a splitter cell must
+//! be used instead (paper §4.2).
+
+use crate::error::{Time, WiringError};
+use crate::functional::Hole;
+use crate::machine::Machine;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_CIRCUIT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A handle to a wire in a [`Circuit`].
+///
+/// Handles are cheap to copy and are tied to the circuit that created them;
+/// using a handle with a different circuit panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wire {
+    pub(crate) circuit: u64,
+    pub(crate) index: usize,
+}
+
+/// Identifier of a node (input source, machine instance, or hole) in a
+/// [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Per-instance overrides applied when adding a machine to a circuit
+/// (paper §4.1: encapsulating functions "take in optional arguments, making
+/// it easy to override properties like firing delay, transition time ...").
+#[derive(Debug, Clone, Default)]
+pub struct NodeOverrides {
+    /// Override the default firing delay of every fired output.
+    pub firing_delay: Option<Time>,
+    /// Override the transition time of every transition.
+    pub transition_time: Option<Time>,
+    /// Override the JJ count reported for this instance.
+    pub jjs: Option<u32>,
+    /// Exempt this instance from simulation-wide variability.
+    pub exempt_from_variability: bool,
+}
+
+#[derive(Debug)]
+pub(crate) enum NodeKind {
+    /// External stimulus: produces pulses at fixed times on its one output.
+    Source { pulses: Vec<Time> },
+    /// A PyLSE Machine instance.
+    Machine {
+        spec: Arc<Machine>,
+        overrides: NodeOverrides,
+    },
+    /// A behavioral hole.
+    Hole(Hole),
+}
+
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    /// Wires driven by this node, one per output port.
+    pub(crate) out_wires: Vec<usize>,
+    /// Wires read by this node, one per input port.
+    pub(crate) in_wires: Vec<usize>,
+}
+
+#[derive(Debug)]
+pub(crate) struct WireData {
+    /// User-facing name; auto-generated (`_N`) unless set by `inp*`/`inspect`.
+    pub(crate) name: String,
+    /// True if the name was given by the user (named wires appear in events).
+    pub(crate) observed: bool,
+    pub(crate) driver: (NodeId, usize),
+    pub(crate) sink: Option<(NodeId, usize)>,
+}
+
+/// A workspace holding cells and the wires connecting them.
+///
+/// ```
+/// use rlse_core::circuit::Circuit;
+/// let mut c = Circuit::new();
+/// let a = c.inp_at(&[10.0, 20.0], "A");
+/// assert_eq!(c.wire_name(a), "A");
+/// ```
+#[derive(Debug)]
+pub struct Circuit {
+    pub(crate) id: u64,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) wires: Vec<WireData>,
+    anon_counter: usize,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Circuit {
+    /// Create an empty circuit workspace.
+    pub fn new() -> Self {
+        Circuit {
+            id: NEXT_CIRCUIT_ID.fetch_add(1, Ordering::Relaxed),
+            nodes: Vec::new(),
+            wires: Vec::new(),
+            anon_counter: 0,
+        }
+    }
+
+    fn new_wire(&mut self, driver: (NodeId, usize), name: Option<&str>) -> Wire {
+        let (name, observed) = match name {
+            Some(n) => (n.to_string(), true),
+            None => {
+                let n = format!("_{}", self.anon_counter);
+                self.anon_counter += 1;
+                (n, false)
+            }
+        };
+        self.wires.push(WireData {
+            name,
+            observed,
+            driver,
+            sink: None,
+        });
+        Wire {
+            circuit: self.id,
+            index: self.wires.len() - 1,
+        }
+    }
+
+    fn check_wire(&self, w: Wire) -> usize {
+        assert_eq!(
+            w.circuit, self.id,
+            "wire handle belongs to a different circuit"
+        );
+        w.index
+    }
+
+    fn connect(&mut self, w: Wire, sink: (NodeId, usize)) -> Result<(), WiringError> {
+        let idx = self.check_wire(w);
+        let wd = &mut self.wires[idx];
+        if wd.sink.is_some() {
+            return Err(WiringError::FanoutViolation {
+                wire: wd.name.clone(),
+            });
+        }
+        wd.sink = Some(sink);
+        Ok(())
+    }
+
+    /// Create an input producing pulses at each given time (Table 1,
+    /// `inp_at`). The returned wire is named and observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time is negative or not finite.
+    pub fn inp_at(&mut self, times: &[Time], name: &str) -> Wire {
+        let mut pulses: Vec<Time> = times.to_vec();
+        assert!(
+            pulses.iter().all(|t| t.is_finite() && *t >= 0.0),
+            "input pulse times must be finite and non-negative"
+        );
+        pulses.sort_by(f64::total_cmp);
+        let node = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Source { pulses },
+            out_wires: Vec::new(),
+            in_wires: Vec::new(),
+        });
+        let w = self.new_wire((node, 0), Some(name));
+        self.nodes[node.0].out_wires.push(w.index);
+        w
+    }
+
+    /// Create a periodic input: `n` pulses starting at `start`, one every
+    /// `period` (Table 1, `inp`).
+    pub fn inp(&mut self, start: Time, period: Time, n: usize, name: &str) -> Wire {
+        let times: Vec<Time> = (0..n).map(|i| start + period * i as f64).collect();
+        self.inp_at(&times, name)
+    }
+
+    /// Add a machine instance, connecting `inputs` (in the machine's input
+    /// order) and returning its output wires (in output order).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`WiringError::FanoutViolation`] if any input wire already
+    /// has a reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of input wires does not match the machine's
+    /// declared inputs or a wire belongs to another circuit.
+    pub fn add_machine(
+        &mut self,
+        spec: &Arc<Machine>,
+        inputs: &[Wire],
+    ) -> Result<Vec<Wire>, WiringError> {
+        self.add_machine_with(spec, inputs, NodeOverrides::default())
+    }
+
+    /// [`add_machine`](Self::add_machine) with per-instance overrides.
+    pub fn add_machine_with(
+        &mut self,
+        spec: &Arc<Machine>,
+        inputs: &[Wire],
+        overrides: NodeOverrides,
+    ) -> Result<Vec<Wire>, WiringError> {
+        assert_eq!(
+            inputs.len(),
+            spec.inputs().len(),
+            "machine '{}' takes {} inputs, got {}",
+            spec.name(),
+            spec.inputs().len(),
+            inputs.len()
+        );
+        let mut spec = Arc::clone(spec);
+        if let Some(d) = overrides.firing_delay {
+            spec = spec.with_firing_delay(d);
+        }
+        if let Some(t) = overrides.transition_time {
+            spec = spec.with_transition_time(t);
+        }
+        let n_out = spec.outputs().len();
+        let node = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Machine { spec, overrides },
+            out_wires: Vec::new(),
+            in_wires: Vec::new(),
+        });
+        for (port, w) in inputs.iter().enumerate() {
+            self.connect(*w, (node, port))?;
+            let idx = w.index;
+            self.nodes[node.0].in_wires.push(idx);
+        }
+        let mut outs = Vec::new();
+        for port in 0..n_out {
+            let w = self.new_wire((node, port), None);
+            self.nodes[node.0].out_wires.push(w.index);
+            outs.push(w);
+        }
+        Ok(outs)
+    }
+
+    /// Add a behavioral hole, connecting `inputs` and returning its output
+    /// wires.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`WiringError::FanoutViolation`] if any input wire already
+    /// has a reader.
+    pub fn add_hole(&mut self, hole: Hole, inputs: &[Wire]) -> Result<Vec<Wire>, WiringError> {
+        assert_eq!(
+            inputs.len(),
+            hole.inputs().len(),
+            "hole '{}' takes {} inputs, got {}",
+            hole.name(),
+            hole.inputs().len(),
+            inputs.len()
+        );
+        let n_out = hole.outputs().len();
+        let node = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Hole(hole),
+            out_wires: Vec::new(),
+            in_wires: Vec::new(),
+        });
+        for (port, w) in inputs.iter().enumerate() {
+            self.connect(*w, (node, port))?;
+            let idx = w.index;
+            self.nodes[node.0].in_wires.push(idx);
+        }
+        let mut outs = Vec::new();
+        for port in 0..n_out {
+            let w = self.new_wire((node, port), None);
+            self.nodes[node.0].out_wires.push(w.index);
+            outs.push(w);
+        }
+        Ok(outs)
+    }
+
+    /// Create a *loopback* wire: a wire with no driver yet, so feedback
+    /// loops can be wired up forward. Use it as a cell input now, then call
+    /// [`close_loop`](Self::close_loop) to splice the loop shut.
+    pub fn loopback_wire(&mut self) -> Wire {
+        self.new_wire((NodeId(usize::MAX), 0), None)
+    }
+
+    /// Splice a feedback loop: redirect the reader of the pending loopback
+    /// wire to read from `from` instead. `from` must be an ordinary driven
+    /// wire with no reader; `loopback` must come from
+    /// [`loopback_wire`](Self::loopback_wire) and already be connected to a
+    /// cell input.
+    ///
+    /// # Errors
+    ///
+    /// * [`WiringError::FanoutViolation`] if `from` already has a reader.
+    /// * [`WiringError::Unconnected`] if `loopback` is not a pending
+    ///   loopback with a reader.
+    pub fn close_loop(&mut self, from: Wire, loopback: Wire) -> Result<(), WiringError> {
+        let fi = self.check_wire(from);
+        let li = self.check_wire(loopback);
+        if self.wires[fi].sink.is_some() {
+            return Err(WiringError::FanoutViolation {
+                wire: self.wires[fi].name.clone(),
+            });
+        }
+        let pending = self.wires[li].driver.0 == NodeId(usize::MAX);
+        let Some((snode, sport)) = self.wires[li].sink else {
+            return Err(WiringError::Unconnected {
+                node: "loopback".into(),
+                port: self.wires[li].name.clone(),
+            });
+        };
+        if !pending {
+            return Err(WiringError::AlreadyDriven {
+                wire: self.wires[li].name.clone(),
+            });
+        }
+        self.wires[fi].sink = Some((snode, sport));
+        self.nodes[snode.0].in_wires[sport] = fi;
+        // Retire the loopback placeholder.
+        self.wires[li].sink = None;
+        Ok(())
+    }
+
+    /// True if the wire has a real driver (false only for pending or
+    /// retired loopback placeholders).
+    pub fn wire_has_driver(&self, w: Wire) -> bool {
+        let idx = self.check_wire(w);
+        self.wires[idx].driver.0 != NodeId(usize::MAX)
+    }
+
+    /// Give a wire a name for observation during simulation (Table 1,
+    /// `inspect`). Named wires appear in the simulation's events dictionary.
+    pub fn inspect(&mut self, w: Wire, name: &str) {
+        let idx = self.check_wire(w);
+        self.wires[idx].name = name.to_string();
+        self.wires[idx].observed = true;
+    }
+
+    /// The current name of a wire (auto-generated `_N` unless named).
+    pub fn wire_name(&self, w: Wire) -> &str {
+        let idx = self.check_wire(w);
+        &self.wires[idx].name
+    }
+
+    /// All wires that have no reader: the circuit's outputs. Retired
+    /// loopback placeholders are excluded.
+    pub fn output_wires(&self) -> Vec<Wire> {
+        self.wires
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.sink.is_none() && w.driver.0 != NodeId(usize::MAX))
+            .map(|(i, _)| Wire {
+                circuit: self.id,
+                index: i,
+            })
+            .collect()
+    }
+
+    /// Validate the finished circuit (paper §4.2, Circuit Design level).
+    ///
+    /// Fanout-of-one is enforced structurally at connection time; this check
+    /// additionally verifies that observed wire names are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiringError::DuplicateWireName`] on a name clash.
+    pub fn check(&self) -> Result<(), WiringError> {
+        let mut names = std::collections::HashSet::new();
+        for w in self.wires.iter().filter(|w| w.observed) {
+            if !names.insert(&w.name) {
+                return Err(WiringError::DuplicateWireName {
+                    name: w.name.clone(),
+                });
+            }
+        }
+        // Loopback wires still feeding a cell must have been closed.
+        for w in &self.wires {
+            if w.driver.0 == NodeId(usize::MAX) && w.sink.is_some() {
+                return Err(WiringError::Unconnected {
+                    node: "loopback".into(),
+                    port: w.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of cell instances (machines and holes, excluding sources).
+    pub fn cell_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| !matches!(n.kind, NodeKind::Source { .. }))
+            .count()
+    }
+
+    /// Aggregate statistics over every machine instance, for Table-3-style
+    /// reporting: `(cells, states, transitions, jjs)`.
+    pub fn stats(&self) -> CircuitStats {
+        let mut s = CircuitStats::default();
+        for n in &self.nodes {
+            match &n.kind {
+                NodeKind::Machine { spec, overrides } => {
+                    s.cells += 1;
+                    s.states += spec.states().len();
+                    s.transitions += spec.transitions().len();
+                    s.jjs += overrides.jjs.unwrap_or_else(|| spec.jjs());
+                }
+                NodeKind::Hole(_) => s.cells += 1,
+                NodeKind::Source { .. } => s.sources += 1,
+            }
+        }
+        s.wires = self.wires.len();
+        s
+    }
+
+    /// Iterate over `(NodeId, machine)` for every machine instance.
+    pub fn machines(&self) -> impl Iterator<Item = (NodeId, &Arc<Machine>)> {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match &n.kind {
+            NodeKind::Machine { spec, .. } => Some((NodeId(i), spec)),
+            _ => None,
+        })
+    }
+
+    /// The stimulus times of every source node, with the source's wire name.
+    pub fn sources(&self) -> impl Iterator<Item = (&str, &[Time])> {
+        self.nodes.iter().filter_map(|n| match &n.kind {
+            NodeKind::Source { pulses } => {
+                Some((self.wires[n.out_wires[0]].name.as_str(), pulses.as_slice()))
+            }
+            _ => None,
+        })
+    }
+
+    /// The name of the wire driven by output port 0 of `node` — the paper's
+    /// convention for identifying a node instance in diagnostics.
+    pub fn node_wire_name(&self, node: NodeId) -> String {
+        self.nodes[node.0]
+            .out_wires
+            .first()
+            .map(|w| self.wires[*w].name.clone())
+            .unwrap_or_else(|| format!("<node {}>", node.0))
+    }
+
+    /// Number of nodes (sources, machines, and holes).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of wires.
+    pub fn wire_count(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// The dense index of a wire handle (inverse of [`wire_at`](Self::wire_at)).
+    pub fn wire_index(&self, w: Wire) -> usize {
+        self.check_wire(w)
+    }
+
+    /// The wire handle with the given index (0..`wire_count`).
+    pub fn wire_at(&self, index: usize) -> Wire {
+        assert!(index < self.wires.len(), "wire index out of range");
+        Wire {
+            circuit: self.id,
+            index,
+        }
+    }
+
+    /// The `(node, output port)` driving a wire.
+    pub fn wire_driver(&self, w: Wire) -> (NodeId, usize) {
+        let idx = self.check_wire(w);
+        self.wires[idx].driver
+    }
+
+    /// The `(node, input port)` reading a wire, if any.
+    pub fn wire_sink(&self, w: Wire) -> Option<(NodeId, usize)> {
+        let idx = self.check_wire(w);
+        self.wires[idx].sink
+    }
+
+    /// True if the wire was given a user-facing name.
+    pub fn wire_observed(&self, w: Wire) -> bool {
+        let idx = self.check_wire(w);
+        self.wires[idx].observed
+    }
+
+    /// The machine spec of `node`, if it is a machine instance (with
+    /// per-instance overrides already applied).
+    pub fn node_machine(&self, node: NodeId) -> Option<&Arc<Machine>> {
+        match &self.nodes[node.0].kind {
+            NodeKind::Machine { spec, .. } => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The stimulus times of `node`, if it is an input source.
+    pub fn node_source_times(&self, node: NodeId) -> Option<&[Time]> {
+        match &self.nodes[node.0].kind {
+            NodeKind::Source { pulses } => Some(pulses),
+            _ => None,
+        }
+    }
+
+    /// The wires driven by `node`, in output-port order.
+    pub fn node_out_wires(&self, node: NodeId) -> Vec<Wire> {
+        self.nodes[node.0]
+            .out_wires
+            .iter()
+            .map(|&i| Wire {
+                circuit: self.id,
+                index: i,
+            })
+            .collect()
+    }
+
+    /// The wires read by `node`, in input-port order.
+    pub fn node_in_wires(&self, node: NodeId) -> Vec<Wire> {
+        self.nodes[node.0]
+            .in_wires
+            .iter()
+            .map(|&i| Wire {
+                circuit: self.id,
+                index: i,
+            })
+            .collect()
+    }
+}
+
+/// Aggregate circuit statistics (see [`Circuit::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Machine + hole instances.
+    pub cells: usize,
+    /// Sum of machine state counts.
+    pub states: usize,
+    /// Sum of machine transition counts.
+    pub transitions: usize,
+    /// Sum of JJ counts.
+    pub jjs: u32,
+    /// Stimulus sources.
+    pub sources: usize,
+    /// Total wires.
+    pub wires: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::EdgeDef;
+
+    fn jtl() -> Arc<Machine> {
+        Machine::new(
+            "JTL",
+            &["a"],
+            &["q"],
+            5.7,
+            2,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                ..Default::default()
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wires_are_named_and_observed() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[1.0], "A");
+        assert_eq!(c.wire_name(a), "A");
+        let q = c.add_machine(&jtl(), &[a]).unwrap()[0];
+        assert!(c.wire_name(q).starts_with('_'));
+        c.inspect(q, "Q");
+        assert_eq!(c.wire_name(q), "Q");
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn fanout_violation_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[1.0], "A");
+        let _ = c.add_machine(&jtl(), &[a]).unwrap();
+        let err = c.add_machine(&jtl(), &[a]).unwrap_err();
+        assert!(matches!(err, WiringError::FanoutViolation { .. }));
+    }
+
+    #[test]
+    fn duplicate_observed_names_are_rejected() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[1.0], "A");
+        let q = c.add_machine(&jtl(), &[a]).unwrap()[0];
+        c.inspect(q, "A");
+        assert!(matches!(
+            c.check(),
+            Err(WiringError::DuplicateWireName { .. })
+        ));
+    }
+
+    #[test]
+    fn output_wires_are_sinkless_wires() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[1.0], "A");
+        let q = c.add_machine(&jtl(), &[a]).unwrap()[0];
+        let outs = c.output_wires();
+        assert_eq!(outs, vec![q]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[1.0], "A");
+        let q = c.add_machine(&jtl(), &[a]).unwrap()[0];
+        let _ = c.add_machine(&jtl(), &[q]).unwrap();
+        let s = c.stats();
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.states, 2);
+        assert_eq!(s.transitions, 2);
+        assert_eq!(s.jjs, 4);
+        assert_eq!(s.sources, 1);
+    }
+
+    #[test]
+    fn overrides_apply_at_instantiation() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q = c
+            .add_machine_with(
+                &jtl(),
+                &[a],
+                NodeOverrides {
+                    firing_delay: Some(2.0),
+                    jjs: Some(99),
+                    ..Default::default()
+                },
+            )
+            .unwrap()[0];
+        let _ = q;
+        assert_eq!(c.stats().jjs, 99);
+        let node = c.machines().next().unwrap().0;
+        assert_eq!(c.node_machine(node).unwrap().firing_delay(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different circuit")]
+    fn foreign_wire_panics() {
+        let mut c1 = Circuit::new();
+        let mut c2 = Circuit::new();
+        let a = c1.inp_at(&[1.0], "A");
+        let _ = c2.add_machine(&jtl(), &[a]);
+    }
+
+    #[test]
+    fn inp_generates_periodic_pulses() {
+        let mut c = Circuit::new();
+        let _clk = c.inp(50.0, 50.0, 6, "CLK");
+        let (name, times) = c.sources().next().unwrap();
+        assert_eq!(name, "CLK");
+        assert_eq!(times, &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Error types for cell definition, circuit construction, and simulation.
+//!
+//! Timing violations reproduce the diagnostic style of the paper's Figure 13:
+//! the error names the machine, the offending transition, the trigger time,
+//! and — for past-constraint (setup) violations — how recently the
+//! constrained input was last seen.
+
+use std::fmt;
+
+/// The time unit used throughout RLSE is picoseconds, represented as `f64`.
+pub type Time = f64;
+
+/// Any error produced while defining cells, wiring circuits, or simulating.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A cell definition is ill-formed (paper §4.2, Cell Definition level).
+    Definition(DefinitionError),
+    /// A circuit is ill-formed (paper §4.2, Circuit Design level).
+    Wiring(WiringError),
+    /// A timing constraint was violated during simulation (paper Fig. 13).
+    Timing(TimingViolation),
+    /// A behavioral hole panicked or returned the wrong number of outputs.
+    Hole(HoleError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Definition(e) => write!(f, "{e}"),
+            Error::Wiring(e) => write!(f, "{e}"),
+            Error::Timing(e) => write!(f, "{e}"),
+            Error::Hole(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DefinitionError> for Error {
+    fn from(e: DefinitionError) -> Self {
+        Error::Definition(e)
+    }
+}
+impl From<WiringError> for Error {
+    fn from(e: WiringError) -> Self {
+        Error::Wiring(e)
+    }
+}
+impl From<TimingViolation> for Error {
+    fn from(e: TimingViolation) -> Self {
+        Error::Timing(e)
+    }
+}
+impl From<HoleError> for Error {
+    fn from(e: HoleError) -> Self {
+        Error::Hole(e)
+    }
+}
+
+/// An ill-formed transition system at the Cell Definition level.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DefinitionError {
+    /// Two ports (inputs or outputs) or two states share a name.
+    DuplicateName {
+        /// Machine being defined.
+        machine: String,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A transition references a source or destination state that is not
+    /// introduced by any transition endpoint.
+    UnknownState {
+        /// Machine being defined.
+        machine: String,
+        /// The unknown state name.
+        state: String,
+    },
+    /// A transition's trigger is not a declared input.
+    UnknownTrigger {
+        /// Machine being defined.
+        machine: String,
+        /// The unknown trigger name.
+        trigger: String,
+    },
+    /// A transition fires an output that is not declared.
+    UnknownOutput {
+        /// Machine being defined.
+        machine: String,
+        /// The unknown output name.
+        output: String,
+    },
+    /// A past constraint references a name that is neither `*` nor an input.
+    UnknownConstraintInput {
+        /// Machine being defined.
+        machine: String,
+        /// The unknown constrained-input name.
+        input: String,
+    },
+    /// The machine has no `idle` starting state.
+    MissingIdleState {
+        /// Machine being defined.
+        machine: String,
+    },
+    /// Some (state, input) pair has no transition: the machine must be fully
+    /// specified.
+    IncompleteSpecification {
+        /// Machine being defined.
+        machine: String,
+        /// State with the missing transition.
+        state: String,
+        /// Input with no transition from `state`.
+        input: String,
+    },
+    /// Two transitions leave the same state on the same trigger.
+    ConflictingTransitions {
+        /// Machine being defined.
+        machine: String,
+        /// Source state of the conflict.
+        state: String,
+        /// Trigger with more than one transition.
+        input: String,
+    },
+    /// No transition fires any output, so the cell can never produce a pulse.
+    NoFiringTransition {
+        /// Machine being defined.
+        machine: String,
+    },
+    /// A numeric field (delay, transition time, constraint distance) is
+    /// negative or not finite.
+    BadNumericValue {
+        /// Machine being defined.
+        machine: String,
+        /// Which field held the bad value.
+        field: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The machine declares no inputs or no outputs.
+    NoPorts {
+        /// Machine being defined.
+        machine: String,
+    },
+}
+
+impl fmt::Display for DefinitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use DefinitionError::*;
+        match self {
+            DuplicateName { machine, name } => {
+                write!(f, "duplicate name '{name}' in definition of FSM '{machine}'")
+            }
+            UnknownState { machine, state } => {
+                write!(f, "FSM '{machine}' references unknown state '{state}'")
+            }
+            UnknownTrigger { machine, trigger } => write!(
+                f,
+                "FSM '{machine}' has a transition triggered by '{trigger}', which is not a declared input"
+            ),
+            UnknownOutput { machine, output } => write!(
+                f,
+                "FSM '{machine}' fires '{output}', which is not a declared output"
+            ),
+            UnknownConstraintInput { machine, input } => write!(
+                f,
+                "FSM '{machine}' constrains past input '{input}', which is not a declared input (use '*' for all inputs)"
+            ),
+            MissingIdleState { machine } => {
+                write!(f, "FSM '{machine}' has no 'idle' starting state")
+            }
+            IncompleteSpecification { machine, state, input } => write!(
+                f,
+                "FSM '{machine}' is not fully specified: no transition from state '{state}' on input '{input}'"
+            ),
+            ConflictingTransitions { machine, state, input } => write!(
+                f,
+                "FSM '{machine}' has conflicting transitions from state '{state}' on input '{input}'"
+            ),
+            NoFiringTransition { machine } => write!(
+                f,
+                "FSM '{machine}' has no transition that fires an output"
+            ),
+            BadNumericValue { machine, field, value } => write!(
+                f,
+                "FSM '{machine}' has invalid value {value} for field '{field}' (must be finite and non-negative)"
+            ),
+            NoPorts { machine } => {
+                write!(f, "FSM '{machine}' must declare at least one input and one output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DefinitionError {}
+
+/// An ill-formed circuit at the Full-Circuit Design level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WiringError {
+    /// A wire is read by more than one cell input: SCE outputs have a fanout
+    /// of one, and a splitter cell must be used to share a pulse stream.
+    FanoutViolation {
+        /// The doubly-read wire.
+        wire: String,
+    },
+    /// A wire is already driven by another output.
+    AlreadyDriven {
+        /// The doubly-driven wire.
+        wire: String,
+    },
+    /// A cell input was left unconnected.
+    Unconnected {
+        /// The node with the dangling input.
+        node: String,
+        /// The unconnected port.
+        port: String,
+    },
+    /// A wire handle belongs to a different circuit.
+    ForeignWire,
+    /// A circuit output wire is also consumed internally.
+    OutputConsumed {
+        /// The wire in question.
+        wire: String,
+    },
+    /// Two observed wires share a name.
+    DuplicateWireName {
+        /// The clashing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for WiringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use WiringError::*;
+        match self {
+            FanoutViolation { wire } => write!(
+                f,
+                "wire '{wire}' already has a reader; SCE cells have fanout one, insert a splitter to share it"
+            ),
+            AlreadyDriven { wire } => write!(f, "wire '{wire}' is already driven by another output"),
+            Unconnected { node, port } => {
+                write!(f, "input port '{port}' of node '{node}' is unconnected")
+            }
+            ForeignWire => write!(f, "wire handle belongs to a different circuit"),
+            OutputConsumed { wire } => {
+                write!(f, "circuit output wire '{wire}' is also consumed internally")
+            }
+            DuplicateWireName { name } => write!(f, "two observed wires are both named '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for WiringError {}
+
+/// The reason a machine entered the error state `q_err` (paper Fig. 6).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// Error-κ Tran: an input arrived at `tau_arr < tau_done`, i.e. during a
+    /// transitionary (hold-time) period that ends at `tau_done`.
+    TransitionTime {
+        /// End of the unstable period that was still in progress.
+        tau_done: Time,
+    },
+    /// Error-κ Cons: a constrained input was seen more recently than the
+    /// required distance (setup-time style constraint).
+    PastConstraint {
+        /// The constrained input that was seen too recently.
+        constrained: String,
+        /// Required minimum distance `tau_dist`.
+        required: Time,
+        /// When the constrained input was last seen.
+        last_seen: Time,
+    },
+}
+
+/// A timing violation detected while simulating, carrying enough context to
+/// reproduce the paper's Figure 13 diagnostic text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingViolation {
+    /// Name of the machine type, e.g. `AND`.
+    pub machine: String,
+    /// Name of the output wire identifying the failing node instance (the
+    /// paper identifies nodes by their first output wire, e.g. `_0`).
+    pub node_wire: String,
+    /// Index of the transition whose timing condition failed.
+    pub transition: usize,
+    /// The input(s) being delivered when the violation occurred.
+    pub inputs: Vec<String>,
+    /// The arrival time of the offending pulse.
+    pub tau_arr: Time,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inputs = self
+            .inputs
+            .iter()
+            .map(|s| format!("'{s}'"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        write!(
+            f,
+            "Error while sending input(s) {inputs} to the node with output wire '{}': ",
+            self.node_wire
+        )?;
+        match &self.kind {
+            ViolationKind::TransitionTime { tau_done } => write!(
+                f,
+                "Transition time violation on FSM '{}'. A transition triggered at time {} \
+                 arrived while transition '{}' was still in progress; the machine is \
+                 unstable until {} and receiving any input during this period is illegal.",
+                self.machine, self.tau_arr, self.transition, tau_done
+            ),
+            ViolationKind::PastConstraint {
+                constrained,
+                required,
+                last_seen,
+            } => write!(
+                f,
+                "Prior input violation on FSM '{}'. A constraint on transition '{}', \
+                 triggered at time {}, given via the 'past_constraints' field says it is \
+                 an error to trigger this transition if input '{}' was seen as recently as \
+                 {} time units ago. It was last seen at {}, which is {} time units to soon.",
+                self.machine,
+                self.transition,
+                self.tau_arr,
+                constrained,
+                required,
+                last_seen,
+                required - (self.tau_arr - last_seen)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimingViolation {}
+
+/// An error raised by a behavioral hole.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HoleError {
+    /// The user function returned the wrong number of outputs.
+    ArityMismatch {
+        /// The hole's name.
+        hole: String,
+        /// Declared number of outputs.
+        expected: usize,
+        /// Number of outputs actually returned.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HoleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HoleError::ArityMismatch { hole, expected, got } => write!(
+                f,
+                "hole '{hole}' returned {got} outputs, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HoleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure13_message_shape() {
+        let v = TimingViolation {
+            machine: "AND".into(),
+            node_wire: "_0".into(),
+            transition: 7,
+            inputs: vec!["clk".into()],
+            tau_arr: 100.0,
+            kind: ViolationKind::PastConstraint {
+                constrained: "b".into(),
+                required: 2.8,
+                last_seen: 99.0,
+            },
+        };
+        let msg = v.to_string();
+        assert!(msg.starts_with(
+            "Error while sending input(s) 'clk' to the node with output wire '_0': Prior input violation on FSM 'AND'."
+        ));
+        assert!(msg.contains("A constraint on transition '7', triggered at time 100"));
+        assert!(msg.contains("input 'b' was seen as recently as 2.8 time units ago"));
+        assert!(msg.contains("It was last seen at 99"));
+        assert!(msg.contains("1.7999999999999998 time units to soon"));
+    }
+
+    #[test]
+    fn transition_time_message_shape() {
+        let v = TimingViolation {
+            machine: "AND".into(),
+            node_wire: "q0".into(),
+            transition: 0,
+            inputs: vec!["a".into()],
+            tau_arr: 51.0,
+            kind: ViolationKind::TransitionTime { tau_done: 53.0 },
+        };
+        let msg = v.to_string();
+        assert!(msg.contains("Transition time violation on FSM 'AND'"));
+        assert!(msg.contains("unstable until 53"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+        assert_err::<DefinitionError>();
+        assert_err::<TimingViolation>();
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_wiring_variants() {
+        let cases: Vec<WiringError> = vec![
+            WiringError::FanoutViolation { wire: "w".into() },
+            WiringError::AlreadyDriven { wire: "w".into() },
+            WiringError::Unconnected {
+                node: "n".into(),
+                port: "p".into(),
+            },
+            WiringError::ForeignWire,
+            WiringError::OutputConsumed { wire: "w".into() },
+            WiringError::DuplicateWireName { name: "w".into() },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Behavioral "holes" (paper §4.1, Hole Description Level).
+//!
+//! A [`Hole`] wraps an arbitrary Rust closure in a pulse-communicating
+//! interface, so abstract software models can be mixed with transition-based
+//! cells for agile development. Holes do not follow the formal PyLSE Machine
+//! semantics: on every instant at which at least one input pulse arrives,
+//! the wrapped function is called with a boolean per input (true = a pulse is
+//! present now) plus the current time, and returns a boolean per output; each
+//! true output emits a pulse `delay` time units later.
+
+use crate::error::Time;
+
+/// The function type wrapped by a hole: `(inputs, time) -> outputs`.
+pub type HoleFn = Box<dyn FnMut(&[bool], Time) -> Vec<bool> + Send>;
+
+/// A behavioral element with a pulse interface (the `@pylse.hole` decorator).
+///
+/// ```
+/// use rlse_core::functional::Hole;
+/// // An "or" hole: emits on q whenever any input pulses.
+/// let h = Hole::new("or", 5.0, &["a", "b"], &["q"], |ins, _t| {
+///     vec![ins.iter().any(|&p| p)]
+/// });
+/// assert_eq!(h.delay(), 5.0);
+/// ```
+pub struct Hole {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    delay: Time,
+    func: HoleFn,
+}
+
+impl Hole {
+    /// Wrap `func` as a pulse-processing element.
+    ///
+    /// `delay` is the firing delay applied to every emitted output pulse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite, or if no inputs or no
+    /// outputs are given.
+    pub fn new<F>(name: &str, delay: Time, inputs: &[&str], outputs: &[&str], func: F) -> Self
+    where
+        F: FnMut(&[bool], Time) -> Vec<bool> + Send + 'static,
+    {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "hole delay must be finite and non-negative"
+        );
+        assert!(
+            !inputs.is_empty() && !outputs.is_empty(),
+            "hole must have at least one input and one output"
+        );
+        Hole {
+            name: name.to_string(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            delay,
+            func: Box::new(func),
+        }
+    }
+
+    /// The hole's name (used in diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Input port names.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+    /// Output port names.
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+    /// Firing delay applied to every output pulse.
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+
+    /// Invoke the wrapped function for one instant.
+    pub(crate) fn call(&mut self, inputs: &[bool], time: Time) -> Vec<bool> {
+        (self.func)(inputs, time)
+    }
+}
+
+impl std::fmt::Debug for Hole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hole")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .field("delay", &self.delay)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hole_remembers_state_between_calls() {
+        // A toggling hole: emits on every second pulse.
+        let mut count = 0u32;
+        let mut h = Hole::new("toggle", 1.0, &["a"], &["q"], move |ins, _| {
+            if ins[0] {
+                count += 1;
+            }
+            vec![count % 2 == 0 && ins[0]]
+        });
+        assert_eq!(h.call(&[true], 0.0), vec![false]);
+        assert_eq!(h.call(&[true], 1.0), vec![true]);
+        assert_eq!(h.call(&[true], 2.0), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn negative_delay_panics() {
+        let _ = Hole::new("bad", -1.0, &["a"], &["q"], |_, _| vec![false]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let h = Hole::new("h", 0.0, &["a"], &["q"], |_, _| vec![false]);
+        assert!(format!("{h:?}").contains("Hole"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # rlse-core — the PyLSE Machine formalism and pulse simulator
+//!
+//! This crate implements the core of RLSE, a Rust reproduction of PyLSE
+//! (PLDI 2022): a pulse-transfer level language for superconductor
+//! electronics.
+//!
+//! * [`machine`] — the PyLSE Machine `⟨Q, q_init, Σ, Λ, δ, μ, θ⟩` with the
+//!   Transition / Dispatch / Trace semantics of the paper's Fig. 6.
+//! * [`circuit`] — networks of machines and wires (the Network relation),
+//!   with fanout-of-one enforcement.
+//! * [`functional`] — behavioral "holes" mixing software models into pulse
+//!   circuits.
+//! * [`sim`] — the discrete-event simulator, with optional firing-delay
+//!   variability.
+//! * [`events`] — the events dictionary and §5.2-style dynamic checks.
+//! * [`plot`] — text waveform rendering.
+//! * [`error`] — definition, wiring, and timing-violation errors, with
+//!   Figure-13-style diagnostics.
+//!
+//! ## Example
+//!
+//! A C element (coincidence cell) fires when both inputs have arrived:
+//!
+//! ```
+//! use rlse_core::prelude::*;
+//! use rlse_core::machine::{EdgeDef, Machine};
+//!
+//! # fn main() -> Result<(), rlse_core::Error> {
+//! let c_elem = Machine::new("C", &["a", "b"], &["q"], 12.0, 7, &[
+//!     EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..EdgeDef::default() },
+//!     EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..EdgeDef::default() },
+//!     EdgeDef { src: "a_arr", trigger: "b", dst: "idle", firing: "q", ..EdgeDef::default() },
+//!     EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..EdgeDef::default() },
+//!     EdgeDef { src: "b_arr", trigger: "a", dst: "idle", firing: "q", ..EdgeDef::default() },
+//!     EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..EdgeDef::default() },
+//! ])?;
+//!
+//! let mut circuit = Circuit::new();
+//! let a = circuit.inp_at(&[100.0], "A");
+//! let b = circuit.inp_at(&[130.0], "B");
+//! let q = circuit.add_machine(&c_elem, &[a, b])?[0];
+//! circuit.inspect(q, "Q");
+//! let events = Simulation::new(circuit).run()?;
+//! assert_eq!(events.times("Q"), &[142.0]); // 130 + 12 ps
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod circuit;
+pub mod error;
+pub mod events;
+pub mod functional;
+pub mod machine;
+pub mod plot;
+pub mod sim;
+pub mod validate;
+pub mod vcd;
+
+pub use error::{Error, Time};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, NodeOverrides, Wire};
+    pub use crate::error::{Error, Time};
+    pub use crate::events::Events;
+    pub use crate::functional::Hole;
+    pub use crate::machine::{EdgeDef, Machine};
+    pub use crate::sim::{Simulation, TraceEntry, Variability};
+}

@@ -1,0 +1,985 @@
+//! The PyLSE Machine: a Mealy machine with timed, prioritized transitions,
+//! firing outputs, and constraints on the past (paper §3, Fig. 4–6).
+//!
+//! A [`Machine`] is the static definition `⟨Q, q_init, Σ, Λ, δ, μ, θ⟩`; a
+//! [`Config`] is the runtime configuration `κ⟨q, τ_done, Θ⟩`. The semantics
+//! of Fig. 6 are implemented by [`Machine::step`] (Transition relation),
+//! [`Machine::dispatch`] (Dispatch relation), and [`Machine::trace`] (Trace
+//! relation).
+
+use crate::error::{DefinitionError, Time, TimingViolation, ViolationKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a state within a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub usize);
+
+/// Index of an input symbol within a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InputId(pub usize);
+
+/// Index of an output symbol within a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputId(pub usize);
+
+/// A single edge in a cell definition, mirroring the dictionary entries of
+/// the paper's Figure 8.
+///
+/// `trigger` and `firing` accept comma-separated lists (`"a,b"`), mirroring
+/// PyLSE's `'trigger': ['a', 'b']` shorthand: such an entry expands into one
+/// transition per trigger. `past_constraints` pairs an input name (or `"*"`
+/// for *any* input) with the minimum allowed distance since that input was
+/// last seen.
+///
+/// ```
+/// use rlse_core::machine::EdgeDef;
+/// let e = EdgeDef {
+///     src: "idle",
+///     trigger: "clk",
+///     dst: "idle",
+///     transition_time: 3.0,
+///     past_constraints: &[("*", 2.8)],
+///     ..EdgeDef::default()
+/// };
+/// assert_eq!(e.triggers().collect::<Vec<_>>(), ["clk"]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeDef<'a> {
+    /// Source state name.
+    pub src: &'a str,
+    /// Triggering input name(s), comma separated.
+    pub trigger: &'a str,
+    /// Destination state name.
+    pub dst: &'a str,
+    /// Explicit priority; lower wins. Defaults to the edge's position in the
+    /// declaration list, so earlier edges out of the same state win ties
+    /// (paper §4.1).
+    pub priority: Option<u32>,
+    /// Time `τ_tran` for the transition to complete; receiving any input
+    /// before it completes is illegal. Models hold time.
+    pub transition_time: f64,
+    /// Output name(s) fired by this transition, comma separated; empty fires
+    /// nothing. Each fired output appears `firing_delay` later unless
+    /// overridden in `firing_delays`.
+    pub firing: &'a str,
+    /// Per-output firing-delay overrides for this edge.
+    pub firing_delays: &'a [(&'a str, f64)],
+    /// Past constraints `θ`: it is an error to take this edge if the named
+    /// input (or any input, for `"*"`) was seen less than the paired distance
+    /// ago. Models setup time.
+    pub past_constraints: &'a [(&'a str, f64)],
+}
+
+impl Default for EdgeDef<'_> {
+    fn default() -> Self {
+        EdgeDef {
+            src: "",
+            trigger: "",
+            dst: "",
+            priority: None,
+            transition_time: 0.0,
+            firing: "",
+            firing_delays: &[],
+            past_constraints: &[],
+        }
+    }
+}
+
+fn split_list(s: &str) -> impl Iterator<Item = &str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty())
+}
+
+impl<'a> EdgeDef<'a> {
+    /// Iterate over the individual trigger names of this (possibly
+    /// multi-trigger) edge definition.
+    pub fn triggers(&self) -> impl Iterator<Item = &'a str> {
+        split_list(self.trigger)
+    }
+
+    /// Iterate over the individual fired output names.
+    pub fn firings(&self) -> impl Iterator<Item = &'a str> {
+        split_list(self.firing)
+    }
+}
+
+/// A fully elaborated transition of a [`Machine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Position in the machine's transition list (used in diagnostics).
+    pub id: usize,
+    /// Index of the [`EdgeDef`] this transition was expanded from.
+    pub def_index: usize,
+    /// Source state.
+    pub src: StateId,
+    /// Triggering input.
+    pub trigger: InputId,
+    /// Destination state.
+    pub dst: StateId,
+    /// Priority among simultaneous triggers leaving `src`; lower wins.
+    pub priority: u32,
+    /// `τ_tran`: time for the transition to complete.
+    pub transition_time: Time,
+    /// Fired outputs with their firing delays `τ_fire` (already resolved
+    /// against the machine default).
+    pub firing: Vec<(OutputId, Time)>,
+    /// Past constraints: `(input, τ_dist)` pairs, with `"*"` expanded.
+    pub past_constraints: Vec<(InputId, Time)>,
+}
+
+/// A PyLSE Machine: the static definition of one SCE cell type.
+///
+/// Construct with [`Machine::new`], which validates the definition per the
+/// paper's §4.2 checks (recognized names, `idle` start state, full
+/// specification, at least one firing transition).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    states: Vec<String>,
+    start: StateId,
+    transitions: Vec<Transition>,
+    /// Lookup table: `state.0 * inputs.len() + input.0` → transition index.
+    table: Vec<usize>,
+    firing_delay: Time,
+    jjs: u32,
+    setup_time: Time,
+    hold_time: Time,
+}
+
+impl Machine {
+    /// Build and validate a machine.
+    ///
+    /// `firing_delay` is the default `τ_fire` for fired outputs; `jjs` is the
+    /// Josephson-junction count (an area metric carried along for reporting).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DefinitionError`] if the definition is ill-formed: unknown
+    /// names, missing `idle` state, duplicate or missing `(state, input)`
+    /// transitions, no firing transition, or invalid numeric values.
+    pub fn new(
+        name: &str,
+        inputs: &[&str],
+        outputs: &[&str],
+        firing_delay: f64,
+        jjs: u32,
+        edges: &[EdgeDef<'_>],
+    ) -> Result<Arc<Self>, DefinitionError> {
+        let err_name = || name.to_string();
+        if inputs.is_empty() || outputs.is_empty() {
+            return Err(DefinitionError::NoPorts { machine: err_name() });
+        }
+        if !(firing_delay.is_finite() && firing_delay >= 0.0) {
+            return Err(DefinitionError::BadNumericValue {
+                machine: err_name(),
+                field: "firing_delay".into(),
+                value: firing_delay,
+            });
+        }
+
+        // Intern ports, checking for duplicates across both lists.
+        let mut seen = std::collections::HashSet::new();
+        for p in inputs.iter().chain(outputs.iter()) {
+            if !seen.insert(*p) {
+                return Err(DefinitionError::DuplicateName {
+                    machine: err_name(),
+                    name: (*p).into(),
+                });
+            }
+        }
+        let inputs: Vec<String> = inputs.iter().map(|s| s.to_string()).collect();
+        let outputs: Vec<String> = outputs.iter().map(|s| s.to_string()).collect();
+        let input_id = |n: &str| inputs.iter().position(|x| x == n).map(InputId);
+        let output_id = |n: &str| outputs.iter().position(|x| x == n).map(OutputId);
+
+        // Collect states from edge endpoints, in order of first mention, with
+        // `idle` forced to be present.
+        let mut states: Vec<String> = Vec::new();
+        let state_id = |states: &mut Vec<String>, n: &str| -> StateId {
+            if let Some(i) = states.iter().position(|x| x == n) {
+                StateId(i)
+            } else {
+                states.push(n.to_string());
+                StateId(states.len() - 1)
+            }
+        };
+        let mut transitions: Vec<Transition> = Vec::new();
+        for (def_index, e) in edges.iter().enumerate() {
+            let src = state_id(&mut states, e.src);
+            let dst = state_id(&mut states, e.dst);
+            if !(e.transition_time.is_finite() && e.transition_time >= 0.0) {
+                return Err(DefinitionError::BadNumericValue {
+                    machine: err_name(),
+                    field: format!("transition_time (edge {def_index})"),
+                    value: e.transition_time,
+                });
+            }
+            let mut firing = Vec::new();
+            for o in e.firings() {
+                let oid = output_id(o).ok_or_else(|| DefinitionError::UnknownOutput {
+                    machine: err_name(),
+                    output: o.into(),
+                })?;
+                let delay = e
+                    .firing_delays
+                    .iter()
+                    .find(|(n, _)| *n == o)
+                    .map(|(_, d)| *d)
+                    .unwrap_or(firing_delay);
+                if !(delay.is_finite() && delay >= 0.0) {
+                    return Err(DefinitionError::BadNumericValue {
+                        machine: err_name(),
+                        field: format!("firing_delay for '{o}' (edge {def_index})"),
+                        value: delay,
+                    });
+                }
+                firing.push((oid, delay));
+            }
+            let mut past_constraints = Vec::new();
+            for (cin, dist) in e.past_constraints {
+                if !(dist.is_finite() && *dist >= 0.0) {
+                    return Err(DefinitionError::BadNumericValue {
+                        machine: err_name(),
+                        field: format!("past_constraint '{cin}' (edge {def_index})"),
+                        value: *dist,
+                    });
+                }
+                if *cin == "*" {
+                    for i in 0..inputs.len() {
+                        past_constraints.push((InputId(i), *dist));
+                    }
+                } else {
+                    let iid =
+                        input_id(cin).ok_or_else(|| DefinitionError::UnknownConstraintInput {
+                            machine: err_name(),
+                            input: (*cin).into(),
+                        })?;
+                    past_constraints.push((iid, *dist));
+                }
+            }
+            let mut any_trigger = false;
+            for t in e.triggers() {
+                any_trigger = true;
+                let trigger = input_id(t).ok_or_else(|| DefinitionError::UnknownTrigger {
+                    machine: err_name(),
+                    trigger: t.into(),
+                })?;
+                transitions.push(Transition {
+                    id: transitions.len(),
+                    def_index,
+                    src,
+                    trigger,
+                    dst,
+                    priority: e.priority.unwrap_or(def_index as u32),
+                    transition_time: e.transition_time,
+                    firing: firing.clone(),
+                    past_constraints: past_constraints.clone(),
+                });
+            }
+            if !any_trigger {
+                return Err(DefinitionError::UnknownTrigger {
+                    machine: err_name(),
+                    trigger: e.trigger.into(),
+                });
+            }
+        }
+
+        let start = states
+            .iter()
+            .position(|s| s == "idle")
+            .map(StateId)
+            .ok_or_else(|| DefinitionError::MissingIdleState { machine: err_name() })?;
+
+        // Full specification: every (state, input) has exactly one transition.
+        let n_in = inputs.len();
+        let mut table = vec![usize::MAX; states.len() * n_in];
+        for t in &transitions {
+            let slot = &mut table[t.src.0 * n_in + t.trigger.0];
+            if *slot != usize::MAX {
+                return Err(DefinitionError::ConflictingTransitions {
+                    machine: err_name(),
+                    state: states[t.src.0].clone(),
+                    input: inputs[t.trigger.0].clone(),
+                });
+            }
+            *slot = t.id;
+        }
+        for (si, s) in states.iter().enumerate() {
+            for (ii, i) in inputs.iter().enumerate() {
+                if table[si * n_in + ii] == usize::MAX {
+                    return Err(DefinitionError::IncompleteSpecification {
+                        machine: err_name(),
+                        state: s.clone(),
+                        input: i.clone(),
+                    });
+                }
+            }
+        }
+        if !transitions.iter().any(|t| !t.firing.is_empty()) {
+            return Err(DefinitionError::NoFiringTransition { machine: err_name() });
+        }
+
+        Ok(Arc::new(Machine {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            states,
+            start,
+            transitions,
+            table,
+            firing_delay,
+            jjs,
+            setup_time: 0.0,
+            hold_time: 0.0,
+        }))
+    }
+
+    /// Record the nominal setup/hold times used by this cell's constraints
+    /// (informational; the actual constraints live on the transitions).
+    pub fn with_setup_hold(self: Arc<Self>, setup: Time, hold: Time) -> Arc<Self> {
+        let mut m = (*self).clone();
+        m.setup_time = setup;
+        m.hold_time = hold;
+        Arc::new(m)
+    }
+
+    /// A copy of this machine with every firing delay replaced by `delay`
+    /// (the per-instance `firing_delay=` override of paper §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn with_firing_delay(&self, delay: Time) -> Arc<Self> {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "firing delay must be finite and non-negative"
+        );
+        let mut m = self.clone();
+        m.firing_delay = delay;
+        for t in &mut m.transitions {
+            for (_, d) in &mut t.firing {
+                *d = delay;
+            }
+        }
+        Arc::new(m)
+    }
+
+    /// A copy of this machine with every *nonzero* transition time replaced
+    /// by `time`. Zero-time transitions (instantaneous bookkeeping moves)
+    /// are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is negative or not finite.
+    pub fn with_transition_time(&self, time: Time) -> Arc<Self> {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "transition time must be finite and non-negative"
+        );
+        let mut m = self.clone();
+        for t in &mut m.transitions {
+            if t.transition_time > 0.0 {
+                t.transition_time = time;
+            }
+        }
+        Arc::new(m)
+    }
+
+    /// The machine's name, e.g. `"AND"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// Input symbol names `Σ`.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+    /// Output symbol names `Λ`.
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+    /// State names `Q`.
+    pub fn states(&self) -> &[String] {
+        &self.states
+    }
+    /// The initial state `q_init` (always named `idle`).
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+    /// All elaborated transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+    /// Default firing delay `τ_fire`.
+    pub fn firing_delay(&self) -> Time {
+        self.firing_delay
+    }
+    /// Josephson-junction count (area metric).
+    pub fn jjs(&self) -> u32 {
+        self.jjs
+    }
+
+    /// Number of declarative [`EdgeDef`] entries this machine was built from
+    /// — the paper's "size" metric for basic cells (multi-trigger entries
+    /// count once even though they expand to several transitions).
+    pub fn definition_size(&self) -> usize {
+        self.transitions
+            .iter()
+            .map(|t| t.def_index)
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+    /// Nominal setup time, if recorded.
+    pub fn setup_time(&self) -> Time {
+        self.setup_time
+    }
+    /// Nominal hold time, if recorded.
+    pub fn hold_time(&self) -> Time {
+        self.hold_time
+    }
+
+    /// Look up an input id by name.
+    pub fn input_id(&self, name: &str) -> Option<InputId> {
+        self.inputs.iter().position(|x| x == name).map(InputId)
+    }
+    /// Look up an output id by name.
+    pub fn output_id(&self, name: &str) -> Option<OutputId> {
+        self.outputs.iter().position(|x| x == name).map(OutputId)
+    }
+    /// Look up a state id by name.
+    pub fn state_id(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|x| x == name).map(StateId)
+    }
+
+    /// `δ(q, σ)`: the unique transition out of `q` on `σ`.
+    pub fn transition_for(&self, q: StateId, sigma: InputId) -> &Transition {
+        &self.transitions[self.table[q.0 * self.inputs.len() + sigma.0]]
+    }
+
+    /// The initial configuration `κ_init = ⟨q_init, 0, {σ ↦ -∞}⟩`.
+    pub fn initial_config(&self) -> Config {
+        Config {
+            state: self.start,
+            tau_done: 0.0,
+            theta: vec![f64::NEG_INFINITY; self.inputs.len()],
+        }
+    }
+
+    /// The Transition relation (Fig. 6): deliver input `sigma` at `tau_arr`.
+    ///
+    /// Returns the successor configuration and the absolute-time outputs
+    /// fired, or the violation that sends the machine to `q_err`.
+    ///
+    /// # Errors
+    ///
+    /// * `Error-κ Tran` if `tau_arr < tau_done` (arrived during a transition).
+    /// * `Error-κ Cons` if some constrained input was seen less than
+    ///   `τ_dist` ago.
+    pub fn step(
+        &self,
+        cfg: &Config,
+        sigma: InputId,
+        tau_arr: Time,
+    ) -> Result<(Config, Vec<(OutputId, Time)>), TimingViolation> {
+        let t = self.transition_for(cfg.state, sigma);
+        let violation = |kind| TimingViolation {
+            machine: self.name.clone(),
+            node_wire: String::new(),
+            transition: t.id,
+            inputs: vec![self.inputs[sigma.0].clone()],
+            tau_arr,
+            kind,
+        };
+        if tau_arr < cfg.tau_done {
+            return Err(violation(ViolationKind::TransitionTime {
+                tau_done: cfg.tau_done,
+            }));
+        }
+        for &(cin, dist) in &t.past_constraints {
+            let last = cfg.theta[cin.0];
+            if tau_arr < last + dist {
+                return Err(violation(ViolationKind::PastConstraint {
+                    constrained: self.inputs[cin.0].clone(),
+                    required: dist,
+                    last_seen: last,
+                }));
+            }
+        }
+        let mut next = cfg.clone();
+        next.state = t.dst;
+        next.tau_done = tau_arr + t.transition_time;
+        next.theta[sigma.0] = tau_arr;
+        let outputs = t
+            .firing
+            .iter()
+            .map(|&(o, d)| (o, tau_arr + d))
+            .collect();
+        Ok((next, outputs))
+    }
+
+    /// The Dispatch relation (Fig. 6): deliver a set of simultaneous inputs
+    /// at `tau_arr`, handling them in priority order (lowest priority number
+    /// first; ties broken by input index, a deterministic refinement of the
+    /// paper's nondeterministic choice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first timing violation encountered. Note that if the
+    /// first handled transition has a nonzero transition time, any remaining
+    /// simultaneous input is itself a transition-time violation, exactly as
+    /// the formal semantics prescribe.
+    pub fn dispatch(
+        &self,
+        cfg: &Config,
+        sigmas: &[InputId],
+        tau_arr: Time,
+    ) -> Result<(Config, Vec<(OutputId, Time)>), TimingViolation> {
+        let mut rest: Vec<InputId> = sigmas.to_vec();
+        let mut cur = cfg.clone();
+        let mut outs = Vec::new();
+        while !rest.is_empty() {
+            // argmin over priorities of δ(q_curr, σ').
+            let (pos, _) = rest
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| {
+                    let t = self.transition_for(cur.state, **s);
+                    (t.priority, s.0)
+                })
+                .expect("nonempty");
+            let sigma = rest.remove(pos);
+            let (next, fired) = self.step(&cur, sigma, tau_arr).map_err(|mut v| {
+                v.inputs = sigmas.iter().map(|s| self.inputs[s.0].clone()).collect();
+                v
+            })?;
+            cur = next;
+            outs.extend(fired);
+        }
+        Ok((cur, outs))
+    }
+
+    /// The Trace relation (Fig. 6): run a whole schedule of time-tagged input
+    /// batches through the machine, returning every output fired.
+    ///
+    /// `schedule` maps arrival times to the set of inputs arriving then; it
+    /// is processed in time order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at, and returns, the first timing violation.
+    pub fn trace(
+        &self,
+        schedule: &BTreeMap<TimeKey, Vec<InputId>>,
+    ) -> Result<Vec<(OutputId, Time)>, TimingViolation> {
+        let mut cfg = self.initial_config();
+        let mut outs = Vec::new();
+        for (tk, sigmas) in schedule {
+            let (next, fired) = self.dispatch(&cfg, sigmas, tk.time())?;
+            cfg = next;
+            outs.extend(fired);
+        }
+        outs.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        Ok(outs)
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FSM '{}' ({} states, {} transitions, {} JJs)",
+            self.name,
+            self.states.len(),
+            self.transitions.len(),
+            self.jjs
+        )
+    }
+}
+
+/// A totally ordered wrapper over `f64` time for use as a map key.
+///
+/// Times in RLSE are finite (input schedules reject NaN), so `total_cmp`
+/// gives the ordering one expects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeKey(f64);
+
+impl TimeKey {
+    /// Wrap a finite time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "time must not be NaN");
+        TimeKey(t)
+    }
+    /// The wrapped time.
+    pub fn time(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TimeKey {}
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A machine configuration `κ⟨q, τ_done, Θ⟩` (paper §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Current state `q`.
+    pub state: StateId,
+    /// End of the unstable period: inputs arriving strictly before this are
+    /// transition-time violations.
+    pub tau_done: Time,
+    /// `Θ`: for each input, the last time it was seen (`-∞` if never).
+    pub theta: Vec<Time>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Synchronous And Element of the paper's Figure 8.
+    pub fn sync_and() -> Arc<Machine> {
+        const SETUP: f64 = 2.8;
+        const HOLD: f64 = 3.0;
+        let pc: &[(&str, f64)] = &[("*", SETUP)];
+        Machine::new(
+            "AND",
+            &["a", "b", "clk"],
+            &["q"],
+            9.2,
+            11,
+            &[
+                EdgeDef {
+                    src: "idle",
+                    trigger: "clk",
+                    dst: "idle",
+                    transition_time: HOLD,
+                    past_constraints: pc,
+                    ..Default::default()
+                },
+                EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..Default::default() },
+                EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..Default::default() },
+                EdgeDef { src: "a_arr", trigger: "b", dst: "ab_arr", ..Default::default() },
+                EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..Default::default() },
+                EdgeDef {
+                    src: "a_arr",
+                    trigger: "clk",
+                    dst: "idle",
+                    transition_time: HOLD,
+                    past_constraints: pc,
+                    ..Default::default()
+                },
+                EdgeDef { src: "b_arr", trigger: "a", dst: "ab_arr", ..Default::default() },
+                EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..Default::default() },
+                EdgeDef {
+                    src: "b_arr",
+                    trigger: "clk",
+                    dst: "idle",
+                    transition_time: HOLD,
+                    past_constraints: pc,
+                    ..Default::default()
+                },
+                EdgeDef {
+                    src: "ab_arr",
+                    trigger: "clk",
+                    dst: "idle",
+                    transition_time: HOLD,
+                    firing: "q",
+                    past_constraints: pc,
+                    ..Default::default()
+                },
+                EdgeDef { src: "ab_arr", trigger: "a,b", dst: "ab_arr", ..Default::default() },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn and_shape_matches_table3() {
+        let m = sync_and();
+        assert_eq!(m.states().len(), 4);
+        assert_eq!(m.transitions().len(), 12);
+        assert_eq!(m.inputs().len(), 3);
+        assert_eq!(m.jjs(), 11);
+        assert_eq!(m.states()[m.start().0], "idle");
+    }
+
+    #[test]
+    fn and_fires_after_both_inputs() {
+        let m = sync_and();
+        let a = m.input_id("a").unwrap();
+        let b = m.input_id("b").unwrap();
+        let clk = m.input_id("clk").unwrap();
+        let mut cfg = m.initial_config();
+        let (c1, o1) = m.step(&cfg, a, 10.0).unwrap();
+        assert!(o1.is_empty());
+        let (c2, o2) = m.step(&c1, b, 20.0).unwrap();
+        assert!(o2.is_empty());
+        let (c3, o3) = m.step(&c2, clk, 50.0).unwrap();
+        assert_eq!(o3, vec![(OutputId(0), 59.2)]);
+        assert_eq!(c3.state, m.start());
+        cfg = c3;
+        // Next period with only `a`: no output.
+        let (c4, _) = m.step(&cfg, a, 70.0).unwrap();
+        let (_, o5) = m.step(&c4, clk, 100.0).unwrap();
+        assert!(o5.is_empty());
+    }
+
+    #[test]
+    fn hold_time_violation_is_detected() {
+        let m = sync_and();
+        let a = m.input_id("a").unwrap();
+        let clk = m.input_id("clk").unwrap();
+        let cfg = m.initial_config();
+        // clk at 50 starts a 3.0 transition; `a` at 51 arrives during it.
+        let (c1, _) = m.step(&cfg, clk, 50.0).unwrap();
+        let err = m.step(&c1, a, 51.0).unwrap_err();
+        match err.kind {
+            ViolationKind::TransitionTime { tau_done } => assert_eq!(tau_done, 53.0),
+            k => panic!("expected transition-time violation, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn setup_time_violation_is_detected() {
+        let m = sync_and();
+        let b = m.input_id("b").unwrap();
+        let clk = m.input_id("clk").unwrap();
+        let cfg = m.initial_config();
+        // b at 99, clk at 100: violates the 2.8 setup distance (Fig. 13).
+        let (c1, _) = m.step(&cfg, b, 99.0).unwrap();
+        let err = m.step(&c1, clk, 100.0).unwrap_err();
+        match err.kind {
+            ViolationKind::PastConstraint { constrained, required, last_seen } => {
+                assert_eq!(constrained, "b");
+                assert_eq!(required, 2.8);
+                assert_eq!(last_seen, 99.0);
+            }
+            k => panic!("expected past-constraint violation, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn dispatch_prefers_lower_priority_number() {
+        let m = sync_and();
+        let a = m.input_id("a").unwrap();
+        let clk = m.input_id("clk").unwrap();
+        // From idle, clk (edge 0) has priority over a (edge 1). Handling clk
+        // first starts a 3.0 transition, so the simultaneous `a` errors —
+        // matching the formal semantics.
+        let cfg = m.initial_config();
+        let err = m.dispatch(&cfg, &[a, clk], 50.0).unwrap_err();
+        assert!(matches!(err.kind, ViolationKind::TransitionTime { .. }));
+        // Whereas from ab_arr, a,b simultaneous self-loops are both zero-time.
+        let b = m.input_id("b").unwrap();
+        let (c1, _) = m.step(&cfg, a, 10.0).unwrap();
+        let (c2, _) = m.step(&c1, b, 11.0).unwrap();
+        let (c3, outs) = m.dispatch(&c2, &[a, b], 20.0).unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(m.states()[c3.state.0], "ab_arr");
+    }
+
+    #[test]
+    fn trace_runs_a_whole_schedule() {
+        let m = sync_and();
+        let a = m.input_id("a").unwrap();
+        let b = m.input_id("b").unwrap();
+        let clk = m.input_id("clk").unwrap();
+        let mut sched = BTreeMap::new();
+        sched.insert(TimeKey::new(10.0), vec![a]);
+        sched.insert(TimeKey::new(20.0), vec![b]);
+        sched.insert(TimeKey::new(50.0), vec![clk]);
+        sched.insert(TimeKey::new(60.0), vec![a]);
+        sched.insert(TimeKey::new(100.0), vec![clk]);
+        let outs = m.trace(&sched).unwrap();
+        assert_eq!(outs, vec![(OutputId(0), 59.2)]);
+    }
+
+    #[test]
+    fn incomplete_specification_is_rejected() {
+        let err = Machine::new(
+            "BAD",
+            &["a", "b"],
+            &["q"],
+            1.0,
+            1,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DefinitionError::IncompleteSpecification { .. }));
+    }
+
+    #[test]
+    fn missing_idle_is_rejected() {
+        let err = Machine::new(
+            "BAD",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef { src: "s0", trigger: "a", dst: "s0", firing: "q", ..Default::default() }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DefinitionError::MissingIdleState { .. }));
+    }
+
+    #[test]
+    fn conflicting_transitions_are_rejected() {
+        let err = Machine::new(
+            "BAD",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() },
+                EdgeDef { src: "idle", trigger: "a", dst: "idle", ..Default::default() },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DefinitionError::ConflictingTransitions { .. }));
+    }
+
+    #[test]
+    fn no_firing_transition_is_rejected() {
+        let err = Machine::new(
+            "BAD",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef { src: "idle", trigger: "a", dst: "idle", ..Default::default() }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, DefinitionError::NoFiringTransition { .. }));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(matches!(
+            Machine::new("B", &["a"], &["q"], 1.0, 1, &[EdgeDef {
+                src: "idle", trigger: "zz", dst: "idle", firing: "q", ..Default::default()
+            }]),
+            Err(DefinitionError::UnknownTrigger { .. })
+        ));
+        assert!(matches!(
+            Machine::new("B", &["a"], &["q"], 1.0, 1, &[EdgeDef {
+                src: "idle", trigger: "a", dst: "idle", firing: "zz", ..Default::default()
+            }]),
+            Err(DefinitionError::UnknownOutput { .. })
+        ));
+        assert!(matches!(
+            Machine::new("B", &["a"], &["q"], 1.0, 1, &[EdgeDef {
+                src: "idle", trigger: "a", dst: "idle", firing: "q",
+                past_constraints: &[("zz", 1.0)], ..Default::default()
+            }]),
+            Err(DefinitionError::UnknownConstraintInput { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_values_are_rejected() {
+        assert!(matches!(
+            Machine::new("B", &["a"], &["q"], -1.0, 1, &[]),
+            Err(DefinitionError::BadNumericValue { .. })
+        ));
+        assert!(matches!(
+            Machine::new("B", &["a"], &["q"], 1.0, 1, &[EdgeDef {
+                src: "idle", trigger: "a", dst: "idle", firing: "q",
+                transition_time: -2.0, ..Default::default()
+            }]),
+            Err(DefinitionError::BadNumericValue { .. })
+        ));
+    }
+
+    #[test]
+    fn star_constraint_expands_to_all_inputs() {
+        let m = sync_and();
+        let t = &m.transitions()[0];
+        assert_eq!(t.past_constraints.len(), 3);
+    }
+
+    #[test]
+    fn per_output_firing_delay_overrides() {
+        let m = Machine::new(
+            "SPLIT",
+            &["a"],
+            &["l", "r"],
+            5.0,
+            3,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "l,r",
+                firing_delays: &[("r", 7.5)],
+                ..Default::default()
+            }],
+        )
+        .unwrap();
+        let cfg = m.initial_config();
+        let (_, outs) = m.step(&cfg, InputId(0), 10.0).unwrap();
+        assert_eq!(outs, vec![(OutputId(0), 15.0), (OutputId(1), 17.5)]);
+    }
+
+    #[test]
+    fn with_firing_delay_rewrites_every_output() {
+        let m = sync_and();
+        let m2 = m.with_firing_delay(4.0);
+        assert_eq!(m2.firing_delay(), 4.0);
+        let clk = m2.input_id("clk").unwrap();
+        let a = m2.input_id("a").unwrap();
+        let b = m2.input_id("b").unwrap();
+        let cfg = m2.initial_config();
+        let (c1, _) = m2.step(&cfg, a, 10.0).unwrap();
+        let (c2, _) = m2.step(&c1, b, 20.0).unwrap();
+        let (_, outs) = m2.step(&c2, clk, 50.0).unwrap();
+        assert_eq!(outs, vec![(OutputId(0), 54.0)]);
+        // The original machine is untouched.
+        assert_eq!(m.firing_delay(), 9.2);
+    }
+
+    #[test]
+    fn with_transition_time_only_touches_nonzero_edges() {
+        let m = sync_and().with_transition_time(5.0);
+        for t in m.transitions() {
+            // Data edges stay instantaneous; clk edges became 5.0.
+            assert!(t.transition_time == 0.0 || t.transition_time == 5.0);
+        }
+        assert!(m
+            .transitions()
+            .iter()
+            .any(|t| t.transition_time == 5.0));
+    }
+
+    #[test]
+    fn definition_size_counts_multi_trigger_entries_once() {
+        let m = sync_and();
+        assert_eq!(m.definition_size(), 11);
+        assert_eq!(m.transitions().len(), 12);
+    }
+
+    #[test]
+    fn theta_tracks_last_seen() {
+        let m = sync_and();
+        let a = m.input_id("a").unwrap();
+        let cfg = m.initial_config();
+        assert_eq!(cfg.theta[a.0], f64::NEG_INFINITY);
+        let (c1, _) = m.step(&cfg, a, 42.0).unwrap();
+        assert_eq!(c1.theta[a.0], 42.0);
+    }
+}

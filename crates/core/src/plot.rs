@@ -1,0 +1,143 @@
+//! Text waveform rendering (stands in for the paper's matplotlib plots,
+//! e.g. Fig. 10, 12b, 16a–c).
+//!
+//! Each named wire is drawn as one row with `|` marks at pulse instants:
+//!
+//! ```text
+//! A   |····|···|····|···
+//! CLK ··|····|····|····|
+//! ```
+
+use crate::error::Time;
+use crate::events::Events;
+
+/// Options for [`render`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlotOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Explicit time range; defaults to `[0, max pulse time + 5%]`.
+    pub range: Option<(Time, Time)>,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            width: 100,
+            range: None,
+        }
+    }
+}
+
+/// Render the events as an ASCII waveform, one row per named wire, plus a
+/// time-axis footer.
+pub fn render(events: &Events, opts: PlotOptions) -> String {
+    let (t0, t1) = opts.range.unwrap_or_else(|| {
+        let max = events
+            .iter()
+            .flat_map(|(_, ts)| ts.iter().copied())
+            .fold(0.0_f64, f64::max);
+        (0.0, if max > 0.0 { max * 1.05 } else { 1.0 })
+    });
+    let span = (t1 - t0).max(f64::MIN_POSITIVE);
+    let width = opts.width.max(10);
+    let name_w = events
+        .names()
+        .map(str::len)
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let mut out = String::new();
+    for (name, times) in events.iter() {
+        let mut row = vec!['·'; width];
+        for &t in times {
+            if t < t0 || t > t1 {
+                continue;
+            }
+            let col = (((t - t0) / span) * (width - 1) as f64).round() as usize;
+            row[col.min(width - 1)] = '|';
+        }
+        out.push_str(&format!("{name:<name_w$} "));
+        out.extend(row);
+        out.push('\n');
+    }
+    // Axis with ~5 tick labels.
+    let mut axis = vec![' '; width];
+    let mut labels = String::new();
+    let ticks = 5usize;
+    for i in 0..=ticks {
+        let col = i * (width - 1) / ticks;
+        axis[col] = '+';
+        let t = t0 + span * i as f64 / ticks as f64;
+        let lbl = format!("{t:.0}");
+        let pos = name_w + 1 + col;
+        while labels.len() < pos {
+            labels.push(' ');
+        }
+        labels.push_str(&lbl);
+    }
+    out.push_str(&format!("{:<name_w$} ", ""));
+    out.extend(axis);
+    out.push('\n');
+    out.push_str(&labels);
+    out.push('\n');
+    out
+}
+
+/// Render with default options.
+pub fn render_default(events: &Events) -> String {
+    render(events, PlotOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn render_marks_pulses() {
+        let mut m = BTreeMap::new();
+        m.insert("A".to_string(), vec![0.0, 50.0, 100.0]);
+        m.insert("LONGNAME".to_string(), vec![100.0]);
+        let e = Events::from_map(m);
+        let s = render(
+            &e,
+            PlotOptions {
+                width: 101,
+                range: Some((0.0, 100.0)),
+            },
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("A"));
+        // Pulses at columns 0, 50, 100 of the plot area.
+        let plot = &lines[0][9..]; // "LONGNAME" = 8 chars + 1 space
+        assert_eq!(plot.chars().next(), Some('|'));
+        assert_eq!(plot.chars().nth(50), Some('|'));
+        assert_eq!(plot.chars().nth(100), Some('|'));
+        assert!(lines[1].starts_with("LONGNAME"));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn render_handles_empty_events() {
+        let e = Events::from_map(BTreeMap::new());
+        let s = render_default(&e);
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn out_of_range_pulses_are_skipped() {
+        let mut m = BTreeMap::new();
+        m.insert("A".to_string(), vec![500.0]);
+        let e = Events::from_map(m);
+        let s = render(
+            &e,
+            PlotOptions {
+                width: 20,
+                range: Some((0.0, 100.0)),
+            },
+        );
+        assert!(!s.lines().next().unwrap().contains('|'));
+    }
+}

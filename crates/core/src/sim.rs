@@ -1,0 +1,606 @@
+//! The discrete-event pulse simulator (paper §4.3).
+//!
+//! The simulator maintains a priority heap of pending pulses tagged with
+//! their destination cells. Pulses are extracted in time order, grouped into
+//! the earliest set of simultaneous pulses destined for the same cell
+//! (`getSimPulses` from Fig. 6), and dispatched through that cell's PyLSE
+//! Machine; newly fired pulses are pushed back onto the heap until it is
+//! empty or the user-defined target time is reached.
+
+use crate::circuit::{Circuit, NodeId, NodeKind};
+use crate::error::{Error, HoleError, Time};
+use crate::events::Events;
+use crate::machine::{Config, InputId};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// Per-firing propagation-delay variability (paper §5.2).
+///
+/// With variability enabled, every individual propagation delay that occurs
+/// during the simulation has a small amount of jitter added to it.
+pub enum Variability {
+    /// Add zero-mean Gaussian noise with the given standard deviation (in
+    /// time units) to every firing delay. This is the paper's default.
+    Gaussian {
+        /// Standard deviation of the added jitter.
+        std: f64,
+    },
+    /// Gaussian noise with a per-cell-type standard deviation; cell types not
+    /// in the map get no jitter.
+    PerCellType(std::collections::HashMap<String, f64>),
+    /// A user-defined function from `(nominal_delay, cell_name, rng)` to the
+    /// actual delay, for fine-grained control.
+    Custom(Box<dyn FnMut(Time, &str, &mut dyn RngCore) -> Time + Send>),
+}
+
+impl Variability {
+    /// The paper's default jitter: Gaussian with σ = 0.2 ps.
+    pub fn default_gaussian() -> Self {
+        Variability::Gaussian { std: 0.2 }
+    }
+
+    fn apply(&mut self, delay: Time, cell: &str, rng: &mut StdRng) -> Time {
+        let jittered = match self {
+            Variability::Gaussian { std } => delay + *std * gaussian(rng),
+            Variability::PerCellType(map) => match map.get(cell) {
+                Some(std) => delay + *std * gaussian(rng),
+                None => delay,
+            },
+            Variability::Custom(f) => f(delay, cell, rng),
+        };
+        jittered.max(0.0)
+    }
+}
+
+impl std::fmt::Debug for Variability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variability::Gaussian { std } => f.debug_struct("Gaussian").field("std", std).finish(),
+            Variability::PerCellType(m) => f.debug_tuple("PerCellType").field(m).finish(),
+            Variability::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// Standard-normal sample via the Box–Muller transform.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// One dispatched batch in a simulation trace (see
+/// [`Simulation::with_trace`]): which cell received which simultaneous
+/// inputs at what time, the state movement, and the pulses fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Arrival time of the batch.
+    pub time: Time,
+    /// Name of the receiving node's first output wire (the paper's node id).
+    pub node_wire: String,
+    /// Cell type name (machine name or hole name).
+    pub cell: String,
+    /// Input port names that pulsed in this batch.
+    pub inputs: Vec<String>,
+    /// Machine state before the batch (empty for holes).
+    pub state_before: String,
+    /// Machine state after the batch (empty for holes).
+    pub state_after: String,
+    /// Output pulses fired: `(output name, absolute time)`.
+    pub fired: Vec<(String, Time)>,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t={:<8} {:<12} {:<8} in={:?}",
+            self.time, self.node_wire, self.cell, self.inputs
+        )?;
+        if !self.state_before.is_empty() {
+            write!(f, " {} -> {}", self.state_before, self.state_after)?;
+        }
+        if !self.fired.is_empty() {
+            write!(f, " fires {:?}", self.fired)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pulse {
+    time: Time,
+    node: usize,
+    port: usize,
+    seq: u64,
+}
+
+impl Eq for Pulse {}
+impl Ord for Pulse {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap on (time, node, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.node.cmp(&self.node))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Pulse {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A configured simulation of one [`Circuit`].
+///
+/// ```
+/// use rlse_core::prelude::*;
+/// use rlse_core::machine::{EdgeDef, Machine};
+///
+/// # fn main() -> Result<(), rlse_core::Error> {
+/// let jtl = Machine::new("JTL", &["a"], &["q"], 5.0, 2, &[EdgeDef {
+///     src: "idle", trigger: "a", dst: "idle", firing: "q", ..EdgeDef::default()
+/// }])?;
+/// let mut c = Circuit::new();
+/// let a = c.inp_at(&[10.0, 20.0], "A");
+/// let q = c.add_machine(&jtl, &[a])?[0];
+/// c.inspect(q, "Q");
+/// let events = Simulation::new(c).run()?;
+/// assert_eq!(events.times("Q"), &[15.0, 25.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    circuit: Circuit,
+    until: Option<Time>,
+    variability: Option<Variability>,
+    seed: u64,
+    trace_enabled: bool,
+    trace: Vec<TraceEntry>,
+}
+
+impl Simulation {
+    /// Create a simulation over `circuit` with no target time and no
+    /// variability.
+    pub fn new(circuit: Circuit) -> Self {
+        Simulation {
+            circuit,
+            until: None,
+            variability: None,
+            seed: 0xC0FFEE,
+            trace_enabled: false,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Simulate only until the given time. Required when the circuit has
+    /// feedback loops, which would otherwise generate pulses forever.
+    pub fn until(mut self, t: Time) -> Self {
+        self.until = Some(t);
+        self
+    }
+
+    /// Enable firing-delay variability.
+    pub fn variability(mut self, v: Variability) -> Self {
+        self.variability = Some(v);
+        self
+    }
+
+    /// Seed the variability RNG for reproducible jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Record a [`TraceEntry`] for every dispatched batch; retrieve the log
+    /// with [`trace`](Self::trace) after running. Costs one allocation per
+    /// batch, so leave it off for benchmarking.
+    pub fn with_trace(mut self) -> Self {
+        self.trace_enabled = true;
+        self
+    }
+
+    /// The dispatch log of the most recent [`run`](Self::run), if tracing
+    /// was enabled.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Borrow the circuit under simulation.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Take the circuit back out of the simulation.
+    pub fn into_circuit(self) -> Circuit {
+        self.circuit
+    }
+
+    /// Run the simulation to completion (empty pulse heap or target time)
+    /// and return the events observed on every named wire.
+    ///
+    /// Machine configurations are reset on every call, so `run` may be
+    /// called repeatedly; note however that hole closures keep whatever
+    /// internal state the user function carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Timing`] if any cell detects a transition-time or
+    /// past-constraint violation, with a Figure-13-style diagnostic, or
+    /// [`Error::Hole`] if a hole returns the wrong number of outputs.
+    pub fn run(&mut self) -> Result<Events, Error> {
+        self.circuit.check()?;
+        let n_nodes = self.circuit.nodes.len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut configs: Vec<Option<Config>> = (0..n_nodes)
+            .map(|i| match &self.circuit.nodes[i].kind {
+                NodeKind::Machine { spec, .. } => Some(spec.initial_config()),
+                _ => None,
+            })
+            .collect();
+        let mut wire_events: Vec<Vec<Time>> = vec![Vec::new(); self.circuit.wires.len()];
+        let mut heap: BinaryHeap<Pulse> = BinaryHeap::new();
+        let mut seq = 0u64;
+        self.trace.clear();
+
+        let record_ok = |t: Time, until: Option<Time>| until.map_or(true, |u| t <= u);
+
+        // Seed the heap from stimulus sources.
+        for (i, node) in self.circuit.nodes.iter().enumerate() {
+            if let NodeKind::Source { pulses } = &node.kind {
+                let wire = node.out_wires[0];
+                for &t in pulses {
+                    if record_ok(t, self.until) {
+                        wire_events[wire].push(t);
+                    }
+                    if let Some((sink, port)) = self.circuit.wires[wire].sink {
+                        heap.push(Pulse {
+                            time: t,
+                            node: sink.0,
+                            port,
+                            seq,
+                        });
+                        seq += 1;
+                    }
+                }
+                let _ = i;
+            }
+        }
+
+        // Main discrete-event loop.
+        while let Some(first) = heap.pop() {
+            if let Some(u) = self.until {
+                if first.time > u {
+                    break;
+                }
+            }
+            // getSimPulses: gather all pulses with the same (time, node).
+            let mut batch = vec![first];
+            while let Some(p) = heap.peek() {
+                if p.time == first.time && p.node == first.node {
+                    batch.push(heap.pop().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            let node_id = NodeId(first.node);
+            let node_wire = self.circuit.node_wire_name(node_id);
+            let t = first.time;
+            let mut fired: Vec<(usize, Time)> = Vec::new(); // (output port, time)
+            let mut trace_entry: Option<TraceEntry> = None;
+            match &mut self.circuit.nodes[first.node].kind {
+                NodeKind::Source { .. } => unreachable!("sources receive no pulses"),
+                NodeKind::Machine { spec, overrides } => {
+                    let cfg = configs[first.node].as_ref().expect("machine config");
+                    let state_before = spec.states()[cfg.state.0].clone();
+                    let sigmas: Vec<InputId> = batch.iter().map(|p| InputId(p.port)).collect();
+                    let (next, outs) = spec.dispatch(cfg, &sigmas, t).map_err(|mut v| {
+                        v.node_wire = node_wire.clone();
+                        v
+                    })?;
+                    if self.trace_enabled {
+                        trace_entry = Some(TraceEntry {
+                            time: t,
+                            node_wire: node_wire.clone(),
+                            cell: spec.name().to_string(),
+                            inputs: sigmas
+                                .iter()
+                                .map(|s| spec.inputs()[s.0].clone())
+                                .collect(),
+                            state_before,
+                            state_after: spec.states()[next.state.0].clone(),
+                            fired: outs
+                                .iter()
+                                .map(|(o, t)| (spec.outputs()[o.0].clone(), *t))
+                                .collect(),
+                        });
+                    }
+                    configs[first.node] = Some(next);
+                    let exempt = overrides.exempt_from_variability;
+                    let cell_name = spec.name().to_string();
+                    for (oid, t_out) in outs {
+                        let t_out = match (&mut self.variability, exempt) {
+                            (Some(v), false) => t + v.apply(t_out - t, &cell_name, &mut rng),
+                            _ => t_out,
+                        };
+                        fired.push((oid.0, t_out));
+                    }
+                }
+                NodeKind::Hole(hole) => {
+                    let mut present = vec![false; hole.inputs().len()];
+                    for p in &batch {
+                        present[p.port] = true;
+                    }
+                    let outs = hole.call(&present, t);
+                    if outs.len() != hole.outputs().len() {
+                        return Err(HoleError::ArityMismatch {
+                            hole: hole.name().to_string(),
+                            expected: hole.outputs().len(),
+                            got: outs.len(),
+                        }
+                        .into());
+                    }
+                    let delay = hole.delay();
+                    let mut hole_fired = Vec::new();
+                    for (port, fire) in outs.into_iter().enumerate() {
+                        if fire {
+                            fired.push((port, t + delay));
+                            hole_fired.push((hole.outputs()[port].clone(), t + delay));
+                        }
+                    }
+                    if self.trace_enabled {
+                        trace_entry = Some(TraceEntry {
+                            time: t,
+                            node_wire: node_wire.clone(),
+                            cell: hole.name().to_string(),
+                            inputs: batch
+                                .iter()
+                                .map(|p| hole.inputs()[p.port].clone())
+                                .collect(),
+                            state_before: String::new(),
+                            state_after: String::new(),
+                            fired: hole_fired,
+                        });
+                    }
+                }
+            }
+            if let Some(e) = trace_entry {
+                self.trace.push(e);
+            }
+            // Deliver fired pulses.
+            for (port, t_out) in fired {
+                let wire = self.circuit.nodes[first.node].out_wires[port];
+                if record_ok(t_out, self.until) {
+                    wire_events[wire].push(t_out);
+                }
+                if let Some((sink, sport)) = self.circuit.wires[wire].sink {
+                    heap.push(Pulse {
+                        time: t_out,
+                        node: sink.0,
+                        port: sport,
+                        seq,
+                    });
+                    seq += 1;
+                }
+            }
+        }
+
+        for evs in &mut wire_events {
+            evs.sort_by(f64::total_cmp);
+        }
+        Ok(Events::from_wires(&self.circuit, wire_events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{EdgeDef, Machine};
+    use std::sync::Arc;
+
+    fn jtl(delay: f64) -> Arc<Machine> {
+        Machine::new(
+            "JTL",
+            &["a"],
+            &["q"],
+            delay,
+            2,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                ..Default::default()
+            }],
+        )
+        .unwrap()
+    }
+
+    fn merger() -> Arc<Machine> {
+        Machine::new(
+            "M",
+            &["a", "b"],
+            &["q"],
+            6.3,
+            5,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() },
+                EdgeDef { src: "idle", trigger: "b", dst: "idle", firing: "q", ..Default::default() },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pulses_propagate_through_a_chain() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q1 = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        let q2 = c.add_machine(&jtl(5.0), &[q1]).unwrap()[0];
+        c.inspect(q2, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        assert_eq!(ev.times("Q"), &[20.0]);
+    }
+
+    #[test]
+    fn merger_merges_both_streams() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 30.0], "A");
+        let b = c.inp_at(&[20.0], "B");
+        let q = c.add_machine(&merger(), &[a, b]).unwrap()[0];
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        assert_eq!(ev.times("Q"), &[16.3, 26.3, 36.3]);
+    }
+
+    #[test]
+    fn until_cuts_off_late_pulses() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 100.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).until(50.0).run().unwrap();
+        assert_eq!(ev.times("Q"), &[15.0]);
+        assert_eq!(ev.times("A"), &[10.0]);
+    }
+
+    #[test]
+    fn simultaneous_pulses_are_batched() {
+        // Two pulses at the same instant into a merger: both handled, two
+        // output pulses at the same time.
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let b = c.inp_at(&[10.0], "B");
+        let q = c.add_machine(&merger(), &[a, b]).unwrap()[0];
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c).run().unwrap();
+        assert_eq!(ev.times("Q"), &[16.3, 16.3]);
+    }
+
+    #[test]
+    fn variability_jitters_delays_reproducibly() {
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0], "A");
+            let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+            c.inspect(q, "Q");
+            c
+        };
+        let ev1 = Simulation::new(build())
+            .variability(Variability::Gaussian { std: 0.5 })
+            .seed(42)
+            .run()
+            .unwrap();
+        let ev2 = Simulation::new(build())
+            .variability(Variability::Gaussian { std: 0.5 })
+            .seed(42)
+            .run()
+            .unwrap();
+        let ev3 = Simulation::new(build())
+            .variability(Variability::Gaussian { std: 0.5 })
+            .seed(43)
+            .run()
+            .unwrap();
+        assert_eq!(ev1.times("Q"), ev2.times("Q"));
+        assert_ne!(ev1.times("Q"), ev3.times("Q"));
+        assert_ne!(ev1.times("Q"), &[15.0]);
+        // Jitter is small: within 5 sigma of nominal.
+        assert!((ev1.times("Q")[0] - 15.0).abs() < 2.5);
+    }
+
+    #[test]
+    fn per_cell_variability_only_hits_named_cells() {
+        let mut map = std::collections::HashMap::new();
+        map.insert("OTHER".to_string(), 1.0);
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c)
+            .variability(Variability::PerCellType(map))
+            .run()
+            .unwrap();
+        assert_eq!(ev.times("Q"), &[15.0]);
+    }
+
+    #[test]
+    fn exempt_instances_skip_variability() {
+        use crate::circuit::NodeOverrides;
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q = c
+            .add_machine_with(
+                &jtl(5.0),
+                &[a],
+                NodeOverrides {
+                    exempt_from_variability: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap()[0];
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c)
+            .variability(Variability::Gaussian { std: 2.0 })
+            .run()
+            .unwrap();
+        assert_eq!(ev.times("Q"), &[15.0]);
+    }
+
+    #[test]
+    fn hole_arity_mismatch_is_reported() {
+        use crate::functional::Hole;
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let h = Hole::new("bad", 1.0, &["a"], &["q"], |_, _| vec![]);
+        let q = c.add_hole(h, &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let err = Simulation::new(c).run().unwrap_err();
+        assert!(matches!(err, Error::Hole(_)));
+    }
+
+    #[test]
+    fn timing_violation_includes_node_wire() {
+        let m = Machine::new(
+            "DUT",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                transition_time: 10.0,
+                ..Default::default()
+            }],
+        )
+        .unwrap();
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 11.0], "A");
+        let q = c.add_machine(&m, &[a]).unwrap()[0];
+        c.inspect(q, "OUT");
+        let err = Simulation::new(c).run().unwrap_err();
+        match err {
+            Error::Timing(v) => {
+                assert_eq!(v.node_wire, "OUT");
+                assert_eq!(v.inputs, vec!["a".to_string()]);
+            }
+            e => panic!("expected timing violation, got {e}"),
+        }
+    }
+
+    #[test]
+    fn gaussian_sampler_is_roughly_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,336 @@
+//! Static analysis of machines and circuits beyond the constructive checks
+//! (paper §4.2 and the VeriSFQ-style structural checks of §6).
+//!
+//! [`Machine::new`](crate::machine::Machine::new) already rejects ill-formed
+//! definitions (unknown names, missing `idle`, incomplete specification, no
+//! firing transition), and [`Circuit`] enforces fanout-of-one structurally.
+//! This module adds *lint-style* diagnostics that are legal but usually
+//! wrong: unreachable states, dead transitions, silent input sources,
+//! unobserved outputs, and clocked cells fed from unrelated clock roots.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::machine::Machine;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// A lint finding; none of these prevent simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Lint {
+    /// A state can never be entered from `idle`.
+    UnreachableState {
+        /// Machine name.
+        machine: String,
+        /// The unreachable state.
+        state: String,
+    },
+    /// A transition whose source state is unreachable.
+    DeadTransition {
+        /// Machine name.
+        machine: String,
+        /// Transition index.
+        transition: usize,
+    },
+    /// An input source that never produces a pulse.
+    SilentSource {
+        /// The source's wire name.
+        wire: String,
+    },
+    /// A circuit output wire nobody observes (unnamed, so its pulses are
+    /// invisible in the events dictionary).
+    UnobservedOutput {
+        /// The anonymous wire name (`_N`).
+        wire: String,
+    },
+    /// Two clocked cells whose `clk` inputs trace back to different input
+    /// sources — usually a wiring mistake in synchronous designs.
+    MixedClockRoots {
+        /// The distinct clock-root wire names found.
+        roots: Vec<String>,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnreachableState { machine, state } => {
+                write!(f, "state '{state}' of FSM '{machine}' is unreachable from idle")
+            }
+            Lint::DeadTransition { machine, transition } => write!(
+                f,
+                "transition {transition} of FSM '{machine}' can never fire (unreachable source)"
+            ),
+            Lint::SilentSource { wire } => {
+                write!(f, "input '{wire}' never produces a pulse")
+            }
+            Lint::UnobservedOutput { wire } => write!(
+                f,
+                "output wire '{wire}' is unnamed; its pulses will not appear in the events dictionary"
+            ),
+            Lint::MixedClockRoots { roots } => write!(
+                f,
+                "clocked cells are driven from different clock roots: {roots:?}"
+            ),
+        }
+    }
+}
+
+/// The result of [`analyze`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in deterministic order.
+    pub lints: Vec<Lint>,
+}
+
+impl Report {
+    /// True if no findings were produced.
+    pub fn is_clean(&self) -> bool {
+        self.lints.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lints.is_empty() {
+            writeln!(f, "no findings")
+        } else {
+            for l in &self.lints {
+                writeln!(f, "- {l}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// States reachable from `idle` by any input sequence (ignoring timing).
+pub fn reachable_states(m: &Machine) -> BTreeSet<usize> {
+    let mut seen = BTreeSet::new();
+    let mut work = VecDeque::new();
+    seen.insert(m.start().0);
+    work.push_back(m.start());
+    while let Some(q) = work.pop_front() {
+        for i in 0..m.inputs().len() {
+            let t = m.transition_for(q, crate::machine::InputId(i));
+            if seen.insert(t.dst.0) {
+                work.push_back(t.dst);
+            }
+        }
+    }
+    seen
+}
+
+/// Lint a single machine definition.
+pub fn analyze_machine(m: &Machine) -> Vec<Lint> {
+    let reach = reachable_states(m);
+    let mut lints = Vec::new();
+    for (si, s) in m.states().iter().enumerate() {
+        if !reach.contains(&si) {
+            lints.push(Lint::UnreachableState {
+                machine: m.name().to_string(),
+                state: s.clone(),
+            });
+        }
+    }
+    for t in m.transitions() {
+        if !reach.contains(&t.src.0) {
+            lints.push(Lint::DeadTransition {
+                machine: m.name().to_string(),
+                transition: t.id,
+            });
+        }
+    }
+    lints
+}
+
+/// Trace a wire upstream through single-input transport until an input
+/// source or a multi-input cell is found; returns the root wire name for
+/// sources, or `None` otherwise.
+fn clock_root(circ: &Circuit, mut node: NodeId, mut port: usize) -> Option<String> {
+    // Walk: the wire feeding (node, port) is driven by some (driver, dport);
+    // keep walking single-input machines (JTL) and splitters.
+    for _ in 0..10_000 {
+        let wire = circ.node_in_wires(node).get(port).copied()?;
+        let (driver, dport) = circ.wire_driver(wire);
+        if circ.node_source_times(driver).is_some() {
+            let w = circ.node_out_wires(driver)[0];
+            return Some(circ.wire_name(w).to_string());
+        }
+        match circ.node_machine(driver) {
+            Some(spec) if spec.inputs().len() == 1 => {
+                node = driver;
+                port = 0;
+                let _ = dport;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Lint a whole circuit.
+pub fn analyze(circ: &Circuit) -> Report {
+    let mut lints = Vec::new();
+    // Machine-level lints, once per distinct machine type.
+    let mut seen_types = BTreeSet::new();
+    for (_, spec) in circ.machines() {
+        if seen_types.insert(spec.name().to_string()) {
+            lints.extend(analyze_machine(spec));
+        }
+    }
+    // Silent sources.
+    for (name, times) in circ.sources() {
+        if times.is_empty() {
+            lints.push(Lint::SilentSource {
+                wire: name.to_string(),
+            });
+        }
+    }
+    // Unobserved outputs.
+    for w in circ.output_wires() {
+        if !circ.wire_observed(w) {
+            lints.push(Lint::UnobservedOutput {
+                wire: circ.wire_name(w).to_string(),
+            });
+        }
+    }
+    // Clock-root analysis: collect the root of every input named "clk".
+    let mut roots: BTreeMap<String, usize> = BTreeMap::new();
+    for (node, spec) in circ.machines() {
+        for (port, input) in spec.inputs().iter().enumerate() {
+            if input == "clk" {
+                if let Some(root) = clock_root(circ, node, port) {
+                    *roots.entry(root).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    if roots.len() > 1 {
+        lints.push(Lint::MixedClockRoots {
+            roots: roots.keys().cloned().collect(),
+        });
+    }
+    Report { lints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{EdgeDef, Machine};
+
+    fn jtl() -> std::sync::Arc<Machine> {
+        Machine::new("JTL", &["a"], &["q"], 5.0, 2, &[EdgeDef {
+            src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default()
+        }]).unwrap()
+    }
+
+    #[test]
+    fn unreachable_state_is_flagged() {
+        // 'limbo' is fully specified but no edge from the reachable region
+        // enters it.
+        let m = Machine::new(
+            "X",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() },
+                EdgeDef { src: "limbo", trigger: "a", dst: "idle", ..Default::default() },
+            ],
+        )
+        .unwrap();
+        let lints = analyze_machine(&m);
+        assert!(lints.iter().any(|l| matches!(l, Lint::UnreachableState { state, .. } if state == "limbo")));
+        assert!(lints.iter().any(|l| matches!(l, Lint::DeadTransition { transition: 1, .. })));
+    }
+
+    #[test]
+    fn clean_machine_has_no_lints() {
+        assert!(analyze_machine(&jtl()).is_empty());
+    }
+
+    #[test]
+    fn silent_sources_and_unobserved_outputs() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[], "A");
+        let _q = c.add_machine(&jtl(), &[a]).unwrap()[0];
+        let report = analyze(&c);
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::SilentSource { wire } if wire == "A")));
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnobservedOutput { .. })));
+        assert!(!report.is_clean());
+        assert!(report.to_string().contains("never produces a pulse"));
+    }
+
+    #[test]
+    fn mixed_clock_roots_are_flagged() {
+        let clocked = Machine::new(
+            "G",
+            &["a", "clk"],
+            &["q"],
+            1.0,
+            1,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "arr", ..Default::default() },
+                EdgeDef { src: "idle", trigger: "clk", dst: "idle", ..Default::default() },
+                EdgeDef { src: "arr", trigger: "a", dst: "arr", ..Default::default() },
+                EdgeDef { src: "arr", trigger: "clk", dst: "idle", firing: "q", ..Default::default() },
+            ],
+        )
+        .unwrap();
+        let mut c = Circuit::new();
+        let a1 = c.inp_at(&[10.0], "A1");
+        let a2 = c.inp_at(&[10.0], "A2");
+        let clk1 = c.inp_at(&[50.0], "CLK1");
+        let clk2 = c.inp_at(&[50.0], "CLK2");
+        let q1 = c.add_machine(&clocked, &[a1, clk1]).unwrap()[0];
+        let q2 = c.add_machine(&clocked, &[a2, clk2]).unwrap()[0];
+        c.inspect(q1, "Q1");
+        c.inspect(q2, "Q2");
+        let report = analyze(&c);
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::MixedClockRoots { roots } if roots.len() == 2)));
+    }
+
+    #[test]
+    fn single_clock_root_through_jtl_is_clean() {
+        let clocked = Machine::new(
+            "G",
+            &["a", "clk"],
+            &["q"],
+            1.0,
+            1,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "arr", ..Default::default() },
+                EdgeDef { src: "idle", trigger: "clk", dst: "idle", ..Default::default() },
+                EdgeDef { src: "arr", trigger: "a", dst: "arr", ..Default::default() },
+                EdgeDef { src: "arr", trigger: "clk", dst: "idle", firing: "q", ..Default::default() },
+            ],
+        )
+        .unwrap();
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let clk = c.inp_at(&[50.0], "CLK");
+        let delayed = c.add_machine(&jtl(), &[clk]).unwrap()[0];
+        let q = c.add_machine(&clocked, &[a, delayed]).unwrap()[0];
+        c.inspect(q, "Q");
+        let report = analyze(&c);
+        assert!(!report
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::MixedClockRoots { .. })));
+    }
+
+    #[test]
+    fn reachable_states_covers_whole_good_machines() {
+        let m = jtl();
+        assert_eq!(reachable_states(&m).len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! A synchronous (clocked RSFQ) full adder built from the standard library
+//! gates — the paper's "Adder (Sync)" design (Table 3, 19 cells).
+//!
+//! `sum = (a ⊕ b) ⊕ cin` and `cout = a·b + (a ⊕ b)·cin`, evaluated over
+//! three clock phases derived from one clock input with JTL delays
+//! (concurrent-flow clocking): phase 1 clocks the first-level XOR/AND,
+//! phase 2 the second-level XOR/AND, and phase 3 the final OR. The stateful
+//! gates themselves buffer intermediate pulses between phases, so no extra
+//! retiming cells are needed.
+
+use rlse_cells::{and_s, jtl, jtl_delay, or_s, s, xor_s};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// Phase-2 clock skew relative to phase 1 (ps).
+pub const PHASE2_SKEW: f64 = 35.0;
+/// Phase-3 clock skew relative to phase 1 (ps).
+pub const PHASE3_SKEW: f64 = 70.0;
+
+/// The outputs of [`full_adder_sync`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncAdderOutputs {
+    /// The sum bit (pulse = 1) for each clocked period.
+    pub sum: Wire,
+    /// The carry-out bit.
+    pub cout: Wire,
+}
+
+/// Build the synchronous full adder. Data pulses on `a`, `b`, `cin` must
+/// arrive before the clock pulse on `clk` (minus the splitter delays and
+/// setup time); `sum` appears ~82 ps and `cout` ~100 ps after the clock.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn full_adder_sync(
+    circ: &mut Circuit,
+    a: Wire,
+    b: Wire,
+    cin: Wire,
+    clk: Wire,
+) -> Result<SyncAdderOutputs, Error> {
+    // Input fanout.
+    let (a1, a2) = s(circ, a)?;
+    let (b1, b2) = s(circ, b)?;
+    let (cin1, cin2) = s(circ, cin)?;
+    let cin1 = jtl(circ, cin1)?;
+    let cin2 = jtl(circ, cin2)?;
+    // Clock tree: three phases.
+    let (k1, krest) = s(circ, clk)?;
+    let (k2, k3) = s(circ, krest)?;
+    let (p1x, p1a) = s(circ, k1)?;
+    let k2 = jtl_delay(circ, k2, PHASE2_SKEW)?;
+    let (p2x, p2a) = s(circ, k2)?;
+    let p3 = jtl_delay(circ, k3, PHASE3_SKEW)?;
+    // Level 1: x = a ⊕ b, g = a · b.
+    let x = xor_s(circ, a1, b1, p1x)?;
+    let g = and_s(circ, a2, b2, p1a)?;
+    let g = jtl(circ, g)?;
+    let (x1, x2) = s(circ, x)?;
+    // Level 2: sum = x ⊕ cin, p = x · cin.
+    let sum = xor_s(circ, x1, cin1, p2x)?;
+    let sum = jtl(circ, sum)?;
+    let p = and_s(circ, x2, cin2, p2a)?;
+    // Level 3: cout = g + p.
+    let cout = or_s(circ, g, p, p3)?;
+    Ok(SyncAdderOutputs { sum, cout })
+}
+
+/// Build a full-adder test circuit for one input vector: data pulses at
+/// `t=20` (where the vector bit is 1) and a single clock pulse at `t=50`,
+/// with `SUM`/`COUT` observed.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn full_adder_sync_with_inputs(
+    circ: &mut Circuit,
+    a: bool,
+    b: bool,
+    cin: bool,
+) -> Result<SyncAdderOutputs, Error> {
+    let mk = |circ: &mut Circuit, bit: bool, name: &str| {
+        let times: &[f64] = if bit { &[20.0] } else { &[] };
+        circ.inp_at(times, name)
+    };
+    let a = mk(circ, a, "A");
+    let b = mk(circ, b, "B");
+    let cin = mk(circ, cin, "CIN");
+    let clk = circ.inp_at(&[50.0], "CLK");
+    let outs = full_adder_sync(circ, a, b, cin, clk)?;
+    circ.inspect(outs.sum, "SUM");
+    circ.inspect(outs.cout, "COUT");
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    fn run(a: bool, b: bool, cin: bool) -> (bool, bool) {
+        let mut circ = Circuit::new();
+        full_adder_sync_with_inputs(&mut circ, a, b, cin).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        assert!(ev.times("SUM").len() <= 1);
+        assert!(ev.times("COUT").len() <= 1);
+        (!ev.times("SUM").is_empty(), !ev.times("COUT").is_empty())
+    }
+
+    #[test]
+    fn exhaustive_truth_table() {
+        for v in 0u8..8 {
+            let (a, b, cin) = (v & 1 != 0, v & 2 != 0, v & 4 != 0);
+            let ones = [a, b, cin].iter().filter(|&&x| x).count();
+            let (sum, cout) = run(a, b, cin);
+            assert_eq!(sum, ones % 2 == 1, "sum for {a}{b}{cin}");
+            assert_eq!(cout, ones >= 2, "cout for {a}{b}{cin}");
+        }
+    }
+
+    #[test]
+    fn uses_19_cells_like_the_paper() {
+        let mut circ = Circuit::new();
+        full_adder_sync_with_inputs(&mut circ, true, true, true).unwrap();
+        assert_eq!(circ.stats().cells, 19);
+    }
+
+    #[test]
+    fn output_latency_shape() {
+        // sum ≈ clk + 68 + 7.9 + 5.7, cout ≈ clk + 92 + 8.2.
+        let mut circ = Circuit::new();
+        full_adder_sync_with_inputs(&mut circ, true, false, false).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let sum_t = ev.times("SUM")[0];
+        assert!((sum_t - (50.0 + 68.0 + 7.9 + 5.7)).abs() < 1e-9, "{sum_t}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Batcher's bitonic sorting network over min-max pairs (paper Fig. 15).
+//!
+//! An `n = 2^k` input sorter is a network of `(n/2)·k·(k+1)/2` comparators
+//! of depth `k·(k+1)/2`; for `n = 8` that is 24 comparators of depth 6, so
+//! each pulse takes `6 × 25 = 150` ps to traverse the network and the
+//! outputs appear in arrival-time rank order: the earliest input pulse on
+//! `o0`, the latest on `o7`.
+
+use crate::minmax::{min_max, MIN_MAX_DELAY};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// One comparator position in the network: compare lines `i` and `j`
+/// (`i < j`), placing the earlier pulse on `i` if `ascending`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// Lower line index.
+    pub i: usize,
+    /// Upper line index.
+    pub j: usize,
+    /// Earlier pulse goes to line `i` when true.
+    pub ascending: bool,
+}
+
+/// The comparator schedule of a bitonic network over `n = 2^k` lines, as a
+/// list of parallel stages.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is less than 2.
+pub fn bitonic_schedule(n: usize) -> Vec<Vec<Comparator>> {
+    assert!(n >= 2 && n.is_power_of_two(), "n must be a power of two >= 2");
+    let mut stages = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            let mut stage = Vec::new();
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    stage.push(Comparator {
+                        i,
+                        j: l,
+                        ascending: i & k == 0,
+                    });
+                }
+            }
+            stages.push(stage);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    stages
+}
+
+/// The comparator depth of an `n`-input bitonic network (`k(k+1)/2` for
+/// `n = 2^k`).
+pub fn bitonic_depth(n: usize) -> usize {
+    bitonic_schedule(n).len()
+}
+
+/// Total network latency: depth × the 25 ps comparator delay.
+pub fn bitonic_delay(n: usize) -> f64 {
+    bitonic_depth(n) as f64 * MIN_MAX_DELAY
+}
+
+/// Build a bitonic sorter over the given input wires; returns the output
+/// wires `o0..o(n-1)`, on which pulses appear in arrival-time order
+/// (earliest on `o0`).
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if the number of inputs is not a power of two `>= 2`.
+pub fn bitonic_sorter(circ: &mut Circuit, inputs: &[Wire]) -> Result<Vec<Wire>, Error> {
+    let n = inputs.len();
+    let mut lines: Vec<Wire> = inputs.to_vec();
+    for stage in bitonic_schedule(n) {
+        for cmp in stage {
+            let (low, high) = min_max(circ, lines[cmp.i], lines[cmp.j])?;
+            if cmp.ascending {
+                lines[cmp.i] = low;
+                lines[cmp.j] = high;
+            } else {
+                lines[cmp.i] = high;
+                lines[cmp.j] = low;
+            }
+        }
+    }
+    Ok(lines)
+}
+
+/// Convenience: build an `n`-input sorter with fresh named inputs `i0..` and
+/// observed outputs `o0..`, pulsing input `k` at `times[k]`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn bitonic_sorter_with_inputs(
+    circ: &mut Circuit,
+    times: &[f64],
+) -> Result<Vec<Wire>, Error> {
+    let inputs: Vec<Wire> = times
+        .iter()
+        .enumerate()
+        .map(|(k, &t)| circ.inp_at(&[t], &format!("i{k}")))
+        .collect();
+    let outs = bitonic_sorter(circ, &inputs)?;
+    for (k, w) in outs.iter().enumerate() {
+        circ.inspect(*w, &format!("o{k}"));
+    }
+    Ok(outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    #[test]
+    fn schedule_shape_for_8() {
+        let stages = bitonic_schedule(8);
+        assert_eq!(stages.len(), 6);
+        assert_eq!(stages.iter().map(Vec::len).sum::<usize>(), 24);
+        assert_eq!(bitonic_delay(8), 150.0);
+    }
+
+    #[test]
+    fn schedule_shape_for_4() {
+        let stages = bitonic_schedule(4);
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+
+    fn run_sorter(times: &[f64]) -> Events {
+        let mut circ = Circuit::new();
+        bitonic_sorter_with_inputs(&mut circ, times).unwrap();
+        Simulation::new(circ).run().unwrap()
+    }
+
+    #[test]
+    fn sorts_eight_pulses_into_rank_order() {
+        // Distinct arrival times, ≥10 ps apart.
+        let times = [125.0, 35.0, 85.0, 105.0, 15.0, 65.0, 115.0, 45.0];
+        let ev = run_sorter(&times);
+        let mut sorted = times.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for (k, t) in sorted.iter().enumerate() {
+            let got = ev.times(&format!("o{k}"));
+            assert_eq!(got.len(), 1, "o{k}");
+            assert!(
+                (got[0] - (t + 150.0)).abs() < 1e-9,
+                "o{k}: got {} want {}",
+                got[0],
+                t + 150.0
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_input_reaches_o0_after_150ps() {
+        // The paper's observation: IN4 earliest → OUT0 150 ps later.
+        let times = [125.0, 35.0, 85.0, 105.0, 15.0, 65.0, 115.0, 45.0];
+        let ev = run_sorter(&times);
+        assert_eq!(ev.times("o0"), &[165.0]);
+    }
+
+    #[test]
+    fn sorter_uses_24_comparators_of_5_cells() {
+        let mut circ = Circuit::new();
+        let times: Vec<f64> = (0..8).map(|i| 15.0 + 12.0 * i as f64).collect();
+        bitonic_sorter_with_inputs(&mut circ, &times).unwrap();
+        assert_eq!(circ.stats().cells, 24 * 5);
+    }
+
+    #[test]
+    fn four_input_sorter_works_too() {
+        let times = [90.0, 20.0, 60.0, 40.0];
+        let mut circ = Circuit::new();
+        bitonic_sorter_with_inputs(&mut circ, &times).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let delay = bitonic_delay(4); // 3 × 25
+        for (k, t) in [20.0, 40.0, 60.0, 90.0].iter().enumerate() {
+            assert_eq!(ev.times(&format!("o{k}")), &[t + delay], "o{k}");
+        }
+    }
+
+    #[test]
+    fn sixteen_input_sorter_scales() {
+        let times: Vec<f64> = (0..16).map(|i| 15.0 + 13.0 * ((i * 7) % 16) as f64).collect();
+        let mut circ = Circuit::new();
+        bitonic_sorter_with_inputs(&mut circ, &times).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let delay = bitonic_delay(16);
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        for (k, t) in sorted.iter().enumerate() {
+            assert_eq!(ev.times(&format!("o{k}")), &[t + delay], "o{k}");
+        }
+    }
+}

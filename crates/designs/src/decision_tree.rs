@@ -1,0 +1,358 @@
+//! Arbitrary-depth race-logic decision trees: a generalization of the
+//! paper's §5.2 race tree (and of Tzimpragos et al.'s boosted race trees
+//! \[51\]) from the fixed 3-node/4-label shape to any tree over any number of
+//! temporally-encoded features.
+//!
+//! Every internal node compares one feature's pulse arrival time against a
+//! threshold pulse (derived from the start-of-evaluation pulse through a
+//! calibrated JTL delay) with a complementary-output DRO; every leaf label
+//! is the coincidence (C-element) conjunction of the decisions along its
+//! root-to-leaf path. Exactly one label fires per evaluation.
+
+use rlse_cells::{c, dro_c, jtl_delay, s};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+use std::collections::BTreeMap;
+
+/// A decision-tree specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tree {
+    /// A leaf with its class label.
+    Leaf(String),
+    /// An internal node: go left if `feature < threshold`, else right.
+    Branch {
+        /// Index into the feature array.
+        feature: usize,
+        /// Threshold in ps relative to the start pulse.
+        threshold: f64,
+        /// Taken when the feature pulse beats the threshold.
+        left: Box<Tree>,
+        /// Taken otherwise.
+        right: Box<Tree>,
+    },
+}
+
+impl Tree {
+    /// Convenience constructor for a branch.
+    pub fn branch(feature: usize, threshold: f64, left: Tree, right: Tree) -> Tree {
+        Tree::Branch {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor for a leaf.
+    pub fn leaf(label: &str) -> Tree {
+        Tree::Leaf(label.to_string())
+    }
+
+    /// Number of internal nodes.
+    pub fn branch_count(&self) -> usize {
+        match self {
+            Tree::Leaf(_) => 0,
+            Tree::Branch { left, right, .. } => 1 + left.branch_count() + right.branch_count(),
+        }
+    }
+
+    /// Leaf labels, left to right.
+    pub fn labels(&self) -> Vec<&str> {
+        match self {
+            Tree::Leaf(l) => vec![l.as_str()],
+            Tree::Branch { left, right, .. } => {
+                let mut v = left.labels();
+                v.extend(right.labels());
+                v
+            }
+        }
+    }
+
+    /// Software reference: which label does a feature vector reach?
+    pub fn classify(&self, features: &[f64]) -> &str {
+        match self {
+            Tree::Leaf(l) => l,
+            Tree::Branch {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if features[*feature] < *threshold {
+                    left.classify(features)
+                } else {
+                    right.classify(features)
+                }
+            }
+        }
+    }
+
+    fn feature_uses(&self, counts: &mut BTreeMap<usize, usize>) {
+        if let Tree::Branch {
+            feature,
+            left,
+            right,
+            ..
+        } = self
+        {
+            *counts.entry(*feature).or_insert(0) += 1;
+            left.feature_uses(counts);
+            right.feature_uses(counts);
+        }
+    }
+}
+
+/// A tap chain: split a wire into `n` taps with *known* per-tap delays
+/// (chained splitters: tap k has passed k+1 splitters, except the last,
+/// which reuses the final splitter's second output).
+fn tap_chain(circ: &mut Circuit, w: Wire, n: usize) -> Result<Vec<(Wire, f64)>, Error> {
+    const S_DELAY: f64 = 11.0;
+    if n == 1 {
+        return Ok(vec![(w, 0.0)]);
+    }
+    let mut taps = Vec::with_capacity(n);
+    let mut rest = w;
+    for k in 0..n - 1 {
+        let (tap, more) = s(circ, rest)?;
+        taps.push((tap, S_DELAY * (k + 1) as f64));
+        rest = more;
+    }
+    taps.push((rest, S_DELAY * (n - 1) as f64));
+    Ok(taps)
+}
+
+/// Build the tree. `features[i]` carries one pulse at `start + value_i`;
+/// `start` is the start-of-evaluation pulse. Returns `(label, wire)` pairs
+/// in left-to-right leaf order.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if the tree is a bare leaf, references a missing feature, or has
+/// a threshold too small for the internal path-balancing delays
+/// (thresholds must exceed the splitter-chain skew, ~11 ps per extra use
+/// of the same feature).
+pub fn decision_tree(
+    circ: &mut Circuit,
+    tree: &Tree,
+    features: &[Wire],
+    start: Wire,
+) -> Result<Vec<(String, Wire)>, Error> {
+    assert!(
+        tree.branch_count() > 0,
+        "a decision tree needs at least one branch"
+    );
+    // Tap chains for every used feature and for the start pulse.
+    let mut uses = BTreeMap::new();
+    tree.feature_uses(&mut uses);
+    let branches = tree.branch_count();
+    let mut feature_taps: BTreeMap<usize, Vec<(Wire, f64)>> = BTreeMap::new();
+    for (&f, &n) in &uses {
+        assert!(f < features.len(), "tree references missing feature {f}");
+        feature_taps.insert(f, tap_chain(circ, features[f], n)?);
+    }
+    let mut start_taps = tap_chain(circ, start, branches)?;
+    start_taps.reverse(); // pop from the front in construction order
+
+    struct Builder<'a> {
+        feature_taps: BTreeMap<usize, Vec<(Wire, f64)>>,
+        start_taps: Vec<(Wire, f64)>,
+        out: Vec<(String, Wire)>,
+        features_len: usize,
+        _marker: std::marker::PhantomData<&'a ()>,
+    }
+
+    impl Builder<'_> {
+        fn build(
+            &mut self,
+            circ: &mut Circuit,
+            tree: &Tree,
+            enable: Option<Wire>,
+        ) -> Result<(), Error> {
+            match tree {
+                Tree::Leaf(label) => {
+                    let w = enable.expect("leaf below at least one branch");
+                    self.out.push((label.clone(), w));
+                    Ok(())
+                }
+                Tree::Branch {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let (f_tap, f_delay) = self
+                        .feature_taps
+                        .get_mut(feature)
+                        .expect("tap chain exists")
+                        .remove(0);
+                    let (s_tap, s_delay) = self.start_taps.pop().expect("one tap per branch");
+                    // Balance: feature arrives at start + value + f_delay;
+                    // clocking the comparison at start + s_delay + d makes
+                    // the decision boundary exactly `value < threshold` when
+                    // d = threshold + f_delay - s_delay.
+                    let d = threshold + f_delay - s_delay;
+                    assert!(
+                        d >= 0.1,
+                        "threshold {threshold} too small for path skew ({f_delay} vs {s_delay})"
+                    );
+                    let thr = jtl_delay(circ, s_tap, d)?;
+                    let (l_en, r_en) = dro_c(circ, f_tap, thr)?;
+                    let (l_gate, r_gate) = match enable {
+                        None => (l_en, r_en),
+                        Some(en) => {
+                            let (en_l, en_r) = s(circ, en)?;
+                            (c(circ, en_l, l_en)?, c(circ, en_r, r_en)?)
+                        }
+                    };
+                    self.build(circ, left, Some(l_gate))?;
+                    self.build(circ, right, Some(r_gate))?;
+                    let _ = self.features_len;
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    let mut b = Builder {
+        feature_taps,
+        start_taps,
+        out: Vec::new(),
+        features_len: features.len(),
+        _marker: std::marker::PhantomData,
+    };
+    b.build(circ, tree, None)?;
+    Ok(b.out)
+}
+
+/// Build a complete evaluation bench: features encoded as pulses at
+/// `start + value`, labels observed under their own names.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn decision_tree_with_inputs(
+    circ: &mut Circuit,
+    tree: &Tree,
+    values: &[f64],
+    start: f64,
+) -> Result<Vec<(String, Wire)>, Error> {
+    let features: Vec<Wire> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| circ.inp_at(&[start + v], &format!("f{i}")))
+        .collect();
+    let st = circ.inp_at(&[start], "start");
+    let labels = decision_tree(circ, tree, &features, st)?;
+    for (label, w) in &labels {
+        circ.inspect(*w, label);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rlse_core::prelude::*;
+
+    /// A depth-3 tree over 3 features with 8 leaves.
+    fn deep_tree() -> Tree {
+        Tree::branch(
+            0,
+            60.0,
+            Tree::branch(
+                1,
+                40.0,
+                Tree::branch(2, 50.0, Tree::leaf("l0"), Tree::leaf("l1")),
+                Tree::branch(2, 70.0, Tree::leaf("l2"), Tree::leaf("l3")),
+            ),
+            Tree::branch(
+                1,
+                80.0,
+                Tree::branch(2, 50.0, Tree::leaf("l4"), Tree::leaf("l5")),
+                Tree::branch(2, 70.0, Tree::leaf("l6"), Tree::leaf("l7")),
+            ),
+        )
+    }
+
+    fn hardware_classify(tree: &Tree, values: &[f64]) -> String {
+        let mut circ = Circuit::new();
+        decision_tree_with_inputs(&mut circ, tree, values, 20.0).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let mut winners: Vec<String> = tree
+            .labels()
+            .into_iter()
+            .filter(|l| !ev.times(l).is_empty())
+            .map(String::from)
+            .collect();
+        assert_eq!(winners.len(), 1, "exactly one winner for {values:?}");
+        // Each winner fires exactly once.
+        assert_eq!(ev.times(&winners[0]).len(), 1);
+        winners.remove(0)
+    }
+
+    #[test]
+    fn shape_metadata() {
+        let t = deep_tree();
+        assert_eq!(t.branch_count(), 7);
+        assert_eq!(t.labels().len(), 8);
+        assert_eq!(t.classify(&[10.0, 10.0, 10.0]), "l0");
+        assert_eq!(t.classify(&[90.0, 90.0, 90.0]), "l7");
+    }
+
+    #[test]
+    fn depth3_tree_matches_reference_on_corners() {
+        let t = deep_tree();
+        for f0 in [20.0, 100.0] {
+            for f1 in [15.0, 110.0] {
+                for f2 in [25.0, 95.0] {
+                    let values = [f0, f1, f2];
+                    assert_eq!(
+                        hardware_classify(&t, &values),
+                        t.classify(&values),
+                        "{values:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_shape_tree_as_special_case() {
+        // The §5.2 race tree: f1<50 ? (f2<30 ? a : b) : (f2<70 ? c : d).
+        let t = Tree::branch(
+            0,
+            50.0,
+            Tree::branch(1, 30.0, Tree::leaf("a"), Tree::leaf("b")),
+            Tree::branch(1, 70.0, Tree::leaf("c"), Tree::leaf("d")),
+        );
+        assert_eq!(hardware_classify(&t, &[20.0, 12.0]), "a");
+        assert_eq!(hardware_classify(&t, &[20.0, 60.0]), "b");
+        assert_eq!(hardware_classify(&t, &[80.0, 41.0]), "c");
+        assert_eq!(hardware_classify(&t, &[80.0, 95.0]), "d");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Hardware agrees with the software reference on random feature
+        /// vectors kept ≥ 8 ps away from every threshold (the setup window
+        /// of the comparing DRO).
+        #[test]
+        fn random_vectors_agree_with_reference(
+            raw in proptest::collection::vec(0usize..10, 3)
+        ) {
+            // A grid that stays ≥ 4 ps away from every threshold
+            // (40/50/60/70/80), clearing the 2.8 ps setup window.
+            const GRID: [f64; 10] =
+                [12.0, 25.0, 34.0, 45.0, 56.0, 65.0, 76.0, 87.0, 96.0, 107.0];
+            let values: Vec<f64> = raw.iter().map(|r| GRID[*r]).collect();
+            let t = deep_tree();
+            prop_assert_eq!(hardware_classify(&t, &values), t.classify(&values));
+        }
+    }
+}

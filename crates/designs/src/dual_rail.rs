@@ -1,0 +1,173 @@
+//! A clockless dual-rail logic-gate library in the xSFQ style (paper refs
+//! \[52, 54\]): every signal is a [`DualRail`] pair, and each gate consumes
+//! exactly one rail pulse per operand per wave and produces exactly one
+//! output rail pulse — so completion is implicit and no clock is needed.
+//!
+//! Gates are built from the 2x2 join (which decodes an operand pair into
+//! one of four product pulses) plus mergers and splitters.
+
+use crate::xsfq_adder::DualRail;
+use rlse_cells::{join2x2, m, s};
+use rlse_core::circuit::Circuit;
+use rlse_core::error::Error;
+
+/// Dual-rail AND: `q.t` iff both operands are 1.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dr_and(circ: &mut Circuit, a: DualRail, b: DualRail) -> Result<DualRail, Error> {
+    let (tt, tf, ft, ff) = join2x2(circ, a.t, a.f, b.t, b.f)?;
+    let f01 = m(circ, tf, ft)?;
+    let f = m(circ, f01, ff)?;
+    Ok(DualRail { t: tt, f })
+}
+
+/// Dual-rail OR: `q.t` iff either operand is 1.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dr_or(circ: &mut Circuit, a: DualRail, b: DualRail) -> Result<DualRail, Error> {
+    let (tt, tf, ft, ff) = join2x2(circ, a.t, a.f, b.t, b.f)?;
+    let t01 = m(circ, tf, ft)?;
+    let t = m(circ, t01, tt)?;
+    Ok(DualRail { t, f: ff })
+}
+
+/// Dual-rail XOR.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dr_xor(circ: &mut Circuit, a: DualRail, b: DualRail) -> Result<DualRail, Error> {
+    let (tt, tf, ft, ff) = join2x2(circ, a.t, a.f, b.t, b.f)?;
+    let t = m(circ, tf, ft)?;
+    let f = m(circ, tt, ff)?;
+    Ok(DualRail { t, f })
+}
+
+/// Dual-rail NOT: free — just swap the rails.
+pub fn dr_not(a: DualRail) -> DualRail {
+    DualRail { t: a.f, f: a.t }
+}
+
+/// Duplicate a dual-rail signal (one splitter per rail).
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn dr_fork(circ: &mut Circuit, a: DualRail) -> Result<(DualRail, DualRail), Error> {
+    let (t0, t1) = s(circ, a.t)?;
+    let (f0, f1) = s(circ, a.f)?;
+    Ok((DualRail { t: t0, f: f0 }, DualRail { t: t1, f: f1 }))
+}
+
+/// Create a dual-rail constant input: a pulse on the rail selected by
+/// `value` at time `t0`.
+pub fn dr_input(circ: &mut Circuit, value: bool, t0: f64, name: &str) -> DualRail {
+    let t_times: &[f64] = if value { &[t0] } else { &[] };
+    let f_times: &[f64] = if value { &[] } else { &[t0] };
+    DualRail {
+        t: circ.inp_at(t_times, &format!("{name}_T")),
+        f: circ.inp_at(f_times, &format!("{name}_F")),
+    }
+}
+
+/// Observe both rails of a signal as `{name}_T` / `{name}_F`.
+pub fn dr_inspect(circ: &mut Circuit, sig: DualRail, name: &str) {
+    circ.inspect(sig.t, &format!("{name}_T"));
+    circ.inspect(sig.f, &format!("{name}_F"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    fn eval(
+        gate: fn(&mut Circuit, DualRail, DualRail) -> Result<DualRail, Error>,
+        a: bool,
+        b: bool,
+    ) -> bool {
+        let mut circ = Circuit::new();
+        let a = dr_input(&mut circ, a, 20.0, "A");
+        let b = dr_input(&mut circ, b, 28.0, "B");
+        let q = gate(&mut circ, a, b).unwrap();
+        dr_inspect(&mut circ, q, "Q");
+        let ev = Simulation::new(circ).run().unwrap();
+        let t = ev.times("Q_T").len();
+        let f = ev.times("Q_F").len();
+        assert_eq!(t + f, 1, "exactly one rail pulses (t={t}, f={f})");
+        t == 1
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert!(!eval(dr_and, false, false));
+        assert!(!eval(dr_and, false, true));
+        assert!(!eval(dr_and, true, false));
+        assert!(eval(dr_and, true, true));
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert!(!eval(dr_or, false, false));
+        assert!(eval(dr_or, false, true));
+        assert!(eval(dr_or, true, false));
+        assert!(eval(dr_or, true, true));
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert!(!eval(dr_xor, false, false));
+        assert!(eval(dr_xor, false, true));
+        assert!(eval(dr_xor, true, false));
+        assert!(!eval(dr_xor, true, true));
+    }
+
+    #[test]
+    fn not_is_rail_swap_and_composes() {
+        // q = NOT(a AND b) over all inputs via gate composition.
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut circ = Circuit::new();
+            let aw = dr_input(&mut circ, a, 20.0, "A");
+            let bw = dr_input(&mut circ, b, 28.0, "B");
+            let and = dr_and(&mut circ, aw, bw).unwrap();
+            let q = dr_not(and);
+            dr_inspect(&mut circ, q, "Q");
+            let ev = Simulation::new(circ).run().unwrap();
+            assert_eq!(!ev.times("Q_T").is_empty(), !(a && b), "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn fork_duplicates_both_rails() {
+        let mut circ = Circuit::new();
+        let a = dr_input(&mut circ, true, 20.0, "A");
+        let (x, y) = dr_fork(&mut circ, a).unwrap();
+        dr_inspect(&mut circ, x, "X");
+        dr_inspect(&mut circ, y, "Y");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("X_T").len(), 1);
+        assert_eq!(ev.times("Y_T").len(), 1);
+        assert!(ev.times("X_F").is_empty());
+    }
+
+    #[test]
+    fn two_level_dual_rail_circuit() {
+        // q = (a AND b) XOR c, clockless, for a few vectors.
+        for v in 0u8..8 {
+            let (a, b, c) = (v & 1 != 0, v & 2 != 0, v & 4 != 0);
+            let mut circ = Circuit::new();
+            let aw = dr_input(&mut circ, a, 20.0, "A");
+            let bw = dr_input(&mut circ, b, 28.0, "B");
+            let cw = dr_input(&mut circ, c, 36.0, "C");
+            let ab = dr_and(&mut circ, aw, bw).unwrap();
+            let q = dr_xor(&mut circ, ab, cw).unwrap();
+            dr_inspect(&mut circ, q, "Q");
+            let ev = Simulation::new(circ).run().unwrap();
+            assert_eq!(!ev.times("Q_T").is_empty(), (a && b) ^ c, "v={v}");
+        }
+    }
+}

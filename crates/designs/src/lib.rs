@@ -1,0 +1,53 @@
+//! # rlse-designs — the larger evaluation designs of the PyLSE paper
+//!
+//! The six larger designs of Table 3 plus the memory hole of Figure 9, all
+//! built on [`rlse_core`] and [`rlse_cells`]:
+//!
+//! * [`minmax`] — the min-max comparator pair (Fig. 11).
+//! * [`bitonic`] — Batcher bitonic sorters over min-max pairs, for any
+//!   power-of-two width (the paper evaluates 4 and 8 inputs; Fig. 15).
+//! * [`race_tree`](mod@race_tree) — a race-logic decision tree with four labels (§5.2).
+//! * [`adder`] — the clocked RSFQ full adder ("Adder (Sync)").
+//! * [`xsfq_adder`] — a clockless dual-rail full adder ("Adder (xSFQ)").
+//! * [`memory`] — the 16×2-bit behavioral memory hole (Fig. 9).
+//!
+//! Extensions beyond the paper's six designs:
+//!
+//! * [`ripple_adder`](mod@ripple_adder) — n-bit ripple-carry adders generated from the 1-bit
+//!   synchronous full adder.
+//! * [`registers`] — DRO shift registers and toggle-chain ripple counters.
+//! * [`dual_rail`] — a clockless dual-rail (xSFQ-style) gate library.
+//! * [`decision_tree`](mod@decision_tree) — arbitrary-depth race-logic
+//!   decision trees.
+//! * [`ring`] — feedback loops (ring oscillators), exercising the
+//!   simulator's target-time cutoff.
+//!
+//! Each module exposes both a composable builder (taking wires) and a
+//! `*_with_inputs` convenience that constructs a self-contained test bench.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adder;
+pub mod bitonic;
+pub mod decision_tree;
+pub mod dual_rail;
+pub mod memory;
+pub mod minmax;
+pub mod race_tree;
+pub mod registers;
+pub mod ring;
+pub mod ripple_adder;
+pub mod xsfq_adder;
+
+pub use adder::full_adder_sync;
+pub use decision_tree::{decision_tree, decision_tree_with_inputs, Tree};
+pub use dual_rail::{dr_and, dr_fork, dr_input, dr_inspect, dr_not, dr_or, dr_xor};
+pub use registers::{ripple_counter, shift_register};
+pub use ring::ring_oscillator;
+pub use ripple_adder::{ripple_adder, ripple_adder_with_inputs};
+pub use bitonic::{bitonic_delay, bitonic_schedule, bitonic_sorter, bitonic_sorter_with_inputs};
+pub use memory::{memory_bench, memory_hole, MemOp};
+pub use minmax::{min_max, MIN_MAX_DELAY};
+pub use race_tree::{race_tree, race_tree_with_inputs, Thresholds};
+pub use xsfq_adder::{full_adder_xsfq, DualRail};

@@ -1,0 +1,198 @@
+//! The memory "hole" of the paper's Figure 9: a 16-address × 2-bit memory
+//! implemented as pure behavioral code wrapped in a pulse interface.
+//!
+//! Address and data bits accumulate between clock pulses; on a clock pulse,
+//! the write (if enabled) and read are performed, the read value is emitted
+//! on the 2-bit output, and the accumulators reset for the next period.
+
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+use rlse_core::functional::Hole;
+
+/// Input port names of the memory hole, in order: read address bits
+/// (`ra3..ra0`, MSB first), write address bits (`wa3..wa0`), data bits
+/// (`d1`, `d0`), write enable (`we`), and clock (`clk`).
+pub const MEMORY_INPUTS: [&str; 12] = [
+    "ra3", "ra2", "ra1", "ra0", "wa3", "wa2", "wa1", "wa0", "d1", "d0", "we", "clk",
+];
+
+/// Output port names: the 2-bit read value, MSB first.
+pub const MEMORY_OUTPUTS: [&str; 2] = ["q1", "q0"];
+
+/// Create the memory hole (Fig. 9): 16 addresses each storing 2 bits, with
+/// a 5.0 ps firing delay.
+pub fn memory_hole() -> Hole {
+    let mut mem = [0u8; 16];
+    let (mut raddr, mut waddr, mut wenable, mut data) = (0usize, 0usize, false, 0u8);
+    Hole::new(
+        "memory",
+        5.0,
+        &MEMORY_INPUTS,
+        &MEMORY_OUTPUTS,
+        move |ins, _time| {
+            let bit = |i: usize| usize::from(ins[i]);
+            raddr |= bit(0) * 8 + bit(1) * 4 + bit(2) * 2 + bit(3);
+            waddr |= bit(4) * 8 + bit(5) * 4 + bit(6) * 2 + bit(7);
+            data |= (bit(8) * 2 + bit(9)) as u8;
+            wenable |= ins[10];
+            if ins[11] {
+                // Clock pulse: commit the write, perform the read, reset.
+                if wenable {
+                    mem[waddr] = data;
+                }
+                let value = mem[raddr];
+                raddr = 0;
+                waddr = 0;
+                wenable = false;
+                data = 0;
+                vec![(value >> 1) & 1 == 1, value & 1 == 1]
+            } else {
+                vec![false, false]
+            }
+        },
+    )
+}
+
+/// Wire a memory hole into `circ`, connecting the given inputs in
+/// [`MEMORY_INPUTS`] order; returns `(q1, q0)`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn add_memory(circ: &mut Circuit, inputs: &[Wire; 12]) -> Result<(Wire, Wire), Error> {
+    let outs = circ.add_hole(memory_hole(), inputs)?;
+    Ok((outs[0], outs[1]))
+}
+
+/// Build a scripted memory test bench: a sequence of `(period, op)` where
+/// each period is 100 ps long and the clock pulses at the end of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Write `data` to `addr` (and read `addr` back in the same period).
+    Write {
+        /// Address to write (0–15).
+        addr: u8,
+        /// 2-bit value to store.
+        data: u8,
+    },
+    /// Read `addr`.
+    Read {
+        /// Address to read (0–15).
+        addr: u8,
+    },
+    /// Idle period (clock only).
+    Idle,
+}
+
+/// Build a circuit driving the memory with the given schedule (one op per
+/// 100 ps period, address/data bits pulsed mid-period, clock at the period
+/// end). Observes `q1`/`q0`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn memory_bench(circ: &mut Circuit, ops: &[MemOp]) -> Result<(Wire, Wire), Error> {
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); 12];
+    for (k, op) in ops.iter().enumerate() {
+        let t = 100.0 * k as f64 + 50.0;
+        let clk_t = 100.0 * k as f64 + 90.0;
+        times[11].push(clk_t);
+        match *op {
+            MemOp::Write { addr, data } => {
+                for b in 0..4 {
+                    if addr & (1 << (3 - b)) != 0 {
+                        times[4 + b].push(t); // wa bits
+                        times[b].push(t); // also read back: ra bits
+                    }
+                }
+                if data & 2 != 0 {
+                    times[8].push(t);
+                }
+                if data & 1 != 0 {
+                    times[9].push(t);
+                }
+                times[10].push(t); // we
+            }
+            MemOp::Read { addr } => {
+                for b in 0..4 {
+                    if addr & (1 << (3 - b)) != 0 {
+                        times[b].push(t);
+                    }
+                }
+            }
+            MemOp::Idle => {}
+        }
+    }
+    let wires: Vec<Wire> = MEMORY_INPUTS
+        .iter()
+        .zip(&times)
+        .map(|(name, ts)| circ.inp_at(ts, name))
+        .collect();
+    let inputs: [Wire; 12] = wires.try_into().expect("12 wires");
+    let (q1, q0) = add_memory(circ, &inputs)?;
+    circ.inspect(q1, "q1");
+    circ.inspect(q0, "q0");
+    Ok((q1, q0))
+}
+
+/// Decode the observed `q1`/`q0` pulses back into a per-period read value.
+/// Returns `values[k]` = the 2-bit value read in period `k`.
+pub fn decode_reads(events: &rlse_core::events::Events, periods: usize) -> Vec<u8> {
+    let mut vals = vec![0u8; periods];
+    for (wire, weight) in [("q1", 2u8), ("q0", 1u8)] {
+        for &t in events.times(wire) {
+            let k = ((t - 90.0 - 5.0) / 100.0).round() as usize;
+            if k < periods {
+                vals[k] |= weight;
+            }
+        }
+    }
+    vals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let ops = [
+            MemOp::Write { addr: 5, data: 3 },
+            MemOp::Write { addr: 9, data: 1 },
+            MemOp::Read { addr: 5 },
+            MemOp::Read { addr: 9 },
+            MemOp::Read { addr: 0 },
+        ];
+        let mut circ = Circuit::new();
+        memory_bench(&mut circ, &ops).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let vals = decode_reads(&ev, ops.len());
+        // Period 0 writes 3 to addr 5 and reads it back; period 1 writes 1
+        // to addr 9; periods 2–4 read 5, 9, and the untouched 0.
+        assert_eq!(vals, vec![3, 1, 3, 1, 0]);
+    }
+
+    #[test]
+    fn idle_periods_read_zero_from_address_zero() {
+        let ops = [MemOp::Idle, MemOp::Write { addr: 0, data: 2 }, MemOp::Idle];
+        let mut circ = Circuit::new();
+        memory_bench(&mut circ, &ops).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let vals = decode_reads(&ev, 3);
+        assert_eq!(vals, vec![0, 2, 2]); // idle = read addr 0
+    }
+
+    #[test]
+    fn overwrite_takes_effect() {
+        let ops = [
+            MemOp::Write { addr: 7, data: 1 },
+            MemOp::Write { addr: 7, data: 2 },
+            MemOp::Read { addr: 7 },
+        ];
+        let mut circ = Circuit::new();
+        memory_bench(&mut circ, &ops).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(decode_reads(&ev, 3), vec![1, 2, 2]);
+    }
+}

@@ -1,0 +1,92 @@
+//! The min-max pair (comparator) of the paper's Figure 11.
+//!
+//! Inputs `a` and `b` are duplicated by splitters; the first copy of each
+//! enters an inverted C element, which fires `low` after the *first* input
+//! arrives, and the second copies enter a C element whose output (the
+//! *second* arrival) is delayed by a 2.0 ps JTL for path balancing before
+//! being emitted as `high`. Both paths have a total propagation delay of
+//! 11 + 14 = 11 + 12 + 2 = 25 ps.
+
+use rlse_cells::{c, c_inv, jtl_delay, s};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// Total propagation delay from either input to either output (ps).
+pub const MIN_MAX_DELAY: f64 = 25.0;
+
+/// Build a min-max pair: returns `(low, high)` where `low` carries the
+/// earlier of the two input pulses (plus [`MIN_MAX_DELAY`]) and `high` the
+/// later.
+///
+/// # Errors
+///
+/// Fails if `a` or `b` already has a reader (fanout violation).
+///
+/// ```
+/// use rlse_core::prelude::*;
+/// use rlse_designs::minmax::min_max;
+///
+/// # fn main() -> Result<(), rlse_core::Error> {
+/// let mut circ = Circuit::new();
+/// let a = circ.inp_at(&[115.0], "A");
+/// let b = circ.inp_at(&[64.0], "B");
+/// let (low, high) = min_max(&mut circ, a, b)?;
+/// circ.inspect(low, "LOW");
+/// circ.inspect(high, "HIGH");
+/// let ev = Simulation::new(circ).run()?;
+/// assert_eq!(ev.times("LOW"), &[89.0]);
+/// assert_eq!(ev.times("HIGH"), &[140.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_max(circ: &mut Circuit, a: Wire, b: Wire) -> Result<(Wire, Wire), Error> {
+    let (a0, a1) = s(circ, a)?;
+    let (b0, b1) = s(circ, b)?;
+    let low = c_inv(circ, a0, b0)?;
+    let high = c(circ, a1, b1)?;
+    let high = jtl_delay(circ, high, 2.0)?;
+    Ok((low, high))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    #[test]
+    fn paper_stimulus_three_rounds() {
+        // The §5.3 stimulus: A at 115/215/315, B at 64/184/304; outputs at
+        // min+25 on LOW and max+25 on HIGH each round.
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[115.0, 215.0, 315.0], "A");
+        let b = circ.inp_at(&[64.0, 184.0, 304.0], "B");
+        let (low, high) = min_max(&mut circ, a, b).unwrap();
+        circ.inspect(low, "LOW");
+        circ.inspect(high, "HIGH");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("LOW"), &[89.0, 209.0, 329.0]);
+        assert_eq!(ev.times("HIGH"), &[140.0, 240.0, 340.0]);
+    }
+
+    #[test]
+    fn order_is_insensitive_to_which_input_is_earlier() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[10.0], "A");
+        let b = circ.inp_at(&[40.0], "B");
+        let (low, high) = min_max(&mut circ, a, b).unwrap();
+        circ.inspect(low, "LOW");
+        circ.inspect(high, "HIGH");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("LOW"), &[35.0]);
+        assert_eq!(ev.times("HIGH"), &[65.0]);
+    }
+
+    #[test]
+    fn uses_five_cells_like_figure11() {
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[10.0], "A");
+        let b = circ.inp_at(&[40.0], "B");
+        let _ = min_max(&mut circ, a, b).unwrap();
+        assert_eq!(circ.stats().cells, 5); // 2 S, C, InvC, JTL
+    }
+}

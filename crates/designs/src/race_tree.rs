@@ -1,0 +1,165 @@
+//! A race tree (paper §5.2, citing Tzimpragos et al. \[51\]): a decision tree
+//! evaluated with race logic, where feature values are encoded as pulse
+//! arrival times relative to a start-of-evaluation pulse.
+//!
+//! Each internal decision node compares a feature's arrival time against a
+//! threshold pulse (the start pulse delayed through a JTL chain) using a
+//! complementary-output DRO: `q` fires if the feature beat the threshold
+//! (go left), `qn` otherwise (go right). Leaf labels are coincidence (C)
+//! elements combining the decisions along the root-to-leaf path, so exactly
+//! one label fires per evaluation.
+//!
+//! The tree built here has 3 decision nodes and 4 labels (`a`–`d`) over two
+//! features, using 18 basic cells in total — the size the paper reports.
+//!
+//! ```text
+//!            f1 < t1 ?
+//!           /         \
+//!     f2 < t2 ?     f2 < t3 ?
+//!      /    \        /    \
+//!     a      b      c      d
+//! ```
+
+use rlse_cells::{c, dro_c, jtl_chain, jtl_delay, s};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// The three thresholds of the tree, in ps relative to the start pulse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Root node threshold on feature 1.
+    pub t1: f64,
+    /// Left child threshold on feature 2.
+    pub t2: f64,
+    /// Right child threshold on feature 2.
+    pub t3: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            t1: 50.0,
+            t2: 30.0,
+            t3: 70.0,
+        }
+    }
+}
+
+/// Build the race tree. `f1` and `f2` carry one pulse each (the encoded
+/// feature values); `start` is the start-of-evaluation pulse from which the
+/// three threshold pulses are derived. Returns the four label wires
+/// `[a, b, c, d]`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn race_tree(
+    circ: &mut Circuit,
+    f1: Wire,
+    f2: Wire,
+    start: Wire,
+    th: Thresholds,
+) -> Result<[Wire; 4], Error> {
+    // Distribute the start pulse to the three threshold generators.
+    let (s1, rest) = s(circ, start)?;
+    let (s2, s3) = s(circ, rest)?;
+    // Path balancing: the feature and threshold paths into each decision
+    // node must carry the same fixed delay so that the node compares
+    // `f_i` against `t_i` exactly.
+    //
+    //   node 1: f1 goes through 3 JTLs (17.1 ps); thr1 through one splitter
+    //           (11 ps) + a JTL of t1 + 6.1 ps  ⇒  left iff f1 < t1.
+    //   nodes 2/3: f2 goes through 1 splitter (11 ps); thr through two
+    //           splitters (22 ps) + a JTL of t − 11 ps  ⇒  left iff f2 < t.
+    let thr1 = jtl_delay(circ, s1, th.t1 + 6.1)?;
+    let thr2 = jtl_delay(circ, s2, th.t2 - 11.0)?;
+    let thr3 = jtl_delay(circ, s3, th.t3 - 11.0)?;
+    // Feature 2 feeds both second-level nodes.
+    let (f2a, f2b) = s(circ, f2)?;
+    let f1 = jtl_chain(circ, f1, 3)?;
+    // Decision nodes.
+    let (l1, r1) = dro_c(circ, f1, thr1)?;
+    let (l2, r2) = dro_c(circ, f2a, thr2)?;
+    let (l3, r3) = dro_c(circ, f2b, thr3)?;
+    // Path conjunction: one C element per leaf.
+    let (l1a, l1b) = s(circ, l1)?;
+    let (r1a, r1b) = s(circ, r1)?;
+    let label_a = c(circ, l1a, l2)?;
+    let label_b = c(circ, l1b, r2)?;
+    let label_c = c(circ, r1a, l3)?;
+    let label_d = c(circ, r1b, r3)?;
+    Ok([label_a, label_b, label_c, label_d])
+}
+
+/// Build a complete race-tree circuit with fresh inputs: feature pulses at
+/// `start + f1`/`start + f2` and the start pulse at `start`, labels
+/// observed as `a`–`d`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn race_tree_with_inputs(
+    circ: &mut Circuit,
+    f1: f64,
+    f2: f64,
+    start: f64,
+    th: Thresholds,
+) -> Result<[Wire; 4], Error> {
+    let f1 = circ.inp_at(&[start + f1], "f1");
+    let f2 = circ.inp_at(&[start + f2], "f2");
+    let st = circ.inp_at(&[start], "start");
+    let labels = race_tree(circ, f1, f2, st, th)?;
+    for (w, n) in labels.iter().zip(["a", "b", "c", "d"]) {
+        circ.inspect(*w, n);
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    fn winner(f1: f64, f2: f64) -> &'static str {
+        let mut circ = Circuit::new();
+        race_tree_with_inputs(&mut circ, f1, f2, 20.0, Thresholds::default()).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let fired: Vec<&str> = ["a", "b", "c", "d"]
+            .into_iter()
+            .filter(|l| !ev.times(l).is_empty())
+            .collect();
+        // The single-winner property of §5.2.
+        assert_eq!(
+            ["a", "b", "c", "d"]
+                .iter()
+                .map(|l| ev.times(l).len())
+                .sum::<usize>(),
+            1,
+            "exactly one label pulse"
+        );
+        fired[0]
+    }
+
+    #[test]
+    fn all_four_leaves_are_reachable() {
+        // Thresholds: t1=50 on f1; t2=30, t3=70 on f2.
+        assert_eq!(winner(20.0, 10.0), "a"); // f1<50, f2<30
+        assert_eq!(winner(20.0, 60.0), "b"); // f1<50, f2>30
+        assert_eq!(winner(80.0, 40.0), "c"); // f1>50, f2<70
+        assert_eq!(winner(80.0, 95.0), "d"); // f1>50, f2>70
+    }
+
+    #[test]
+    fn uses_18_cells_like_the_paper() {
+        let mut circ = Circuit::new();
+        race_tree_with_inputs(&mut circ, 20.0, 10.0, 20.0, Thresholds::default()).unwrap();
+        assert_eq!(circ.stats().cells, 18);
+    }
+
+    #[test]
+    fn boundary_feature_values_still_pick_one_label() {
+        for (f1, f2) in [(5.0, 5.0), (95.0, 95.0), (40.0, 60.0), (60.0, 20.0)] {
+            let _ = winner(f1, f2); // asserts the single-winner property
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Sequential building blocks: a DRO shift register and a toggle-chain
+//! ripple counter — the standard RSFQ demonstrations of stateful cells
+//! under a common clock.
+
+use rlse_cells::{dro, s, split_n, tff};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// Build an `n`-stage shift register: data pulses on `d` advance one DRO
+/// per clock pulse; returns the per-stage outputs (stage 0 first, which is
+/// the input end — a pulse appears on stage `k`'s output `k+1` clocks after
+/// entering).
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn shift_register(
+    circ: &mut Circuit,
+    d: Wire,
+    clk: Wire,
+    n: usize,
+) -> Result<Vec<Wire>, Error> {
+    assert!(n > 0, "a shift register needs at least one stage");
+    // Clock fanout: each stage gets its own copy. Stage k's clock passes
+    // through k extra splitter levels in split_n's tree, but the skew is
+    // identical for neighbours up to one splitter delay (11 ps), far less
+    // than a clock period.
+    let clocks = split_n(circ, clk, n)?;
+    let mut data = d;
+    let mut taps = Vec::with_capacity(n);
+    for (k, ck) in clocks.into_iter().enumerate() {
+        let q = dro(circ, data, ck)?;
+        if k + 1 < n {
+            let (tap, onward) = s(circ, q)?;
+            taps.push(tap);
+            data = onward;
+        } else {
+            taps.push(q);
+        }
+    }
+    Ok(taps)
+}
+
+/// Build an `n`-bit ripple counter from toggle flip-flops: bit `k` toggles
+/// at 1/2^(k+1) of the input rate. Returns one observed tap per bit
+/// (LSB first).
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_counter(circ: &mut Circuit, pulses: Wire, n: usize) -> Result<Vec<Wire>, Error> {
+    assert!(n > 0, "a counter needs at least one bit");
+    let mut taps = Vec::with_capacity(n);
+    let mut feed = pulses;
+    for k in 0..n {
+        let q = tff(circ, feed)?;
+        if k + 1 < n {
+            let (tap, onward) = s(circ, q)?;
+            taps.push(tap);
+            feed = onward;
+        } else {
+            taps.push(q);
+        }
+    }
+    Ok(taps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    #[test]
+    fn shift_register_delays_by_one_clock_per_stage() {
+        let mut circ = Circuit::new();
+        let d = circ.inp_at(&[30.0], "D");
+        let clk = circ.inp(100.0, 100.0, 5, "CLK");
+        let taps = shift_register(&mut circ, d, clk, 3).unwrap();
+        for (k, t) in taps.iter().enumerate() {
+            circ.inspect(*t, &format!("T{k}"));
+        }
+        let ev = Simulation::new(circ).run().unwrap();
+        // One pulse per stage, in strictly increasing clock periods.
+        let mut last = 0.0;
+        for k in 0..3 {
+            let t = ev.times(&format!("T{k}"));
+            assert_eq!(t.len(), 1, "T{k}: {t:?}");
+            assert!(t[0] > last, "T{k} at {} after {last}", t[0]);
+            last = t[0];
+        }
+        // Stage 0 reads out on the first clock (~100), stage 2 on the third.
+        assert!(ev.times("T0")[0] < 200.0);
+        assert!(ev.times("T2")[0] > 300.0);
+    }
+
+    #[test]
+    fn shift_register_pipelines_multiple_tokens() {
+        let mut circ = Circuit::new();
+        let d = circ.inp_at(&[30.0, 130.0], "D");
+        let clk = circ.inp(100.0, 100.0, 6, "CLK");
+        let taps = shift_register(&mut circ, d, clk, 2).unwrap();
+        circ.inspect(taps[1], "OUT");
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("OUT").len(), 2);
+    }
+
+    #[test]
+    fn counter_divides_by_powers_of_two() {
+        let mut circ = Circuit::new();
+        let pulses = circ.inp(20.0, 20.0, 16, "IN");
+        let taps = ripple_counter(&mut circ, pulses, 3).unwrap();
+        for (k, t) in taps.iter().enumerate() {
+            circ.inspect(*t, &format!("B{k}"));
+        }
+        let ev = Simulation::new(circ).run().unwrap();
+        assert_eq!(ev.times("B0").len(), 8);
+        assert_eq!(ev.times("B1").len(), 4);
+        assert_eq!(ev.times("B2").len(), 2);
+    }
+
+    #[test]
+    fn counter_bits_toggle_in_order() {
+        let mut circ = Circuit::new();
+        let pulses = circ.inp(20.0, 20.0, 4, "IN");
+        let taps = ripple_counter(&mut circ, pulses, 2).unwrap();
+        circ.inspect(taps[0], "B0");
+        circ.inspect(taps[1], "B1");
+        let ev = Simulation::new(circ).run().unwrap();
+        // B1's only pulse comes after B0's second pulse.
+        assert!(ev.times("B1")[0] > ev.times("B0")[1]);
+    }
+}

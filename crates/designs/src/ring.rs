@@ -1,0 +1,97 @@
+//! Feedback loops: a ring oscillator and a pulse recirculator.
+//!
+//! The paper's §4.3 notes that the simulator's target time exists because
+//! designs may contain loops; these designs are the canonical examples. A
+//! seed pulse enters a merger whose output circulates through a JTL chain
+//! back into the merger's other input, producing a pulse train whose period
+//! is the loop latency.
+
+use rlse_cells::{jtl_chain, m, s};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// The result of [`ring_oscillator`].
+#[derive(Debug, Clone, Copy)]
+pub struct RingOscillator {
+    /// Observable output tap (one pulse per revolution).
+    pub tap: Wire,
+    /// Loop latency in ps (the oscillation period).
+    pub period: f64,
+}
+
+/// Build a ring oscillator: `seed` starts the loop, and one pulse appears
+/// on `tap` every `period` picoseconds thereafter. The period is set by the
+/// number of JTL stages: `period = merger + splitter + stages × jtl`
+/// `= 6.3 + 11 + 5.7 × stages`.
+///
+/// Simulate with [`Simulation::until`](rlse_core::sim::Simulation::until) —
+/// the loop never drains the pulse heap on its own.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn ring_oscillator(
+    circ: &mut Circuit,
+    seed: Wire,
+    stages: usize,
+) -> Result<RingOscillator, Error> {
+    // seed ─► M ─► S ─┬─► tap
+    //         ▲       └─► JTL × stages ─┐
+    //         └─────────────────────────┘
+    let chain_in = circ.loopback_wire();
+    let merged = m(circ, seed, chain_in)?;
+    let (tap, back) = s(circ, merged)?;
+    let chained = jtl_chain(circ, back, stages)?;
+    circ.close_loop(chained, chain_in)?;
+    Ok(RingOscillator {
+        tap,
+        period: 6.3 + 11.0 + 5.7 * stages as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    #[test]
+    fn ring_oscillates_at_the_designed_period() {
+        let mut circ = Circuit::new();
+        let seed = circ.inp_at(&[10.0], "SEED");
+        let osc = ring_oscillator(&mut circ, seed, 4).unwrap();
+        circ.inspect(osc.tap, "TAP");
+        let ev = Simulation::new(circ).until(500.0).run().unwrap();
+        let taps = ev.times("TAP");
+        assert!(taps.len() >= 10, "got {} pulses", taps.len());
+        // Constant period after the first revolution.
+        for w in taps.windows(2) {
+            assert!((w[1] - w[0] - osc.period).abs() < 1e-9, "{taps:?}");
+        }
+    }
+
+    #[test]
+    fn longer_chains_oscillate_slower() {
+        let count = |stages: usize| {
+            let mut circ = Circuit::new();
+            let seed = circ.inp_at(&[10.0], "SEED");
+            let osc = ring_oscillator(&mut circ, seed, stages).unwrap();
+            circ.inspect(osc.tap, "TAP");
+            let ev = Simulation::new(circ).until(600.0).run().unwrap();
+            ev.times("TAP").len()
+        };
+        assert!(count(2) > count(10));
+    }
+
+    #[test]
+    fn without_until_the_loop_is_rejected_by_inspection() {
+        // Document the footgun: a loop with no target time would simulate
+        // forever, so tests must always bound it.
+        let mut circ = Circuit::new();
+        let seed = circ.inp_at(&[10.0], "SEED");
+        let osc = ring_oscillator(&mut circ, seed, 2).unwrap();
+        circ.inspect(osc.tap, "TAP");
+        // Bounded at a tiny horizon: exactly the seed revolution appears.
+        let ev = Simulation::new(circ).until(30.0).run().unwrap();
+        assert_eq!(ev.times("TAP").len(), 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! A clockless dual-rail full adder in the style of xSFQ alternating logic
+//! (paper Table 3, "Adder (xSFQ)").
+//!
+//! Every logical signal is a *pair* of wires: a pulse on the `t` rail means
+//! 1, on the `f` rail means 0; exactly one rail pulses per evaluation wave.
+//! The adder is built from 2x2 joins (which wait for one rail of each
+//! operand pair and fire the rail-product output), splitters, and mergers.
+//! No clock is needed — completion is signalled by the output rails
+//! themselves.
+//!
+//! Note: the paper's xSFQ adder (83 cells) uses the full alternating-logic
+//! discipline with first/last-arrival gate pairs; this design implements the
+//! same dual-rail interface and function with the join-based construction,
+//! which is considerably smaller (see EXPERIMENTS.md).
+
+use rlse_cells::{join2x2, jtl, m, s};
+use rlse_core::circuit::{Circuit, Wire};
+use rlse_core::error::Error;
+
+/// A dual-rail signal: a pulse on `t` encodes 1, on `f` encodes 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DualRail {
+    /// True rail.
+    pub t: Wire,
+    /// False rail.
+    pub f: Wire,
+}
+
+/// The outputs of [`full_adder_xsfq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsfqAdderOutputs {
+    /// Dual-rail sum bit.
+    pub sum: DualRail,
+    /// Dual-rail carry-out bit.
+    pub cout: DualRail,
+}
+
+/// Build the dual-rail full adder over dual-rail operands `a`, `b`, `cin`.
+///
+/// Exactly one rail of `sum` and one rail of `cout` pulses per input wave.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn full_adder_xsfq(
+    circ: &mut Circuit,
+    a: DualRail,
+    b: DualRail,
+    cin: DualRail,
+) -> Result<XsfqAdderOutputs, Error> {
+    // First join: decode the (a, b) pair.
+    let (tt, tf, ft, ff) = join2x2(circ, a.t, a.f, b.t, b.f)?;
+    // tt (a=b=1) is needed both for x_f and as the carry generate.
+    let (tt_x, tt_g) = s(circ, tt)?;
+    // ff (a=b=0) is needed both for x_f and as the carry kill.
+    let (ff_x, ff_k) = s(circ, ff)?;
+    // x = a ⊕ b as a dual-rail pair.
+    let x_t = m(circ, tf, ft)?;
+    let x_f = m(circ, tt_x, ff_x)?;
+    // Second join: decode the (x, cin) pair.
+    let (xc_tt, xc_tf, xc_ft, xc_ff) = join2x2(circ, x_t, x_f, cin.t, cin.f)?;
+    // xc_tt (x=1, cin=1): sum=0 and cout=1. xc_tf (x=1, cin=0): sum=1, cout=0.
+    let (xc_tt_s, xc_tt_c) = s(circ, xc_tt)?;
+    let (xc_tf_s, xc_tf_c) = s(circ, xc_tf)?;
+    // sum = x ⊕ cin.
+    let s_t = m(circ, xc_tf_s, xc_ft)?;
+    let s_f = m(circ, xc_tt_s, xc_ff)?;
+    // cout: 1 via generate (a·b) or propagate-with-carry (x·cin);
+    //       0 via kill (a̅·b̅) or propagate-without-carry (x·c̅in).
+    let tt_g = jtl(circ, tt_g)?; // balance the join stage the xc_* rails pass
+    let ff_k = jtl(circ, ff_k)?;
+    let c_t = m(circ, tt_g, xc_tt_c)?;
+    let c_f = m(circ, ff_k, xc_tf_c)?;
+    Ok(XsfqAdderOutputs {
+        sum: DualRail { t: s_t, f: s_f },
+        cout: DualRail { t: c_t, f: c_f },
+    })
+}
+
+/// Build a complete dual-rail adder circuit for one input vector, pulsing
+/// the appropriate rail of each operand (staggered at 20/26/32 ps) and
+/// observing `SUM_T`, `SUM_F`, `COUT_T`, `COUT_F`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+pub fn full_adder_xsfq_with_inputs(
+    circ: &mut Circuit,
+    a: bool,
+    b: bool,
+    cin: bool,
+) -> Result<XsfqAdderOutputs, Error> {
+    let mk = |circ: &mut Circuit, bit: bool, t0: f64, name: &str| {
+        let t_times: &[f64] = if bit { &[t0] } else { &[] };
+        let f_times: &[f64] = if bit { &[] } else { &[t0] };
+        DualRail {
+            t: circ.inp_at(t_times, &format!("{name}_T")),
+            f: circ.inp_at(f_times, &format!("{name}_F")),
+        }
+    };
+    let a = mk(circ, a, 20.0, "A");
+    let b = mk(circ, b, 26.0, "B");
+    let cin = mk(circ, cin, 32.0, "CIN");
+    let outs = full_adder_xsfq(circ, a, b, cin)?;
+    circ.inspect(outs.sum.t, "SUM_T");
+    circ.inspect(outs.sum.f, "SUM_F");
+    circ.inspect(outs.cout.t, "COUT_T");
+    circ.inspect(outs.cout.f, "COUT_F");
+    Ok(outs)
+}
+
+/// An n-bit clockless ripple-carry adder: chain [`full_adder_xsfq`] cells,
+/// passing each stage's dual-rail carry to the next. No clock tree is
+/// needed at any width — completion ripples with the carry rails.
+///
+/// Operands are per-bit dual-rail signals, LSB first.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if the operands differ in width or are empty.
+pub fn ripple_adder_xsfq(
+    circ: &mut Circuit,
+    a: &[DualRail],
+    b: &[DualRail],
+    cin: DualRail,
+) -> Result<(Vec<DualRail>, DualRail), Error> {
+    assert!(!a.is_empty() && a.len() == b.len(), "operand width mismatch");
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(a.len());
+    for (abit, bbit) in a.iter().zip(b) {
+        let out = full_adder_xsfq(circ, *abit, *bbit, carry)?;
+        sums.push(out.sum);
+        carry = out.cout;
+    }
+    Ok((sums, carry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_core::prelude::*;
+
+    fn run(a: bool, b: bool, cin: bool) -> (bool, bool) {
+        let mut circ = Circuit::new();
+        full_adder_xsfq_with_inputs(&mut circ, a, b, cin).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        // Dual-rail invariant: exactly one rail of each pair pulses, once.
+        for pair in [("SUM_T", "SUM_F"), ("COUT_T", "COUT_F")] {
+            let total = ev.times(pair.0).len() + ev.times(pair.1).len();
+            assert_eq!(total, 1, "exactly one pulse across {pair:?}");
+        }
+        (
+            !ev.times("SUM_T").is_empty(),
+            !ev.times("COUT_T").is_empty(),
+        )
+    }
+
+    #[test]
+    fn exhaustive_truth_table() {
+        for v in 0u8..8 {
+            let (a, b, cin) = (v & 1 != 0, v & 2 != 0, v & 4 != 0);
+            let ones = [a, b, cin].iter().filter(|&&x| x).count();
+            let (sum, cout) = run(a, b, cin);
+            assert_eq!(sum, ones % 2 == 1, "sum for {a}{b}{cin}");
+            assert_eq!(cout, ones >= 2, "cout for {a}{b}{cin}");
+        }
+    }
+
+    #[test]
+    fn clockless_ripple_adder_adds() {
+        use crate::dual_rail::{dr_input, dr_inspect};
+        for (x, y, cin) in [(0u64, 0u64, false), (3, 1, false), (2, 3, true), (3, 3, true)] {
+            let mut circ = Circuit::new();
+            let mk = |circ: &mut Circuit, v: u64, t0: f64, name: &str| -> Vec<DualRail> {
+                (0..2)
+                    .map(|i| {
+                        dr_input(circ, v & (1 << i) != 0, t0 + 7.0 * i as f64, &format!("{name}{i}"))
+                    })
+                    .collect()
+            };
+            let a = mk(&mut circ, x, 20.0, "A");
+            let b = mk(&mut circ, y, 23.5, "B");
+            let cin_w = dr_input(&mut circ, cin, 34.0, "CIN");
+            let (sums, cout) = ripple_adder_xsfq(&mut circ, &a, &b, cin_w).unwrap();
+            for (i, s) in sums.iter().enumerate() {
+                dr_inspect(&mut circ, *s, &format!("S{i}"));
+            }
+            dr_inspect(&mut circ, cout, "COUT");
+            let ev = Simulation::new(circ).run().unwrap();
+            let mut got = 0u64;
+            for i in 0..2 {
+                // Exactly one rail per sum bit.
+                let t = ev.times(&format!("S{i}_T")).len();
+                let f = ev.times(&format!("S{i}_F")).len();
+                assert_eq!(t + f, 1, "S{i} rails for {x}+{y}+{cin}");
+                if t == 1 {
+                    got |= 1 << i;
+                }
+            }
+            if !ev.times("COUT_T").is_empty() {
+                got |= 4;
+            }
+            assert_eq!(got, x + y + cin as u64, "{x}+{y}+{cin}");
+        }
+    }
+
+    #[test]
+    fn cell_inventory() {
+        let mut circ = Circuit::new();
+        full_adder_xsfq_with_inputs(&mut circ, true, false, true).unwrap();
+        // 2 joins + 4 splitters + 6 mergers + 2 JTLs.
+        assert_eq!(circ.stats().cells, 14);
+    }
+}

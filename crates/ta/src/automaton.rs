@@ -1,0 +1,286 @@
+//! Networks of timed automata (Alur–Dill style, UPPAAL flavored): the
+//! target of the PyLSE-Machine translation of the paper's §4.4.
+//!
+//! A [`TaNetwork`] is a parallel composition of [`Automaton`]s over a shared
+//! pool of clocks and binary synchronization channels (`ch!` pairs with
+//! `ch?`). Guards and invariants are conjunctions of diagonal-free clock
+//! constraints `c ⋈ n` with integer bounds.
+
+use crate::dbm::Rel;
+use std::fmt;
+
+/// Index of a clock in the network-wide clock pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(pub usize);
+
+/// Index of a synchronization channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub usize);
+
+/// Index of a location within one automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(pub usize);
+
+/// One clock constraint `clock ⋈ bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// The constrained clock.
+    pub clock: ClockId,
+    /// The relation.
+    pub rel: Rel,
+    /// Integer bound (already in model time units).
+    pub bound: i64,
+}
+
+impl Constraint {
+    /// Build a constraint.
+    pub fn new(clock: ClockId, rel: Rel, bound: i64) -> Self {
+        Constraint { clock, rel, bound }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.rel {
+            Rel::Lt => "<",
+            Rel::Le => "<=",
+            Rel::Ge => ">=",
+            Rel::Gt => ">",
+            Rel::Eq => "==",
+        };
+        write!(f, "c{} {op} {}", self.clock.0, self.bound)
+    }
+}
+
+/// A conjunction of clock constraints.
+pub type Guard = Vec<Constraint>;
+
+/// Edge synchronization action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sync {
+    /// Internal action (no synchronization).
+    Tau,
+    /// Emit on a channel (`ch!`); pairs with a matching [`Sync::Recv`].
+    Send(ChanId),
+    /// Receive on a channel (`ch?`).
+    Recv(ChanId),
+}
+
+/// What a location represents, for queries and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocKind {
+    /// An ordinary location.
+    Normal,
+    /// A terminal error location (timing violation; Query 2 checks these
+    /// are unreachable).
+    Error,
+    /// The `fta_end` location of a firing automaton, entered at the instant
+    /// an output pulse is emitted (used by Query 1).
+    FiringEnd,
+}
+
+/// A location with its invariant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Display name (UPPAAL identifier).
+    pub name: String,
+    /// Clock invariant that must hold while control stays here.
+    pub invariant: Guard,
+    /// Role of this location.
+    pub kind: LocKind,
+    /// Committed (UPPAAL semantics): while any automaton is in a committed
+    /// location, time may not pass and only committed automata may move.
+    /// Used for the zero-duration fire chains so independent cells do not
+    /// interleave through them.
+    pub committed: bool,
+}
+
+/// A transition between locations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source location.
+    pub src: LocId,
+    /// Destination location.
+    pub dst: LocId,
+    /// Synchronization action.
+    pub sync: Sync,
+    /// Guard that must hold to take the edge.
+    pub guard: Guard,
+    /// Clocks reset to 0 when the edge is taken.
+    pub resets: Vec<ClockId>,
+}
+
+/// One timed automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automaton {
+    /// Display name (UPPAAL template/instance name).
+    pub name: String,
+    /// Initial location.
+    pub init: LocId,
+    /// Locations.
+    pub locations: Vec<Location>,
+    /// Edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Automaton {
+    /// Edges leaving `loc`.
+    pub fn edges_from(&self, loc: LocId) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter(move |e| e.src == loc)
+    }
+}
+
+/// A network of timed automata with shared clocks and channels.
+#[derive(Debug, Clone, Default)]
+pub struct TaNetwork {
+    /// The component automata, composed in parallel.
+    pub automata: Vec<Automaton>,
+    /// Clock names, indexed by [`ClockId`].
+    pub clock_names: Vec<String>,
+    /// Channel names, indexed by [`ChanId`].
+    pub chan_names: Vec<String>,
+    /// The global wall-clock (never reset), if the network has one.
+    pub global_clock: Option<ClockId>,
+    /// Time scale: model time units per picosecond (the paper upscales
+    /// `209.2 ps` to the integer `2092`, i.e. scale 10).
+    pub scale: i64,
+}
+
+impl TaNetwork {
+    /// Create an empty network with the given integer time scale.
+    pub fn new(scale: i64) -> Self {
+        TaNetwork {
+            scale,
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a fresh clock.
+    pub fn add_clock(&mut self, name: impl Into<String>) -> ClockId {
+        self.clock_names.push(name.into());
+        ClockId(self.clock_names.len() - 1)
+    }
+
+    /// Allocate a fresh channel.
+    pub fn add_chan(&mut self, name: impl Into<String>) -> ChanId {
+        self.chan_names.push(name.into());
+        ChanId(self.chan_names.len() - 1)
+    }
+
+    /// Number of clocks.
+    pub fn clock_count(&self) -> usize {
+        self.clock_names.len()
+    }
+
+    /// Summary counts `(automata, locations, edges, channels)` — the
+    /// UPPAAL columns of the paper's Table 3.
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            automata: self.automata.len(),
+            locations: self.automata.iter().map(|a| a.locations.len()).sum(),
+            edges: self.automata.iter().map(|a| a.edges.len()).sum(),
+            channels: self.chan_names.len(),
+            clocks: self.clock_names.len(),
+        }
+    }
+
+    /// Per-clock maximal constants (for extrapolation): the largest bound
+    /// each clock is compared against anywhere in the network.
+    pub fn max_constants(&self) -> Vec<i64> {
+        let mut max = vec![0i64; self.clock_names.len()];
+        let mut see = |g: &Guard| {
+            for c in g {
+                let m = &mut max[c.clock.0];
+                *m = (*m).max(c.bound.abs());
+            }
+        };
+        for a in &self.automata {
+            for l in &a.locations {
+                see(&l.invariant);
+            }
+            for e in &a.edges {
+                see(&e.guard);
+            }
+        }
+        max
+    }
+
+    /// All `(automaton, location)` pairs with the given kind.
+    pub fn locations_of_kind(&self, kind: LocKind) -> Vec<(usize, LocId)> {
+        let mut out = Vec::new();
+        for (ai, a) in self.automata.iter().enumerate() {
+            for (li, l) in a.locations.iter().enumerate() {
+                if l.kind == kind {
+                    out.push((ai, LocId(li)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Size summary of a [`TaNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Number of component automata.
+    pub automata: usize,
+    /// Total locations.
+    pub locations: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// Channels.
+    pub channels: usize,
+    /// Clocks.
+    pub clocks: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_and_max_constants() {
+        let mut net = TaNetwork::new(10);
+        let c0 = net.add_clock("g");
+        let c1 = net.add_clock("ch");
+        let ch = net.add_chan("w0");
+        net.automata.push(Automaton {
+            name: "A".into(),
+            init: LocId(0),
+            locations: vec![
+                Location {
+                    name: "idle".into(),
+                    invariant: vec![Constraint::new(c1, Rel::Le, 30)],
+                    kind: LocKind::Normal,
+                    committed: false,
+                },
+                Location {
+                    name: "err".into(),
+                    invariant: vec![],
+                    kind: LocKind::Error,
+                    committed: false,
+                },
+            ],
+            edges: vec![Edge {
+                src: LocId(0),
+                dst: LocId(1),
+                sync: Sync::Recv(ch),
+                guard: vec![Constraint::new(c0, Rel::Ge, 100)],
+                resets: vec![c1],
+            }],
+        });
+        let s = net.stats();
+        assert_eq!(
+            (s.automata, s.locations, s.edges, s.channels, s.clocks),
+            (1, 2, 1, 1, 2)
+        );
+        assert_eq!(net.max_constants(), vec![100, 30]);
+        assert_eq!(net.locations_of_kind(LocKind::Error), vec![(0, LocId(1))]);
+    }
+
+    #[test]
+    fn constraint_display() {
+        let c = Constraint::new(ClockId(3), Rel::Ge, 28);
+        assert_eq!(c.to_string(), "c3 >= 28");
+    }
+}

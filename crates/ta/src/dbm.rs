@@ -1,0 +1,411 @@
+//! Difference bound matrices (DBMs): the canonical zone representation used
+//! by timed-automata model checkers such as UPPAAL.
+//!
+//! A zone over clocks `x_1..x_n` is a conjunction of constraints
+//! `x_i - x_j ≺ m` with `≺ ∈ {<, ≤}`, stored as an `(n+1)²` matrix with the
+//! reference "clock" `x_0 = 0` at index 0. Bounds are encoded in a single
+//! `i32`: `2m + 1` for `≤ m`, `2m` for `< m`, and [`INF`] for unbounded —
+//! the encoding makes "tighter" coincide with smaller integers and lets
+//! bound addition be two shifts and a mask.
+
+use std::fmt;
+
+/// Encoded bound: infinity (no constraint).
+pub const INF: i32 = i32::MAX;
+
+/// Encode `≤ m`.
+#[inline]
+pub const fn le(m: i32) -> i32 {
+    2 * m + 1
+}
+
+/// Encode `< m`.
+#[inline]
+pub const fn lt(m: i32) -> i32 {
+    2 * m
+}
+
+/// The `≤ 0` bound (used for emptiness and the zero zone).
+pub const LE_ZERO: i32 = le(0);
+
+#[inline]
+fn add_bounds(a: i32, b: i32) -> i32 {
+    if a == INF || b == INF {
+        INF
+    } else {
+        // m = m_a + m_b; strictness = strict if either is strict.
+        ((a >> 1) + (b >> 1)) * 2 + (a & b & 1)
+    }
+}
+
+/// A difference bound matrix over `n` real clocks (plus the reference).
+///
+/// All public constructors and operators keep the matrix canonical (all
+/// pairwise constraints as tight as the represented zone allows), so
+/// inclusion and emptiness tests are single passes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Dbm {
+    dim: usize,
+    /// Row-major `(dim)²` matrix; entry `(i, j)` bounds `x_i - x_j`.
+    m: Box<[i32]>,
+}
+
+impl Dbm {
+    /// The zone where every clock equals 0, over `clocks` real clocks.
+    pub fn zero(clocks: usize) -> Self {
+        let dim = clocks + 1;
+        Dbm {
+            dim,
+            m: vec![LE_ZERO; dim * dim].into_boxed_slice(),
+        }
+    }
+
+    /// The unconstrained zone (all clock valuations with `x_i ≥ 0`).
+    pub fn universe(clocks: usize) -> Self {
+        let dim = clocks + 1;
+        let mut m = vec![INF; dim * dim].into_boxed_slice();
+        for i in 0..dim {
+            m[i * dim + i] = LE_ZERO;
+            m[i] = LE_ZERO; // row 0: 0 - x_j ≤ 0
+        }
+        Dbm { dim, m }
+    }
+
+    /// Number of real clocks (dimension minus the reference).
+    pub fn clocks(&self) -> usize {
+        self.dim - 1
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> i32 {
+        self.m[i * self.dim + j]
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, v: i32) {
+        self.m[i * self.dim + j] = v;
+    }
+
+    /// The encoded bound on `x_i - x_j` (indices include the reference 0).
+    pub fn bound(&self, i: usize, j: usize) -> i32 {
+        self.at(i, j)
+    }
+
+    /// True if the zone contains no valuation.
+    pub fn is_empty(&self) -> bool {
+        self.at(0, 0) < LE_ZERO
+    }
+
+    /// Let time elapse: remove all upper bounds (the classic `up` operator).
+    pub fn up(&mut self) {
+        for i in 1..self.dim {
+            self.set(i, 0, INF);
+        }
+    }
+
+    /// Intersect with `x_i - x_j ≺ bound` (encoded). Returns `false` (and
+    /// leaves the zone empty) if the result is empty. Maintains canonicity
+    /// incrementally in O(dim²).
+    pub fn constrain(&mut self, i: usize, j: usize, bound: i32) -> bool {
+        if add_bounds(self.at(j, i), bound) < LE_ZERO {
+            self.set(0, 0, lt(0)); // mark empty
+            return false;
+        }
+        if bound < self.at(i, j) {
+            self.set(i, j, bound);
+            for a in 0..self.dim {
+                for b in 0..self.dim {
+                    let via_ij = add_bounds(add_bounds(self.at(a, i), bound), self.at(j, b));
+                    if via_ij < self.at(a, b) {
+                        self.set(a, b, via_ij);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Intersect with `x_c ≤ v` / `< v` / `≥ v` / `> v` / `== v` using the
+    /// [`Rel`] relation. `c` is a real clock index (1-based).
+    pub fn constrain_clock(&mut self, c: usize, rel: Rel, v: i32) -> bool {
+        debug_assert!(c >= 1 && c < self.dim);
+        match rel {
+            Rel::Le => self.constrain(c, 0, le(v)),
+            Rel::Lt => self.constrain(c, 0, lt(v)),
+            Rel::Ge => self.constrain(0, c, le(-v)),
+            Rel::Gt => self.constrain(0, c, lt(-v)),
+            Rel::Eq => self.constrain(c, 0, le(v)) && self.constrain(0, c, le(-v)),
+        }
+    }
+
+    /// Reset clock `c` to 0.
+    pub fn reset(&mut self, c: usize) {
+        debug_assert!(c >= 1 && c < self.dim);
+        for j in 0..self.dim {
+            let v = self.at(0, j);
+            self.set(c, j, v);
+            let v = self.at(j, 0);
+            self.set(j, c, v);
+        }
+        self.set(c, 0, LE_ZERO);
+        self.set(0, c, LE_ZERO);
+        // Wait: (c,0) must copy (0,0)=LE_ZERO and (0,c) likewise; the loop
+        // above already wrote them via j = 0, but keep them exact.
+    }
+
+    /// True if `self` includes `other` (every valuation of `other` is in
+    /// `self`). Both must be canonical.
+    pub fn includes(&self, other: &Dbm) -> bool {
+        debug_assert_eq!(self.dim, other.dim);
+        self.m.iter().zip(other.m.iter()).all(|(a, b)| a >= b)
+    }
+
+    /// Classic maximal-constant extrapolation: bounds above `max[c]` become
+    /// infinite and lower bounds below `-max[c]` are clamped, preserving
+    /// reachability for diagonal-free automata. `max[c]` is indexed by real
+    /// clock (0-based); re-canonicalizes afterwards.
+    pub fn extrapolate(&mut self, max: &[i64]) {
+        debug_assert_eq!(max.len(), self.dim - 1);
+        let mut changed = false;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                if i == j {
+                    continue;
+                }
+                let v = self.at(i, j);
+                if v == INF {
+                    continue;
+                }
+                // Upper bound on x_i (against anything): beyond k_i → INF.
+                if i > 0 {
+                    let ki = max[i - 1] as i32;
+                    if v > le(ki) {
+                        self.set(i, j, INF);
+                        changed = true;
+                        continue;
+                    }
+                }
+                // Lower bound on x_j: below -k_j → clamp to < -k_j.
+                if j > 0 {
+                    let kj = max[j - 1] as i32;
+                    if v < lt(-kj) {
+                        self.set(i, j, lt(-kj));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            self.canonicalize();
+        }
+    }
+
+    /// Full Floyd–Warshall canonicalization (O(dim³)).
+    pub fn canonicalize(&mut self) {
+        for k in 0..self.dim {
+            for i in 0..self.dim {
+                let dik = self.at(i, k);
+                if dik == INF {
+                    continue;
+                }
+                for j in 0..self.dim {
+                    let v = add_bounds(dik, self.at(k, j));
+                    if v < self.at(i, j) {
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+        if (0..self.dim).any(|i| self.at(i, i) < LE_ZERO) {
+            self.set(0, 0, lt(0));
+        }
+    }
+
+    /// The inclusive integer range of possible values for clock `c`, as
+    /// `(min, max)` with `max == None` meaning unbounded. Bounds are the
+    /// tightest *integers* consistent with the zone: strict bounds are
+    /// narrowed to the nearest integer inside the zone.
+    pub fn clock_range(&self, c: usize) -> (i64, Option<i64>) {
+        let lo_b = self.at(0, c); // 0 - x_c ≺ m  ⇒  x_c ≻ -m
+        let mut lo = -(lo_b >> 1) as i64;
+        if lo_b & 1 == 0 {
+            lo += 1; // strict lower bound
+        }
+        let hi = match self.at(c, 0) {
+            INF => None,
+            b => {
+                let mut h = (b >> 1) as i64;
+                if b & 1 == 0 {
+                    h -= 1; // strict upper bound
+                }
+                Some(h)
+            }
+        };
+        (lo, hi)
+    }
+}
+
+/// Relations usable in clock constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+}
+
+impl fmt::Debug for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dbm(dim={})", self.dim)?;
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                let v = self.at(i, j);
+                if v == INF {
+                    write!(f, "   INF ")?;
+                } else {
+                    write!(f, "{:>4}{} ", v >> 1, if v & 1 == 1 { "≤" } else { "<" })?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_encoding_orders_strictness() {
+        assert!(lt(5) < le(5));
+        assert!(le(4) < lt(5));
+        assert_eq!(add_bounds(le(3), le(4)), le(7));
+        assert_eq!(add_bounds(le(3), lt(4)), lt(7));
+        assert_eq!(add_bounds(lt(-3), le(2)), lt(-1));
+        assert_eq!(add_bounds(INF, le(1)), INF);
+    }
+
+    #[test]
+    fn zero_zone_pins_all_clocks() {
+        let z = Dbm::zero(2);
+        assert!(!z.is_empty());
+        assert_eq!(z.clock_range(1), (0, Some(0)));
+        assert_eq!(z.clock_range(2), (0, Some(0)));
+    }
+
+    #[test]
+    fn up_releases_upper_bounds_but_keeps_differences() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        assert_eq!(z.clock_range(1), (0, None));
+        // x1 - x2 still == 0.
+        assert_eq!(z.bound(1, 2), LE_ZERO);
+        assert_eq!(z.bound(2, 1), LE_ZERO);
+    }
+
+    #[test]
+    fn constrain_then_range() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        assert!(z.constrain_clock(1, Rel::Ge, 3));
+        assert!(z.constrain_clock(1, Rel::Le, 7));
+        assert_eq!(z.clock_range(1), (3, Some(7)));
+        assert!(z.constrain_clock(1, Rel::Eq, 5));
+        assert_eq!(z.clock_range(1), (5, Some(5)));
+        assert!(!z.constrain_clock(1, Rel::Gt, 5));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn reset_after_delay() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        assert!(z.constrain_clock(1, Rel::Eq, 10)); // x1 == 10, so x2 == 10
+        z.reset(2);
+        assert_eq!(z.clock_range(2), (0, Some(0)));
+        assert_eq!(z.clock_range(1), (10, Some(10)));
+        // x1 - x2 == 10 now.
+        assert_eq!(z.bound(1, 2), le(10));
+        z.up();
+        assert!(z.constrain_clock(2, Rel::Eq, 5));
+        assert_eq!(z.clock_range(1), (15, Some(15)));
+    }
+
+    #[test]
+    fn inclusion_is_a_partial_order() {
+        let mut a = Dbm::zero(1);
+        a.up();
+        let mut b = a.clone();
+        assert!(b.constrain_clock(1, Rel::Le, 5));
+        assert!(a.includes(&b));
+        assert!(!b.includes(&a));
+        assert!(a.includes(&a));
+    }
+
+    #[test]
+    fn extrapolation_widens_beyond_max_constant() {
+        let mut z = Dbm::zero(1);
+        z.up();
+        assert!(z.constrain_clock(1, Rel::Ge, 100));
+        assert!(z.constrain_clock(1, Rel::Le, 120));
+        let mut w = z.clone();
+        w.extrapolate(&[10]);
+        // Beyond the max constant 10, the zone loses its bounds.
+        assert_eq!(w.clock_range(1), (11, None));
+        assert!(w.includes(&z));
+    }
+
+    #[test]
+    fn extrapolated_zones_reach_fixpoint() {
+        // Simulate a loop that resets x2 while x1 grows: with extrapolation
+        // at k=5 the zones stop changing.
+        let max = [5i64, 5];
+        let mut seen: Vec<Dbm> = Vec::new();
+        let mut z = Dbm::zero(2);
+        loop {
+            let mut next = z.clone();
+            next.up();
+            assert!(next.constrain_clock(2, Rel::Eq, 3));
+            next.reset(2);
+            next.extrapolate(&max);
+            if seen.iter().any(|s| s.includes(&next)) {
+                break;
+            }
+            seen.push(next.clone());
+            z = next;
+            assert!(seen.len() < 20, "no fixpoint reached");
+        }
+        assert!(seen.len() <= 4, "fixpoint after a few iterations");
+    }
+
+    #[test]
+    fn universe_includes_everything() {
+        let u = Dbm::universe(2);
+        let mut z = Dbm::zero(2);
+        z.up();
+        z.constrain_clock(1, Rel::Le, 42);
+        assert!(u.includes(&z));
+        assert!(!z.includes(&u));
+    }
+
+    #[test]
+    fn urgency_via_le_zero_invariant() {
+        // A location with invariant c ≤ 0 entered with c just reset admits
+        // no delay: after up ∧ inv, the clock is still pinned at 0.
+        let mut z = Dbm::zero(2);
+        z.up();
+        assert!(z.constrain_clock(1, Rel::Eq, 7));
+        z.reset(2);
+        z.up();
+        assert!(z.constrain_clock(2, Rel::Le, 0));
+        assert_eq!(z.clock_range(2), (0, Some(0)));
+        assert_eq!(z.clock_range(1), (7, Some(7)));
+    }
+}

@@ -1,0 +1,551 @@
+//! A zone-based model checker for networks of timed automata — the role
+//! UPPAAL's `verifyta` plays in the paper's §5.3.
+//!
+//! The checker explores the zone graph: states are pairs of a location
+//! vector and a canonical DBM, successors follow internal (`τ`) edges and
+//! binary channel synchronizations, zones are widened with maximal-constant
+//! extrapolation, and visited states are subsumed by zone inclusion. Two
+//! query forms are supported, mirroring the paper:
+//!
+//! * **Query 1 (correctness)** — `A[] fta_end ⇒ global ∈ {t₁, …, tₖ}`:
+//!   whenever a firing automaton driving a circuit output is at its
+//!   `fta_end` location, the global clock equals one of the expected output
+//!   instants.
+//! * **Query 2 (unreachable error states)** — `A[] ¬(err₁ ∨ … ∨ errₙ)`:
+//!   no transition-time or past-constraint error location is reachable.
+
+use crate::automaton::{LocId, Sync, TaNetwork};
+use crate::dbm::Dbm;
+use crate::translate::Translation;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// One expected-output specification for Query 1.
+#[derive(Debug, Clone)]
+pub struct OutputSpec {
+    /// Circuit-output wire name (for diagnostics).
+    pub wire: String,
+    /// The `fta_end` locations (automaton index, location) feeding the wire.
+    pub ends: Vec<(usize, LocId)>,
+    /// Allowed firing instants, in scaled model time units.
+    pub allowed: Vec<i64>,
+}
+
+/// A query over the network.
+#[derive(Debug, Clone)]
+pub enum McQuery {
+    /// Query 2: none of these locations is reachable.
+    NoErrorState(Vec<(usize, LocId)>),
+    /// Query 1: outputs fire only at the listed instants.
+    OutputsOnlyAt(Vec<OutputSpec>),
+}
+
+impl McQuery {
+    /// Build Query 1 from a translation plus the expected pulse times (in
+    /// picoseconds) per circuit-output wire.
+    pub fn query1(tr: &Translation, expected: &[(&str, Vec<f64>)]) -> Self {
+        let scale = tr.net.scale;
+        let specs = tr
+            .output_ends
+            .iter()
+            .map(|(wire, ends)| {
+                let allowed = expected
+                    .iter()
+                    .find(|(n, _)| n == wire)
+                    .map(|(_, ts)| {
+                        ts.iter()
+                            .map(|t| (t * scale as f64).round() as i64)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                OutputSpec {
+                    wire: wire.clone(),
+                    ends: ends.clone(),
+                    allowed,
+                }
+            })
+            .collect();
+        McQuery::OutputsOnlyAt(specs)
+    }
+
+    /// Build Query 2 from a translation.
+    pub fn query2(tr: &Translation) -> Self {
+        McQuery::NoErrorState(tr.error_locations.clone())
+    }
+}
+
+/// The outcome of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    /// `Some(true)` if the property holds, `Some(false)` with a diagnostic
+    /// if it fails, `None` if the state budget was exhausted first (the
+    /// paper's `∞` rows).
+    pub holds: Option<bool>,
+    /// Number of distinct (location vector, zone) states explored.
+    pub states: usize,
+    /// Wall-clock verification time in seconds.
+    pub time_secs: f64,
+    /// Human-readable description of the first violation found, if any.
+    pub violation: Option<String>,
+    /// For a failed property: the action sequence from the initial state to
+    /// the violating state (UPPAAL-style counterexample trace).
+    pub trace: Option<Vec<String>>,
+}
+
+/// Configuration for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct McOptions {
+    /// Abort (result `holds = None`) after exploring this many states.
+    pub max_states: usize,
+    /// Abort (result `holds = None`) after this much wall-clock time in
+    /// seconds — large networks can exhaust memory long before the state
+    /// budget (the paper reports such designs as `∞`).
+    pub max_seconds: f64,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions {
+            max_states: 2_000_000,
+            max_seconds: 600.0,
+        }
+    }
+}
+
+/// How a state was reached, for counterexample reconstruction.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Init,
+    Tau { automaton: usize },
+    Sync { sender: usize, receiver: usize, chan: usize },
+}
+
+struct Explorer<'n> {
+    net: &'n TaNetwork,
+    max_consts: Vec<i64>,
+    /// Per automaton: which locations are committed.
+    committed: Vec<Vec<bool>>,
+    /// clock index in the DBM = ClockId + 1.
+    visited: HashMap<Vec<u32>, Vec<Dbm>>,
+    /// Work queue of arena indices.
+    queue: VecDeque<usize>,
+    /// Arena of explored states, for parent-pointer traces.
+    arena: Vec<(Vec<u32>, Dbm, usize, Action)>,
+    states: usize,
+}
+
+impl<'n> Explorer<'n> {
+    fn new(net: &'n TaNetwork, extra_global_const: i64) -> Self {
+        let mut max_consts = net.max_constants();
+        if let Some(g) = net.global_clock {
+            max_consts[g.0] = max_consts[g.0].max(extra_global_const);
+        }
+        let committed = net
+            .automata
+            .iter()
+            .map(|a| a.locations.iter().map(|l| l.committed).collect())
+            .collect();
+        Explorer {
+            net,
+            max_consts,
+            committed,
+            visited: HashMap::new(),
+            queue: VecDeque::new(),
+            arena: Vec::new(),
+            states: 0,
+        }
+    }
+
+    fn apply_invariants(&self, locs: &[u32], z: &mut Dbm) -> bool {
+        for (ai, a) in self.net.automata.iter().enumerate() {
+            for c in &a.locations[locs[ai] as usize].invariant {
+                if !z.constrain_clock(c.clock.0 + 1, c.rel, c.bound as i32) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn apply_guard(z: &mut Dbm, guard: &[crate::automaton::Constraint]) -> bool {
+        for c in guard {
+            if !z.constrain_clock(c.clock.0 + 1, c.rel, c.bound as i32) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Finalize a successor zone: invariants, delay closure, invariants
+    /// again, extrapolation. Returns `None` if empty.
+    fn close(&self, locs: &[u32], mut z: Dbm) -> Option<Dbm> {
+        if !self.apply_invariants(locs, &mut z) {
+            return None;
+        }
+        z.up();
+        if !self.apply_invariants(locs, &mut z) {
+            return None;
+        }
+        z.extrapolate(&self.max_consts);
+        if z.is_empty() {
+            None
+        } else {
+            Some(z)
+        }
+    }
+
+    /// Insert if not subsumed; returns true if it was new.
+    fn insert(&mut self, locs: Vec<u32>, z: Dbm, parent: usize, action: Action) -> bool {
+        let bucket = self.visited.entry(locs.clone()).or_default();
+        if bucket.iter().any(|old| old.includes(&z)) {
+            return false;
+        }
+        bucket.retain(|old| !z.includes(old));
+        bucket.push(z.clone());
+        self.states += 1;
+        self.arena.push((locs, z, parent, action));
+        self.queue.push_back(self.arena.len() - 1);
+        true
+    }
+
+    fn initial(&mut self) -> bool {
+        let locs: Vec<u32> = self.net.automata.iter().map(|a| a.init.0 as u32).collect();
+        let z = Dbm::zero(self.net.clock_count());
+        match self.close(&locs, z) {
+            Some(z) => self.insert(locs, z, usize::MAX, Action::Init),
+            None => false,
+        }
+    }
+
+    /// Reconstruct the action trace leading to arena entry `idx`.
+    fn trace_to(&self, idx: usize) -> Vec<String> {
+        let mut steps = Vec::new();
+        let mut cur = idx;
+        while cur != usize::MAX {
+            let (locs, z, parent, action) = &self.arena[cur];
+            let when = self
+                .net
+                .global_clock
+                .map(|g| {
+                    let (lo, hi) = z.clock_range(g.0 + 1);
+                    match hi {
+                        Some(h) if h == lo => format!(" @ global={lo}"),
+                        _ => format!(" @ global>={lo}"),
+                    }
+                })
+                .unwrap_or_default();
+            let name = |ai: usize| {
+                format!(
+                    "{}.{}",
+                    self.net.automata[ai].name,
+                    self.net.automata[ai].locations[locs[ai] as usize].name
+                )
+            };
+            match action {
+                Action::Init => steps.push("initial state".to_string()),
+                Action::Tau { automaton } => {
+                    steps.push(format!("tau -> {}{when}", name(*automaton)))
+                }
+                Action::Sync { sender, receiver, chan } => steps.push(format!(
+                    "{}! : {} -> {}{when}",
+                    self.net.chan_names[*chan],
+                    name(*sender),
+                    name(*receiver)
+                )),
+            }
+            cur = *parent;
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// Push every successor of `(locs, z)` into the queue.
+    ///
+    /// Committed semantics (UPPAAL): while any automaton sits in a committed
+    /// location, only transitions involving a committed automaton may fire —
+    /// this removes the useless interleavings through zero-duration fire
+    /// chains that otherwise blow up the state space.
+    fn expand(&mut self, idx: usize) {
+        let (locs, z) = {
+            let (l, z, _, _) = &self.arena[idx];
+            (l.clone(), z.clone())
+        };
+        let locs = &locs[..];
+        let z = &z;
+        let any_committed = locs
+            .iter()
+            .enumerate()
+            .any(|(ai, &l)| self.committed[ai][l as usize]);
+        let is_committed = |ex: &Self, ai: usize| ex.committed[ai][locs[ai] as usize];
+        // Internal (τ) edges.
+        for (ai, a) in self.net.automata.iter().enumerate() {
+            if any_committed && !is_committed(self, ai) {
+                continue;
+            }
+            for e in a.edges_from(LocId(locs[ai] as usize)) {
+                if e.sync != Sync::Tau {
+                    continue;
+                }
+                let mut nz = z.clone();
+                if !Self::apply_guard(&mut nz, &e.guard) {
+                    continue;
+                }
+                for r in &e.resets {
+                    nz.reset(r.0 + 1);
+                }
+                let mut nl = locs.to_vec();
+                nl[ai] = e.dst.0 as u32;
+                if let Some(nz) = self.close(&nl, nz) {
+                    self.insert(nl, nz, idx, Action::Tau { automaton: ai });
+                }
+            }
+        }
+        // Channel synchronizations: every (send, recv) pair.
+        for (ai, a) in self.net.automata.iter().enumerate() {
+            for e1 in a.edges_from(LocId(locs[ai] as usize)) {
+                let ch = match e1.sync {
+                    Sync::Send(ch) => ch,
+                    _ => continue,
+                };
+                for (bi, b) in self.net.automata.iter().enumerate() {
+                    if bi == ai {
+                        continue;
+                    }
+                    if any_committed && !is_committed(self, ai) && !is_committed(self, bi) {
+                        continue;
+                    }
+                    for e2 in b.edges_from(LocId(locs[bi] as usize)) {
+                        if e2.sync != Sync::Recv(ch) {
+                            continue;
+                        }
+                        let mut nz = z.clone();
+                        if !Self::apply_guard(&mut nz, &e1.guard)
+                            || !Self::apply_guard(&mut nz, &e2.guard)
+                        {
+                            continue;
+                        }
+                        for r in e1.resets.iter().chain(&e2.resets) {
+                            nz.reset(r.0 + 1);
+                        }
+                        let mut nl = locs.to_vec();
+                        nl[ai] = e1.dst.0 as u32;
+                        nl[bi] = e2.dst.0 as u32;
+                        if let Some(nz) = self.close(&nl, nz) {
+                            self.insert(
+                                nl,
+                                nz,
+                                idx,
+                                Action::Sync {
+                                    sender: ai,
+                                    receiver: bi,
+                                    chan: ch.0,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Model-check `query` over `net` by zone-graph exploration.
+pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
+    let start = Instant::now();
+    // Make sure the global clock stays concrete up to the latest expected
+    // output instant, so Query 1 can pin exact times.
+    let extra = match query {
+        McQuery::OutputsOnlyAt(specs) => specs
+            .iter()
+            .flat_map(|s| s.allowed.iter().copied())
+            .max()
+            .unwrap_or(0),
+        McQuery::NoErrorState(_) => 0,
+    };
+    let mut ex = Explorer::new(net, extra);
+    let g_idx = net.global_clock.map(|g| g.0 + 1);
+
+    let violation = |locs: &[u32], z: &Dbm| -> Option<String> {
+        match query {
+            McQuery::NoErrorState(errs) => {
+                for &(ai, li) in errs {
+                    if locs[ai] as usize == li.0 {
+                        return Some(format!(
+                            "error state {}.{} is reachable",
+                            net.automata[ai].name, net.automata[ai].locations[li.0].name
+                        ));
+                    }
+                }
+                None
+            }
+            McQuery::OutputsOnlyAt(specs) => {
+                let g = g_idx?;
+                for spec in specs {
+                    for &(ai, li) in &spec.ends {
+                        if locs[ai] as usize != li.0 {
+                            continue;
+                        }
+                        let (lo, hi) = z.clock_range(g);
+                        let pinned = hi == Some(lo);
+                        if !pinned || !spec.allowed.contains(&lo) {
+                            return Some(format!(
+                                "output '{}' fires at global time {}{} not in {:?}",
+                                spec.wire,
+                                lo,
+                                if pinned { "" } else { "+" },
+                                spec.allowed
+                            ));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    };
+
+    if !ex.initial() {
+        return McResult {
+            holds: Some(true),
+            states: 0,
+            time_secs: start.elapsed().as_secs_f64(),
+            violation: None,
+            trace: None,
+        };
+    }
+
+    while let Some(idx) = ex.queue.pop_front() {
+        let (locs, z) = {
+            let (l, z, _, _) = &ex.arena[idx];
+            (l.clone(), z.clone())
+        };
+        if let Some(v) = violation(&locs, &z) {
+            return McResult {
+                holds: Some(false),
+                states: ex.states,
+                time_secs: start.elapsed().as_secs_f64(),
+                violation: Some(v),
+                trace: Some(ex.trace_to(idx)),
+            };
+        }
+        if ex.states >= opts.max_states || start.elapsed().as_secs_f64() > opts.max_seconds {
+            return McResult {
+                holds: None,
+                states: ex.states,
+                time_secs: start.elapsed().as_secs_f64(),
+                violation: None,
+                trace: None,
+            };
+        }
+        ex.expand(idx);
+    }
+
+    McResult {
+        holds: Some(true),
+        states: ex.states,
+        time_secs: start.elapsed().as_secs_f64(),
+        violation: None,
+        trace: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate_machine;
+    use rlse_cells::defs;
+
+    #[test]
+    fn jtl_query1_holds_for_correct_times() {
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.0, 20.0])], 10).unwrap();
+        // Output q fires at 15.7 and 25.7.
+        let q1 = McQuery::query1(&tr, &[("q", vec![15.7, 25.7])]);
+        let r = check(&tr.net, &q1, McOptions::default());
+        assert_eq!(r.holds, Some(true), "{:?}", r.violation);
+        assert!(r.states > 0);
+    }
+
+    #[test]
+    fn jtl_query1_fails_for_wrong_times() {
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.0])], 10).unwrap();
+        let q1 = McQuery::query1(&tr, &[("q", vec![16.0])]);
+        let r = check(&tr.net, &q1, McOptions::default());
+        assert_eq!(r.holds, Some(false));
+        assert!(r.violation.unwrap().contains("157"));
+    }
+
+    #[test]
+    fn and_query2_holds_for_safe_inputs() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![30.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let q2 = McQuery::query2(&tr);
+        let r = check(&tr.net, &q2, McOptions::default());
+        assert_eq!(r.holds, Some(true), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn and_query2_detects_setup_violation() {
+        // b at 49, clk at 50: violates the 2.8 setup distance.
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![49.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let q2 = McQuery::query2(&tr);
+        let r = check(&tr.net, &q2, McOptions::default());
+        assert_eq!(r.holds, Some(false));
+        assert!(r.violation.unwrap().contains("err_b_s"));
+    }
+
+    #[test]
+    fn and_query1_matches_simulation() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![30.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let q1 = McQuery::query1(&tr, &[("q", vec![59.2])]);
+        let r = check(&tr.net, &q1, McOptions::default());
+        assert_eq!(r.holds, Some(true), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn violations_come_with_counterexample_traces() {
+        // b at 49, clk at 50 violates setup; the trace must walk from the
+        // initial state through the b and clk stimulus synchronizations to
+        // the error location.
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![49.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let r = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
+        assert_eq!(r.holds, Some(false));
+        let trace = r.trace.expect("counterexample trace");
+        assert_eq!(trace.first().map(String::as_str), Some("initial state"));
+        let text = trace.join("\n");
+        assert!(text.contains("err_b_s"), "{text}");
+        assert!(text.contains("global>=500"), "{text}");
+        // Every step after the first is an action.
+        assert!(trace.len() >= 3, "{trace:?}");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![30.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let q2 = McQuery::query2(&tr);
+        let r = check(&tr.net, &q2, McOptions { max_states: 3, max_seconds: 10.0 });
+        assert_eq!(r.holds, None);
+    }
+}

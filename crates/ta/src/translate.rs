@@ -1,0 +1,760 @@
+//! Translation of PyLSE Machines and circuits into networks of timed
+//! automata, following the expansion of the paper's Figure 14.
+//!
+//! Each machine instance becomes one *main* automaton plus a set of
+//! auxiliary *firing* automata:
+//!
+//! * every machine state is a stable location;
+//! * every machine transition expands into a receive edge (guarded by its
+//!   past constraints, with error edges to `err_*_s` locations when a
+//!   constrained input was seen too recently), a chain of urgent locations
+//!   that emit one `f!` message per fired output, and a wait location with
+//!   invariant `c_h ≤ τ_tran` left by an edge guarded `c_h == τ_tran`
+//!   (error edges to `err_*_h` catch inputs during the transitional
+//!   period);
+//! * every fired output gets a firing automaton `f0 → f1 → fta_end` that
+//!   waits `τ_fire` between receiving `f?` and sending on the output wire's
+//!   channel, duplicated by the soaking factor `⌈τ_fire / τ_tran⌉` so the
+//!   cell can re-fire during a pending propagation;
+//! * circuit inputs become stimulus automata that emit at exact global
+//!   times, and circuit outputs get sink automata that are always ready to
+//!   receive.
+//!
+//! Times are upscaled to integers (default ×10, so `209.2 ps` becomes
+//! `2092`) exactly as the paper does to meet UPPAAL's integer-constant
+//! requirement.
+
+use crate::automaton::{
+    Automaton, ChanId, ClockId, Constraint, Edge, Guard, LocId, LocKind, Location, Sync, TaNetwork,
+};
+use crate::dbm::Rel;
+use rlse_core::circuit::{Circuit, NodeId};
+use rlse_core::machine::Machine;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The default integer time scale (model units per picosecond).
+pub const DEFAULT_SCALE: i64 = 10;
+
+/// Errors raised during translation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TranslateError {
+    /// Behavioral holes have no transition-system semantics and cannot be
+    /// translated to timed automata.
+    HoleNotSupported {
+        /// Name of the offending hole.
+        hole: String,
+    },
+    /// A time value does not fall on the integer grid at the chosen scale.
+    TimeNotRepresentable {
+        /// The offending time (ps).
+        time: f64,
+        /// The scale in use.
+        scale: i64,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::HoleNotSupported { hole } => {
+                write!(f, "hole '{hole}' cannot be translated to timed automata")
+            }
+            TranslateError::TimeNotRepresentable { time, scale } => write!(
+                f,
+                "time {time} ps is not an integer multiple of 1/{scale} ps"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// The result of translating a circuit: the network plus the bookkeeping
+/// needed to phrase the paper's two queries.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// The generated network.
+    pub net: TaNetwork,
+    /// For every *circuit output* wire name: the `fta_end` locations
+    /// (automaton index, location) of the firing automata driving it.
+    pub output_ends: BTreeMap<String, Vec<(usize, LocId)>>,
+    /// All error locations (automaton index, location), for Query 2.
+    pub error_locations: Vec<(usize, LocId)>,
+    /// The global clock.
+    pub global: ClockId,
+}
+
+fn scale_time(t: f64, scale: i64) -> Result<i64, TranslateError> {
+    let v = t * scale as f64;
+    let r = v.round();
+    if (v - r).abs() > 1e-6 {
+        return Err(TranslateError::TimeNotRepresentable { time: t, scale });
+    }
+    Ok(r as i64)
+}
+
+/// Make a string a valid UPPAAL identifier.
+pub fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if !s.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+        s.insert(0, 'w');
+    }
+    s
+}
+
+/// Options controlling the translation.
+#[derive(Debug, Clone, Copy)]
+pub struct TranslateOptions {
+    /// Integer time scale (model units per picosecond).
+    pub scale: i64,
+    /// Upper bound on the soaking factor (number of duplicated firing
+    /// automata per output). The faithful value is `usize::MAX`
+    /// (`⌈τ_fire/τ_tran⌉` copies); smaller caps trade re-fire headroom for a
+    /// smaller state space.
+    pub soak_cap: usize,
+}
+
+impl Default for TranslateOptions {
+    fn default() -> Self {
+        TranslateOptions {
+            scale: DEFAULT_SCALE,
+            soak_cap: usize::MAX,
+        }
+    }
+}
+
+/// Translate a whole circuit at the default ×10 time scale.
+///
+/// # Errors
+///
+/// Fails if the circuit contains behavioral holes or uses delays that are
+/// not representable on the integer grid.
+pub fn translate_circuit(circ: &Circuit) -> Result<Translation, TranslateError> {
+    translate_circuit_with(circ, TranslateOptions::default())
+}
+
+/// Translate a whole circuit with explicit options.
+///
+/// # Errors
+///
+/// See [`translate_circuit`].
+pub fn translate_circuit_with(
+    circ: &Circuit,
+    opts: TranslateOptions,
+) -> Result<Translation, TranslateError> {
+    let mut tr = Translator::new(circ, opts);
+    tr.run()?;
+    Ok(Translation {
+        net: tr.net,
+        output_ends: tr.output_ends,
+        error_locations: tr.error_locations,
+        global: tr.global,
+    })
+}
+
+/// Translate a single machine in isolation, feeding each input from a
+/// stimulus with the given pulse times and sinking every output. This is
+/// the per-cell translation used for the basic-cell rows of Table 3.
+///
+/// # Errors
+///
+/// Fails if a delay is not representable on the integer grid.
+pub fn translate_machine(
+    spec: &Arc<Machine>,
+    input_times: &[(&str, Vec<f64>)],
+    scale: i64,
+) -> Result<Translation, TranslateError> {
+    let mut circ = Circuit::new();
+    let inputs: Vec<_> = spec
+        .inputs()
+        .iter()
+        .map(|name| {
+            let times = input_times
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, t)| t.clone())
+                .unwrap_or_default();
+            circ.inp_at(&times, name)
+        })
+        .collect();
+    let outs = circ
+        .add_machine(spec, &inputs)
+        .expect("fresh wires cannot violate fanout");
+    for (k, w) in outs.iter().enumerate() {
+        let name = spec.outputs()[k].clone();
+        circ.inspect(*w, &name);
+    }
+    translate_circuit_with(
+        &circ,
+        TranslateOptions {
+            scale,
+            ..Default::default()
+        },
+    )
+}
+
+struct Translator<'c> {
+    circ: &'c Circuit,
+    scale: i64,
+    soak_cap: usize,
+    net: TaNetwork,
+    global: ClockId,
+    /// Channel for each wire index.
+    wire_chan: Vec<ChanId>,
+    output_ends: BTreeMap<String, Vec<(usize, LocId)>>,
+    error_locations: Vec<(usize, LocId)>,
+}
+
+impl<'c> Translator<'c> {
+    fn new(circ: &'c Circuit, opts: TranslateOptions) -> Self {
+        let scale = opts.scale;
+        let mut net = TaNetwork::new(scale);
+        let global = net.add_clock("global");
+        net.global_clock = Some(global);
+        let wire_chan = (0..circ.wire_count())
+            .map(|i| {
+                let w = circ.wire_at(i);
+                net.add_chan(sanitize(circ.wire_name(w)))
+            })
+            .collect();
+        // Retired loopback placeholders keep a channel nobody uses; that is
+        // harmless (no edges reference it).
+        Translator {
+            circ,
+            scale,
+            soak_cap: opts.soak_cap,
+            net,
+            global,
+            wire_chan,
+            output_ends: BTreeMap::new(),
+            error_locations: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) -> Result<(), TranslateError> {
+        let mut cell_counts: BTreeMap<String, usize> = BTreeMap::new();
+        for n in 0..self.circ.node_count() {
+            let node = NodeId(n);
+            if let Some(times) = self.circ.node_source_times(node) {
+                self.add_stimulus(node, times)?;
+            } else if let Some(spec) = self.circ.node_machine(node) {
+                let spec = Arc::clone(spec);
+                let idx = cell_counts.entry(spec.name().to_lowercase()).or_insert(0);
+                let inst = format!("{}{}", sanitize(&spec.name().to_lowercase()), *idx);
+                *idx += 1;
+                self.add_machine(node, &spec, &inst)?;
+            } else {
+                // A hole: cannot be translated.
+                return Err(TranslateError::HoleNotSupported {
+                    hole: self.circ.node_wire_name(node),
+                });
+            }
+        }
+        // Sink automata for circuit outputs.
+        for w in self.circ.output_wires() {
+            let chan = self.wire_chan[self.circ.wire_index(w)];
+            let name = format!("sink_{}", sanitize(self.circ.wire_name(w)));
+            self.net.automata.push(Automaton {
+                name,
+                init: LocId(0),
+                locations: vec![Location {
+                    name: "ready".into(),
+                    invariant: vec![],
+                    kind: LocKind::Normal,
+                    committed: false,
+                }],
+                edges: vec![Edge {
+                    src: LocId(0),
+                    dst: LocId(0),
+                    sync: Sync::Recv(chan),
+                    guard: vec![],
+                    resets: vec![],
+                }],
+            });
+        }
+        Ok(())
+    }
+
+    fn add_stimulus(&mut self, node: NodeId, times: &[f64]) -> Result<(), TranslateError> {
+        let wire = self.circ.node_out_wires(node)[0];
+        let chan = self.wire_chan[self.circ.wire_index(wire)];
+        let name = format!("in_{}", sanitize(self.circ.wire_name(wire)));
+        let mut locations = Vec::new();
+        let mut edges = Vec::new();
+        for (k, &t) in times.iter().enumerate() {
+            let ti = scale_time(t, self.scale)?;
+            locations.push(Location {
+                name: format!("s{k}"),
+                invariant: vec![Constraint::new(self.global, Rel::Le, ti)],
+                kind: LocKind::Normal,
+                committed: false,
+            });
+            edges.push(Edge {
+                src: LocId(k),
+                dst: LocId(k + 1),
+                sync: Sync::Send(chan),
+                guard: vec![Constraint::new(self.global, Rel::Eq, ti)],
+                resets: vec![],
+            });
+        }
+        locations.push(Location {
+            name: "done".into(),
+            invariant: vec![],
+            kind: LocKind::Normal,
+            committed: false,
+        });
+        self.net.automata.push(Automaton {
+            name,
+            init: LocId(0),
+            locations,
+            edges,
+        });
+        Ok(())
+    }
+
+    fn add_machine(
+        &mut self,
+        node: NodeId,
+        spec: &Arc<Machine>,
+        inst: &str,
+    ) -> Result<(), TranslateError> {
+        let n_in = spec.inputs().len();
+        // Clocks: c_h plus one per input.
+        let c_h = self.net.add_clock(format!("{inst}_ch"));
+        let c_in: Vec<ClockId> = (0..n_in)
+            .map(|i| self.net.add_clock(format!("{inst}_c_{}", spec.inputs()[i])))
+            .collect();
+        // Channels for this machine's input and output wires.
+        let in_wires = self.circ.node_in_wires(node);
+        let out_wires = self.circ.node_out_wires(node);
+        let in_chan: Vec<ChanId> = in_wires
+            .iter()
+            .map(|w| self.wire_chan[self.circ.wire_index(*w)])
+            .collect();
+        let out_chan: Vec<ChanId> = out_wires
+            .iter()
+            .map(|w| self.wire_chan[self.circ.wire_index(*w)])
+            .collect();
+        let out_is_circuit_output: Vec<Option<String>> = out_wires
+            .iter()
+            .map(|w| {
+                if self.circ.wire_sink(*w).is_none() {
+                    Some(self.circ.wire_name(*w).to_string())
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let mut locations: Vec<Location> = spec
+            .states()
+            .iter()
+            .map(|s| Location {
+                name: sanitize(s),
+                invariant: vec![],
+                kind: LocKind::Normal,
+                committed: false,
+            })
+            .collect();
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut firing_autos: Vec<(Automaton, Option<String>, LocId)> = Vec::new();
+
+        // One bank of firing automata per (output, delay): each bank has a
+        // fire channel and `soak` duplicated copies, where `soak` is the
+        // largest ⌈τ_fire/τ_tran⌉ over the transitions firing that output
+        // (capped by `soak_cap`).
+        let mut fire_chan: BTreeMap<(usize, i64), ChanId> = BTreeMap::new();
+        {
+            let mut fire_groups: BTreeMap<(usize, i64), usize> = BTreeMap::new();
+            for t in spec.transitions() {
+                let tt = scale_time(t.transition_time, self.scale)?;
+                for &(out, delay) in &t.firing {
+                    let d = scale_time(delay, self.scale)?;
+                    let soak = if tt > 0 {
+                        (((d + tt - 1) / tt).max(1) as usize).min(self.soak_cap)
+                    } else {
+                        1
+                    };
+                    let e = fire_groups.entry((out.0, d)).or_insert(1);
+                    *e = (*e).max(soak);
+                }
+            }
+            for (&(out, d), &soak) in &fire_groups {
+                let out_name = sanitize(&spec.outputs()[out]);
+                let f_chan = self.net.add_chan(format!("f_{inst}_{out_name}_{d}"));
+                fire_chan.insert((out, d), f_chan);
+                if soak == 1 {
+                    let c_p = self.net.add_clock(format!("{inst}_cp_{out_name}_0"));
+                    let fa = Automaton {
+                        name: format!("firing_{inst}_{out_name}_0"),
+                        init: LocId(0),
+                        locations: vec![
+                            Location {
+                                name: "f0".into(),
+                                invariant: vec![],
+                                kind: LocKind::Normal,
+                                committed: false,
+                            },
+                            Location {
+                                name: "f1".into(),
+                                invariant: vec![Constraint::new(c_p, Rel::Le, d)],
+                                kind: LocKind::Normal,
+                                committed: false,
+                            },
+                            Location {
+                                name: "fta_end".into(),
+                                invariant: vec![Constraint::new(c_p, Rel::Le, d)],
+                                kind: LocKind::FiringEnd,
+                                committed: true,
+                            },
+                        ],
+                        edges: vec![
+                            Edge {
+                                src: LocId(0),
+                                dst: LocId(1),
+                                sync: Sync::Recv(f_chan),
+                                guard: vec![],
+                                resets: vec![c_p],
+                            },
+                            Edge {
+                                src: LocId(1),
+                                dst: LocId(2),
+                                sync: Sync::Send(out_chan[out]),
+                                guard: vec![Constraint::new(c_p, Rel::Eq, d)],
+                                resets: vec![],
+                            },
+                            Edge {
+                                src: LocId(2),
+                                dst: LocId(0),
+                                sync: Sync::Tau,
+                                guard: vec![],
+                                resets: vec![],
+                            },
+                        ],
+                    };
+                    firing_autos.push((fa, out_is_circuit_output[out].clone(), LocId(2)));
+                } else {
+                    // Soaked copies are identical, so letting the sender pick
+                    // any free copy multiplies the state space by a useless
+                    // symmetric factor. Arrange the copies in a round-robin
+                    // token ring instead: exactly one copy is "ready" (holds
+                    // the token) at any time, and accepting a fire message
+                    // immediately passes the token to the next copy.
+                    let toks: Vec<ChanId> = (0..soak)
+                        .map(|i| self.net.add_chan(format!("tok_{inst}_{out_name}_{i}")))
+                        .collect();
+                    for copy in 0..soak {
+                        let c_p =
+                            self.net.add_clock(format!("{inst}_cp_{out_name}_{copy}"));
+                        let fa = Automaton {
+                            name: format!("firing_{inst}_{out_name}_{copy}"),
+                            init: if copy == 0 { LocId(1) } else { LocId(0) },
+                            locations: vec![
+                                Location {
+                                    name: "wait".into(),
+                                    invariant: vec![],
+                                    kind: LocKind::Normal,
+                                    committed: false,
+                                },
+                                Location {
+                                    name: "f0".into(),
+                                    invariant: vec![],
+                                    kind: LocKind::Normal,
+                                    committed: false,
+                                },
+                                Location {
+                                    name: "pass".into(),
+                                    invariant: vec![Constraint::new(c_p, Rel::Le, 0)],
+                                    kind: LocKind::Normal,
+                                    committed: true,
+                                },
+                                Location {
+                                    name: "f1".into(),
+                                    invariant: vec![Constraint::new(c_p, Rel::Le, d)],
+                                    kind: LocKind::Normal,
+                                    committed: false,
+                                },
+                                Location {
+                                    name: "fta_end".into(),
+                                    invariant: vec![Constraint::new(c_p, Rel::Le, d)],
+                                    kind: LocKind::FiringEnd,
+                                    committed: true,
+                                },
+                            ],
+                            edges: vec![
+                                Edge {
+                                    src: LocId(0),
+                                    dst: LocId(1),
+                                    sync: Sync::Recv(toks[copy]),
+                                    guard: vec![],
+                                    resets: vec![],
+                                },
+                                Edge {
+                                    src: LocId(1),
+                                    dst: LocId(2),
+                                    sync: Sync::Recv(f_chan),
+                                    guard: vec![],
+                                    resets: vec![c_p],
+                                },
+                                Edge {
+                                    src: LocId(2),
+                                    dst: LocId(3),
+                                    sync: Sync::Send(toks[(copy + 1) % soak]),
+                                    guard: vec![],
+                                    resets: vec![],
+                                },
+                                Edge {
+                                    src: LocId(3),
+                                    dst: LocId(4),
+                                    sync: Sync::Send(out_chan[out]),
+                                    guard: vec![Constraint::new(c_p, Rel::Eq, d)],
+                                    resets: vec![],
+                                },
+                                Edge {
+                                    src: LocId(4),
+                                    dst: LocId(0),
+                                    sync: Sync::Tau,
+                                    guard: vec![],
+                                    resets: vec![],
+                                },
+                            ],
+                        };
+                        firing_autos.push((fa, out_is_circuit_output[out].clone(), LocId(4)));
+                    }
+                }
+            }
+        }
+
+        for t in spec.transitions() {
+            let tt = scale_time(t.transition_time, self.scale)?;
+            let trigger_chan = in_chan[t.trigger.0];
+            let pc_guard: Guard = t
+                .past_constraints
+                .iter()
+                .map(|&(cin, dist)| {
+                    Ok(Constraint::new(
+                        c_in[cin.0],
+                        Rel::Ge,
+                        scale_time(dist, self.scale)?,
+                    ))
+                })
+                .collect::<Result<_, TranslateError>>()?;
+
+            // Setup-error edges: one per constrained input.
+            for &(cin, dist) in &t.past_constraints {
+                let d = scale_time(dist, self.scale)?;
+                let err = LocId(locations.len());
+                locations.push(Location {
+                    name: format!("err_{}_s_{}", sanitize(&spec.inputs()[cin.0]), t.id),
+                    invariant: vec![],
+                    kind: LocKind::Error,
+                    committed: false,
+                });
+                edges.push(Edge {
+                    src: LocId(t.src.0),
+                    dst: err,
+                    sync: Sync::Recv(trigger_chan),
+                    guard: vec![Constraint::new(c_in[cin.0], Rel::Lt, d)],
+                    resets: vec![],
+                });
+            }
+
+            if t.firing.is_empty() && tt == 0 {
+                // Instantaneous bookkeeping move.
+                edges.push(Edge {
+                    src: LocId(t.src.0),
+                    dst: LocId(t.dst.0),
+                    sync: Sync::Recv(trigger_chan),
+                    guard: pc_guard,
+                    resets: vec![c_in[t.trigger.0]],
+                });
+                continue;
+            }
+
+            // Chain locations: one urgent send location per fired output,
+            // then (if tt > 0) a wait location holding for the transition
+            // time (Fig. 14c).
+            let mut chain_locs: Vec<LocId> = Vec::new();
+            let mut f_chans: Vec<ChanId> = Vec::new();
+            for (k, &(out, delay)) in t.firing.iter().enumerate() {
+                let d = scale_time(delay, self.scale)?;
+                f_chans.push(fire_chan[&(out.0, d)]);
+                chain_locs.push(LocId(locations.len()));
+                locations.push(Location {
+                    name: format!("q{}_{}", t.id, k),
+                    invariant: vec![Constraint::new(c_h, Rel::Le, 0)],
+                    kind: LocKind::Normal,
+                    committed: true,
+                });
+            }
+            if tt > 0 {
+                let w = LocId(locations.len());
+                chain_locs.push(w);
+                locations.push(Location {
+                    name: format!("w{}", t.id),
+                    invariant: vec![Constraint::new(c_h, Rel::Le, tt)],
+                    kind: LocKind::Normal,
+                    committed: false,
+                });
+                edges.push(Edge {
+                    src: w,
+                    dst: LocId(t.dst.0),
+                    sync: Sync::Tau,
+                    guard: vec![Constraint::new(c_h, Rel::Eq, tt)],
+                    resets: vec![c_h],
+                });
+            }
+            // Receive edge into the chain (or straight to dst if empty).
+            let entry = chain_locs.first().copied().unwrap_or(LocId(t.dst.0));
+            edges.push(Edge {
+                src: LocId(t.src.0),
+                dst: entry,
+                sync: Sync::Recv(trigger_chan),
+                guard: pc_guard,
+                resets: vec![c_h, c_in[t.trigger.0]],
+            });
+            // Send edges along the chain: q0 → q1 → … → wait (or dst).
+            for (k, f_chan) in f_chans.iter().enumerate() {
+                let next = chain_locs.get(k + 1).copied().unwrap_or(LocId(t.dst.0));
+                edges.push(Edge {
+                    src: chain_locs[k],
+                    dst: next,
+                    sync: Sync::Send(*f_chan),
+                    guard: vec![],
+                    resets: vec![],
+                });
+            }
+
+            // Transitional-period error edges from every chain location.
+            // Only a nonzero transition time opens an illegal-input window;
+            // instantaneous chains (urgent send locations) let same-instant
+            // pulses be received right after the sends, exactly like the
+            // simulator's dispatch of simultaneous batches.
+            let hold_guard = Constraint::new(c_h, Rel::Lt, tt);
+            for (i_in, chan) in in_chan.iter().enumerate() {
+                if tt == 0 || chain_locs.is_empty() {
+                    break;
+                }
+                let err = LocId(locations.len());
+                locations.push(Location {
+                    name: format!("err_{}_h_{}", sanitize(&spec.inputs()[i_in]), t.id),
+                    invariant: vec![],
+                    kind: LocKind::Error,
+                    committed: false,
+                });
+                for &cl in &chain_locs {
+                    edges.push(Edge {
+                        src: cl,
+                        dst: err,
+                        sync: Sync::Recv(*chan),
+                        guard: vec![hold_guard],
+                        resets: vec![],
+                    });
+                }
+            }
+        }
+
+        let main_idx = self.net.automata.len();
+        // Record error locations of the main automaton.
+        for (li, l) in locations.iter().enumerate() {
+            if l.kind == LocKind::Error {
+                self.error_locations.push((main_idx, LocId(li)));
+            }
+        }
+        self.net.automata.push(Automaton {
+            name: inst.to_string(),
+            init: LocId(spec.start().0),
+            locations,
+            edges,
+        });
+        for (fa, circuit_output, end_loc) in firing_autos {
+            let idx = self.net.automata.len();
+            if let Some(wire_name) = circuit_output {
+                self.output_ends
+                    .entry(wire_name)
+                    .or_default()
+                    .push((idx, end_loc));
+            }
+            self.net.automata.push(fa);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlse_cells::defs;
+
+    #[test]
+    fn jtl_translation_shape() {
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.0])], 10).unwrap();
+        let stats = tr.net.stats();
+        // Automata: stimulus + main + 1 firing + sink.
+        assert_eq!(stats.automata, 4);
+        assert!(tr.output_ends.contains_key("q"));
+        assert_eq!(tr.output_ends["q"].len(), 1);
+        // JTL has no timing constraints → no error locations.
+        assert!(tr.error_locations.is_empty());
+    }
+
+    #[test]
+    fn and_translation_has_soaked_firing_autos() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[
+                ("a", vec![20.0]),
+                ("b", vec![30.0]),
+                ("clk", vec![50.0]),
+            ],
+            10,
+        )
+        .unwrap();
+        // Soak = ceil(9.2 / 3.0) = 4 firing automata.
+        let firing = tr
+            .net
+            .automata
+            .iter()
+            .filter(|a| a.name.starts_with("firing_"))
+            .count();
+        assert_eq!(firing, 4);
+        // Error locations: 4 clk transitions × (3 setup + 3 hold) = 24.
+        assert_eq!(tr.error_locations.len(), 24);
+    }
+
+    #[test]
+    fn sanitize_produces_identifiers() {
+        assert_eq!(sanitize("_0"), "w_0");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+        assert_eq!(sanitize("3x"), "w3x");
+    }
+
+    #[test]
+    fn holes_are_rejected() {
+        use rlse_core::functional::Hole;
+        use rlse_core::prelude::*;
+        let mut circ = Circuit::new();
+        let a = circ.inp_at(&[1.0], "A");
+        let h = Hole::new("h", 1.0, &["a"], &["q"], |_, _| vec![false]);
+        let _ = circ.add_hole(h, &[a]).unwrap();
+        assert!(matches!(
+            translate_circuit(&circ),
+            Err(TranslateError::HoleNotSupported { .. })
+        ));
+    }
+
+    #[test]
+    fn unrepresentable_times_are_rejected() {
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.03])], 10);
+        assert!(matches!(
+            tr,
+            Err(TranslateError::TimeNotRepresentable { .. })
+        ));
+    }
+}

@@ -1,0 +1,237 @@
+//! UPPAAL 4.x export: serialize a [`TaNetwork`] to the flat-system XML
+//! format accepted by UPPAAL's GUI and `verifyta`, and generate the
+//! TCTL queries of the paper's §5.3.
+//!
+//! The generated artifacts are meant to be dropped straight into UPPAAL:
+//! save the XML as `design.xml` and the query text as `design.q`, then run
+//! `verifyta design.xml design.q`.
+
+use crate::automaton::{Automaton, Guard, Sync, TaNetwork};
+use crate::dbm::Rel;
+use crate::translate::Translation;
+use std::fmt::Write as _;
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn guard_text(net: &TaNetwork, g: &Guard) -> String {
+    g.iter()
+        .map(|c| {
+            let op = match c.rel {
+                Rel::Lt => "<",
+                Rel::Le => "<=",
+                Rel::Ge => ">=",
+                Rel::Gt => ">",
+                Rel::Eq => "==",
+            };
+            format!("{} {op} {}", net.clock_names[c.clock.0], c.bound)
+        })
+        .collect::<Vec<_>>()
+        .join(" && ")
+}
+
+fn template_xml(net: &TaNetwork, a: &Automaton, out: &mut String) {
+    let _ = writeln!(out, "  <template>");
+    let _ = writeln!(out, "    <name>{}</name>", xml_escape(&a.name));
+    for (li, l) in a.locations.iter().enumerate() {
+        let x = (li % 8) * 150;
+        let y = (li / 8) * 120;
+        let _ = writeln!(
+            out,
+            "    <location id=\"id{}\" x=\"{x}\" y=\"{y}\">",
+            li
+        );
+        let _ = writeln!(out, "      <name>{}</name>", xml_escape(&l.name));
+        if !l.invariant.is_empty() {
+            let _ = writeln!(
+                out,
+                "      <label kind=\"invariant\">{}</label>",
+                xml_escape(&guard_text(net, &l.invariant))
+            );
+        }
+        let _ = writeln!(out, "    </location>");
+    }
+    let _ = writeln!(out, "    <init ref=\"id{}\"/>", a.init.0);
+    for e in &a.edges {
+        let _ = writeln!(out, "    <transition>");
+        let _ = writeln!(out, "      <source ref=\"id{}\"/>", e.src.0);
+        let _ = writeln!(out, "      <target ref=\"id{}\"/>", e.dst.0);
+        if !e.guard.is_empty() {
+            let _ = writeln!(
+                out,
+                "      <label kind=\"guard\">{}</label>",
+                xml_escape(&guard_text(net, &e.guard))
+            );
+        }
+        match e.sync {
+            Sync::Tau => {}
+            Sync::Send(ch) => {
+                let _ = writeln!(
+                    out,
+                    "      <label kind=\"synchronisation\">{}!</label>",
+                    xml_escape(&net.chan_names[ch.0])
+                );
+            }
+            Sync::Recv(ch) => {
+                let _ = writeln!(
+                    out,
+                    "      <label kind=\"synchronisation\">{}?</label>",
+                    xml_escape(&net.chan_names[ch.0])
+                );
+            }
+        }
+        if !e.resets.is_empty() {
+            let assign = e
+                .resets
+                .iter()
+                .map(|c| format!("{} = 0", net.clock_names[c.0]))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "      <label kind=\"assignment\">{}</label>",
+                xml_escape(&assign)
+            );
+        }
+        let _ = writeln!(out, "    </transition>");
+    }
+    let _ = writeln!(out, "  </template>");
+}
+
+/// Serialize the network as an UPPAAL 4.x flat-system XML document.
+pub fn to_uppaal_xml(net: &TaNetwork) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+    out.push_str(
+        "<!DOCTYPE nta PUBLIC \"-//Uppaal Team//DTD Flat System 1.1//EN\" \
+         \"http://www.it.uu.se/research/group/darts/uppaal/flat-1_1.dtd\">\n",
+    );
+    out.push_str("<nta>\n");
+    let mut decl = String::new();
+    if !net.clock_names.is_empty() {
+        let _ = writeln!(decl, "clock {};", net.clock_names.join(", "));
+    }
+    if !net.chan_names.is_empty() {
+        let _ = writeln!(decl, "chan {};", net.chan_names.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "  <declaration>{}</declaration>",
+        xml_escape(&decl)
+    );
+    for a in &net.automata {
+        template_xml(net, a, &mut out);
+    }
+    let system = net
+        .automata
+        .iter()
+        .map(|a| a.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "  <system>system {system};</system>");
+    out.push_str("</nta>\n");
+    out
+}
+
+/// Generate the paper's Query 1 (correctness) TCTL formula: every output
+/// `fta_end` location implies the global clock equals one of the expected
+/// (upscaled) instants.
+pub fn query1_tctl(tr: &Translation, expected: &[(&str, Vec<f64>)]) -> String {
+    let scale = tr.net.scale;
+    let mut groups = Vec::new();
+    for (wire, ends) in &tr.output_ends {
+        let times: Vec<i64> = expected
+            .iter()
+            .find(|(n, _)| n == wire)
+            .map(|(_, ts)| ts.iter().map(|t| (t * scale as f64).round() as i64).collect())
+            .unwrap_or_default();
+        let alt = if times.is_empty() {
+            "false".to_string()
+        } else {
+            times
+                .iter()
+                .map(|t| format!("(global == {t})"))
+                .collect::<Vec<_>>()
+                .join(" || ")
+        };
+        let conj = ends
+            .iter()
+            .map(|&(ai, li)| {
+                format!(
+                    "({}.{} imply ({alt}))",
+                    tr.net.automata[ai].name, tr.net.automata[ai].locations[li.0].name
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" && ");
+        groups.push(format!("({conj})"));
+    }
+    format!("A[] ({})", groups.join(" && "))
+}
+
+/// Generate the paper's Query 2 TCTL formula: no error state is reachable.
+pub fn query2_tctl(tr: &Translation) -> String {
+    if tr.error_locations.is_empty() {
+        return "A[] true".to_string();
+    }
+    let disj = tr
+        .error_locations
+        .iter()
+        .map(|&(ai, li)| {
+            format!(
+                "{}.{}",
+                tr.net.automata[ai].name, tr.net.automata[ai].locations[li.0].name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" || ");
+    format!("A[] not ({disj})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate_machine;
+    use rlse_cells::defs;
+
+    #[test]
+    fn xml_has_templates_and_declarations() {
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.0])], 10).unwrap();
+        let xml = to_uppaal_xml(&tr.net);
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("<declaration>clock global"));
+        assert!(xml.contains("chan "));
+        assert!(xml.contains("<template>"));
+        assert!(xml.contains("fta_end"));
+        assert!(xml.contains("<system>system "));
+        // Balanced tags.
+        assert_eq!(xml.matches("<template>").count(), xml.matches("</template>").count());
+        assert_eq!(xml.matches("<location").count(), xml.matches("</location>").count());
+    }
+
+    #[test]
+    fn query1_formula_shape() {
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.0])], 10).unwrap();
+        let q = query1_tctl(&tr, &[("q", vec![15.7])]);
+        assert!(q.starts_with("A[] "));
+        assert!(q.contains("fta_end imply ((global == 157))"), "{q}");
+    }
+
+    #[test]
+    fn query2_formula_lists_error_states() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![30.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let q = query2_tctl(&tr);
+        assert!(q.starts_with("A[] not ("), "{q}");
+        assert!(q.contains("err_a_s"), "{q}");
+        assert!(q.contains("err_clk_h"), "{q}");
+    }
+}

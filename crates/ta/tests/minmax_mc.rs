@@ -1,0 +1,82 @@
+//! Model-check the min-max pair, reproducing the paper's §5.3 example:
+//! pulses on A at 115/215/315 and B at 64/184/304 with a network delay of
+//! 25 ps give LOW pulses at 89.0/209.0/329.0 (global 890/2090/3290) and
+//! HIGH pulses at 140/240/340 (global 1400/2400/3400).
+
+use rlse_core::prelude::*;
+use rlse_designs::min_max;
+use rlse_ta::prelude::*;
+
+fn build() -> Circuit {
+    let mut circ = Circuit::new();
+    let a = circ.inp_at(&[115.0, 215.0, 315.0], "A");
+    let b = circ.inp_at(&[64.0, 184.0, 304.0], "B");
+    let (low, high) = min_max(&mut circ, a, b).unwrap();
+    circ.inspect(low, "LOW");
+    circ.inspect(high, "HIGH");
+    circ
+}
+
+#[test]
+fn query1_and_query2_hold_for_min_max() {
+    let circ = build();
+    let tr = translate_circuit(&circ).unwrap();
+
+    let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
+    assert_eq!(q2.holds, Some(true), "{:?}", q2.violation);
+    assert!(q2.states > 10);
+
+    let expected = [
+        ("LOW", vec![89.0, 209.0, 329.0]),
+        ("HIGH", vec![140.0, 240.0, 340.0]),
+    ];
+    let q1 = check(
+        &tr.net,
+        &McQuery::query1(&tr, &expected),
+        McOptions::default(),
+    );
+    assert_eq!(q1.holds, Some(true), "{:?}", q1.violation);
+    println!(
+        "min-max: query1 {} states in {:.3}s, query2 {} states in {:.3}s",
+        q1.states, q1.time_secs, q2.states, q2.time_secs
+    );
+}
+
+#[test]
+fn query1_detects_wrong_expected_times() {
+    let circ = build();
+    let tr = translate_circuit(&circ).unwrap();
+    // Claim LOW fires only at 90.0: refuted.
+    let q1 = check(
+        &tr.net,
+        &McQuery::query1(
+            &tr,
+            &[
+                ("LOW", vec![90.0, 209.0, 329.0]),
+                ("HIGH", vec![140.0, 240.0, 340.0]),
+            ],
+        ),
+        McOptions::default(),
+    );
+    assert_eq!(q1.holds, Some(false));
+    assert!(q1.violation.unwrap().contains("LOW"));
+}
+
+#[test]
+fn uppaal_artifacts_are_generated_for_min_max() {
+    let circ = build();
+    let tr = translate_circuit(&circ).unwrap();
+    let xml = to_uppaal_xml(&tr.net);
+    assert!(xml.contains("<system>"));
+    let q1 = query1_tctl(
+        &tr,
+        &[
+            ("LOW", vec![89.0, 209.0, 329.0]),
+            ("HIGH", vec![140.0, 240.0, 340.0]),
+        ],
+    );
+    // The paper's §5.3 formula shape: fta_end imply global == 890 etc.
+    assert!(q1.contains("fta_end imply ((global == 890) || (global == 2090) || (global == 3290))"), "{q1}");
+    let q2 = query2_tctl(&tr);
+    assert!(q2.starts_with("A[] not ("));
+}

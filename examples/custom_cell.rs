@@ -1,0 +1,57 @@
+//! Defining a custom SCE cell (paper §4.1, Cell Definition level): a T1
+//! toggle element that emits a pulse on every *second* input, built from
+//! scratch as a PyLSE Machine and simulated alongside library cells.
+//!
+//! Run with `cargo run --example custom_cell`.
+
+use rlse::core::machine::{EdgeDef, Machine};
+use rlse::prelude::*;
+
+fn main() -> Result<(), rlse::core::Error> {
+    // A toggle (T1) cell: idle -> half on the first pulse, half -> idle
+    // (firing q) on the second. Transition times model its hold behavior.
+    let toggle = Machine::new(
+        "T1",
+        &["a"],
+        &["q"],
+        6.5, // firing delay, ps
+        5,   // JJ count
+        &[
+            EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "half",
+                transition_time: 2.0,
+                ..EdgeDef::default()
+            },
+            EdgeDef {
+                src: "half",
+                trigger: "a",
+                dst: "idle",
+                transition_time: 2.0,
+                firing: "q",
+                ..EdgeDef::default()
+            },
+        ],
+    )?;
+    println!("{toggle}");
+
+    // Divide a pulse train by four with two toggles in series.
+    let mut circuit = Circuit::new();
+    let a = circuit.inp(20.0, 20.0, 8, "A");
+    let half = circuit.add_machine(&toggle, &[a])?[0];
+    circuit.inspect(half, "DIV2");
+    // Fanout rule: to also observe DIV2 we must split it.
+    let (tap, onward) = rlse::cells::s(&mut circuit, half)?;
+    circuit.inspect(tap, "DIV2_TAP");
+    let quarter = circuit.add_machine(&toggle, &[onward])?[0];
+    circuit.inspect(quarter, "DIV4");
+
+    let events = Simulation::new(circuit).run()?;
+    println!("{}", rlse::core::plot::render_default(&events));
+    assert_eq!(events.times("A").len(), 8);
+    assert_eq!(events.times("DIV2_TAP").len(), 4);
+    assert_eq!(events.times("DIV4").len(), 2);
+    println!("OK: 8 input pulses -> 4 -> 2 through the toggle chain.");
+    Ok(())
+}

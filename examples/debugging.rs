@@ -1,0 +1,43 @@
+//! Debugging workflows: the dispatch trace log, the static linter, and VCD
+//! export for external waveform viewers.
+//!
+//! Run with `cargo run --example debugging`.
+
+use rlse::core::validate::analyze;
+use rlse::core::vcd::to_vcd_default;
+use rlse::designs::min_max;
+use rlse::prelude::*;
+
+fn main() -> Result<(), rlse::core::Error> {
+    let mut circuit = Circuit::new();
+    let a = circuit.inp_at(&[115.0], "A");
+    let b = circuit.inp_at(&[64.0], "B");
+    let silent = circuit.inp_at(&[], "UNUSED"); // deliberately fishy
+    let _ = rlse::cells::jtl(&mut circuit, silent)?;
+    let (low, high) = min_max(&mut circuit, a, b)?;
+    circuit.inspect(low, "LOW");
+    circuit.inspect(high, "HIGH");
+
+    // 1. Static lints before simulating.
+    println!("--- lints ---");
+    print!("{}", analyze(&circuit));
+
+    // 2. Simulate with the dispatch trace enabled.
+    let mut sim = Simulation::new(circuit).with_trace();
+    let events = sim.run()?;
+    println!("\n--- dispatch trace ---");
+    for entry in sim.trace() {
+        println!("{entry}");
+    }
+    assert!(sim
+        .trace()
+        .iter()
+        .any(|e| e.cell == "C_INV" && !e.fired.is_empty()));
+
+    // 3. Export a VCD for GTKWave and friends.
+    let vcd = to_vcd_default(&events);
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/min_max.vcd", &vcd).expect("write vcd");
+    println!("\nwrote target/min_max.vcd ({} bytes)", vcd.len());
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Formal verification (paper §4.4/§5.3): translate a design to timed
+//! automata, check the paper's two queries with the built-in zone-based
+//! model checker, and export UPPAAL artifacts for `verifyta`.
+//!
+//! Run with `cargo run --example model_check --release`.
+
+use rlse::cells::defs::and_elem;
+use rlse::designs::min_max;
+use rlse::prelude::*;
+use rlse::ta::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The Synchronous AND cell in isolation -------------------------
+    let tr = translate_machine(
+        &and_elem(),
+        &[("a", vec![20.0]), ("b", vec![30.0]), ("clk", vec![50.0])],
+        10,
+    )?;
+    println!("AND cell TA network: {:?}", tr.net.stats());
+    let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
+    println!(
+        "Query 2 (no error state reachable): holds={:?}, {} states, {:.3}s",
+        q2.holds, q2.states, q2.time_secs
+    );
+    let q1 = check(
+        &tr.net,
+        &McQuery::query1(&tr, &[("q", vec![59.2])]),
+        McOptions::default(),
+    );
+    println!(
+        "Query 1 (q fires only at 59.2 ps):  holds={:?}, {} states, {:.3}s",
+        q1.holds, q1.states, q1.time_secs
+    );
+    assert_eq!(q1.holds, Some(true));
+    assert_eq!(q2.holds, Some(true));
+
+    // --- The min-max pair with the paper's §5.3 stimulus ----------------
+    let mut circuit = Circuit::new();
+    let a = circuit.inp_at(&[115.0, 215.0, 315.0], "A");
+    let b = circuit.inp_at(&[64.0, 184.0, 304.0], "B");
+    let (low, high) = min_max(&mut circuit, a, b)?;
+    circuit.inspect(low, "LOW");
+    circuit.inspect(high, "HIGH");
+    let tr = translate_circuit(&circuit)?;
+    let expected = [
+        ("LOW", vec![89.0, 209.0, 329.0]),
+        ("HIGH", vec![140.0, 240.0, 340.0]),
+    ];
+    let q1 = check(&tr.net, &McQuery::query1(&tr, &expected), McOptions::default());
+    println!(
+        "\nmin-max Query 1: holds={:?}, {} states, {:.3}s",
+        q1.holds, q1.states, q1.time_secs
+    );
+    assert_eq!(q1.holds, Some(true));
+
+    // --- UPPAAL artifacts -----------------------------------------------
+    let dir = std::path::Path::new("target/uppaal");
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("min_max.xml"), to_uppaal_xml(&tr.net))?;
+    std::fs::write(
+        dir.join("min_max.q"),
+        format!("{}\n{}\n", query1_tctl(&tr, &expected), query2_tctl(&tr)),
+    )?;
+    println!("\nwrote target/uppaal/min_max.xml and .q (feed these to verifyta)");
+    println!("generated Query 1 TCTL:\n{}", query1_tctl(&tr, &expected));
+    Ok(())
+}

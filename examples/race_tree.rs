@@ -1,0 +1,34 @@
+//! Race-logic classification (paper §5.2): a decision tree whose features
+//! are encoded as pulse arrival times returns exactly one label per
+//! evaluation.
+//!
+//! Run with `cargo run --example race_tree`.
+
+use rlse::designs::{race_tree_with_inputs, Thresholds};
+use rlse::prelude::*;
+
+fn classify(f1: f64, f2: f64) -> Result<&'static str, rlse::core::Error> {
+    let mut circuit = Circuit::new();
+    race_tree_with_inputs(&mut circuit, f1, f2, 20.0, Thresholds::default())?;
+    let events = Simulation::new(circuit).run()?;
+    let winners: Vec<&str> = ["a", "b", "c", "d"]
+        .into_iter()
+        .filter(|l| !events.times(l).is_empty())
+        .collect();
+    assert_eq!(winners.len(), 1, "race trees return exactly one label");
+    Ok(["a", "b", "c", "d"]
+        .into_iter()
+        .find(|l| !events.times(l).is_empty())
+        .expect("one winner"))
+}
+
+fn main() -> Result<(), rlse::core::Error> {
+    // Thresholds: f1 < 50 goes left; then f2 < 30 (left) / f2 < 70 (right).
+    println!("tree: f1<50 ? (f2<30 ? a : b) : (f2<70 ? c : d)\n");
+    for (f1, f2) in [(20.0, 10.0), (20.0, 60.0), (80.0, 40.0), (80.0, 95.0), (45.0, 25.0)] {
+        let label = classify(f1, f2)?;
+        println!("f1={f1:>5.1}  f2={f2:>5.1}  ->  label {label}");
+    }
+    println!("\nOK: every evaluation produced exactly one winning label.");
+    Ok(())
+}

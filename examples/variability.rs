@@ -1,0 +1,48 @@
+//! Robustness under timing variability (paper §5.2): every propagation
+//! delay gets Gaussian jitter, and the events dictionary is checked for
+//! rank-order correctness after each run.
+//!
+//! Run with `cargo run --example variability --release`.
+
+use rlse::designs::bitonic_sorter_with_inputs;
+use rlse::prelude::*;
+
+fn run(sigma: f64, seed: u64) -> Result<bool, rlse::core::Error> {
+    let times = [125.0, 35.0, 85.0, 105.0, 15.0, 65.0, 115.0, 45.0];
+    let mut circuit = Circuit::new();
+    bitonic_sorter_with_inputs(&mut circuit, &times)?;
+    let events = Simulation::new(circuit)
+        .variability(Variability::Gaussian { std: sigma })
+        .seed(seed)
+        .run()?;
+    let mut prev = f64::NEG_INFINITY;
+    for k in 0..8 {
+        let t = events.times(&format!("o{k}"));
+        if t.len() != 1 || t[0] < prev {
+            return Ok(false);
+        }
+        prev = t[0];
+    }
+    Ok(true)
+}
+
+fn main() -> Result<(), rlse::core::Error> {
+    println!("bitonic-8 under Gaussian delay jitter (30 seeds per sigma):\n");
+    for sigma in [0.1, 0.5, 1.0, 2.0, 3.0] {
+        let mut ok = 0;
+        let mut violations = 0;
+        for seed in 0..30 {
+            match run(sigma, seed) {
+                Ok(true) => ok += 1,
+                Ok(false) => {}
+                Err(_) => violations += 1,
+            }
+        }
+        println!(
+            "sigma = {sigma:>4.1} ps: {ok:>2}/30 sorted correctly, {violations} timing violations"
+        );
+    }
+    println!("\nSmall jitter is absorbed; jitter comparable to the cells'");
+    println!("transition times starts corrupting order or tripping constraints.");
+    Ok(())
+}

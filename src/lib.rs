@@ -1,0 +1,59 @@
+//! # RLSE — a pulse-transfer level language for superconductor electronics
+//!
+//! RLSE is a Rust reproduction of **PyLSE** (PLDI 2022): an embedded
+//! domain-specific language for describing, simulating, and formally
+//! analyzing superconductor electronics (SCE) at the *pulse-transfer level*.
+//!
+//! SCE cells communicate through picosecond-wide single-flux-quantum (SFQ)
+//! pulses rather than sustained voltage levels, which makes the cells
+//! themselves stateful. RLSE models every cell as a *PyLSE Machine* — a Mealy
+//! machine whose edges carry transition times, priorities, firing delays, and
+//! constraints on the past — and models a design as a network of such
+//! machines connected by stateless wires.
+//!
+//! The workspace is organized in layers, all re-exported here:
+//!
+//! * [`core`] — the machine formalism, circuits, the
+//!   discrete-event simulator, behavioral "holes", validation, plotting.
+//! * [`cells`] — the 16-cell standard library (C, InvC, M, S,
+//!   JTL, And, Or, Nand, Nor, Xor, Xnor, Inv, DRO, DRO_SR, DRO_C, 2x2 Join)
+//!   and wire-level helper functions.
+//! * [`ta`] — timed automata, the PyLSE-Machine→TA translation,
+//!   UPPAAL XML/TCTL export, and a zone-based (DBM) model checker.
+//! * [`analog`] — a small SPICE-class transient simulator with
+//!   an RSJ Josephson-junction model: the schematic-level baseline.
+//! * [`designs`] — the paper's larger designs: min-max pair,
+//!   bitonic sorters, race tree, synchronous and xSFQ full adders, and the
+//!   memory hole.
+//!
+//! ## Quickstart
+//!
+//! Simulate a synchronous AND element (the paper's Figure 12):
+//!
+//! ```
+//! use rlse::prelude::*;
+//!
+//! # fn main() -> Result<(), rlse::core::Error> {
+//! let mut c = Circuit::new();
+//! let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
+//! let b = c.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
+//! let clk = c.inp(50.0, 50.0, 6, "CLK");
+//! let q = rlse::cells::and_s(&mut c, a, b, clk)?;
+//! c.inspect(q, "Q");
+//! let events = Simulation::new(c).run()?;
+//! assert_eq!(events.times("Q"), &[209.2, 259.2, 309.2]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rlse_analog as analog;
+pub use rlse_cells as cells;
+pub use rlse_core as core;
+pub use rlse_designs as designs;
+pub use rlse_ta as ta;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use rlse_cells::prelude::*;
+    pub use rlse_core::prelude::*;
+}

@@ -1,0 +1,113 @@
+//! Cross-level agreement (Table 2 / Fig. 16 methodology): the same circuit
+//! description simulated at the pulse-transfer level and at the
+//! schematic (analog) level must agree on *which* pulses appear and in what
+//! order — even though the analog delays differ, exactly as the paper
+//! observes for Cadence vs PyLSE.
+
+use rlse::analog::synth::from_circuit;
+use rlse::designs::min_max;
+use rlse::prelude::*;
+
+fn pulse_orders_agree(pulse: &Events, analog: &rlse::analog::engine::AnalogEvents) {
+    // Same set of observed output wires, same pulse counts, same order of
+    // first arrivals across wires.
+    for (wire, times) in &analog.pulses {
+        let expected = pulse.times(wire);
+        assert_eq!(
+            expected.len(),
+            times.len(),
+            "pulse count differs on '{wire}': pulse={expected:?} analog={times:?}"
+        );
+    }
+}
+
+#[test]
+fn min_max_levels_agree_on_function() {
+    let build = || {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[115.0], "A");
+        let b = c.inp_at(&[64.0], "B");
+        let (low, high) = min_max(&mut c, a, b).unwrap();
+        c.inspect(low, "LOW");
+        c.inspect(high, "HIGH");
+        c
+    };
+    let pulse_events = Simulation::new(build()).run().unwrap();
+    let mut analog = from_circuit(&build()).unwrap();
+    let analog_events = analog.run(300.0);
+    pulse_orders_agree(&pulse_events, &analog_events);
+    // The earlier input must reach LOW before HIGH fires, at both levels.
+    let a_low = analog_events.pulses["LOW"][0];
+    let a_high = analog_events.pulses["HIGH"][0];
+    assert!(a_low < a_high);
+    assert!(pulse_events.times("LOW")[0] < pulse_events.times("HIGH")[0]);
+}
+
+#[test]
+fn c_element_levels_agree_over_three_rounds() {
+    let build = || {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[100.0, 220.0, 340.0], "A");
+        let b = c.inp_at(&[130.0, 250.0, 370.0], "B");
+        let q = rlse::cells::c(&mut c, a, b).unwrap();
+        c.inspect(q, "Q");
+        c
+    };
+    let pulse_events = Simulation::new(build()).run().unwrap();
+    let mut analog = from_circuit(&build()).unwrap();
+    let analog_events = analog.run(450.0);
+    assert_eq!(pulse_events.times("Q").len(), 3);
+    pulse_orders_agree(&pulse_events, &analog_events);
+}
+
+#[test]
+fn analog_baseline_is_much_slower_than_pulse_level() {
+    // The Table 2 shape: per-timestep ODE integration vs per-event
+    // processing. Compare wall-clock on the min-max pair.
+    let build = || {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[115.0, 215.0, 315.0], "A");
+        let b = c.inp_at(&[64.0, 184.0, 304.0], "B");
+        let (low, high) = min_max(&mut c, a, b).unwrap();
+        c.inspect(low, "LOW");
+        c.inspect(high, "HIGH");
+        c
+    };
+    let t0 = std::time::Instant::now();
+    let mut sim = Simulation::new(build());
+    for _ in 0..5 {
+        sim.run().unwrap();
+    }
+    let pulse_time = t0.elapsed().as_secs_f64() / 5.0;
+
+    let t0 = std::time::Instant::now();
+    let mut analog = from_circuit(&build()).unwrap();
+    analog.run(450.0);
+    let analog_time = t0.elapsed().as_secs_f64();
+
+    assert!(
+        analog_time > 10.0 * pulse_time,
+        "analog {analog_time:.6}s should dwarf pulse {pulse_time:.6}s"
+    );
+}
+
+#[test]
+fn analog_jj_counts_scale_with_design_size() {
+    let single = {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[20.0], "A");
+        let q = rlse::cells::jtl(&mut c, a).unwrap();
+        c.inspect(q, "Q");
+        from_circuit(&c).unwrap().run(1.0).jjs
+    };
+    let minmax = {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[20.0], "A");
+        let b = c.inp_at(&[40.0], "B");
+        let (low, high) = min_max(&mut c, a, b).unwrap();
+        c.inspect(low, "LOW");
+        c.inspect(high, "HIGH");
+        from_circuit(&c).unwrap().run(1.0).jjs
+    };
+    assert!(minmax > 5 * single);
+}

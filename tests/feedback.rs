@@ -1,0 +1,78 @@
+//! Feedback-loop integration tests: the `until` target time of the paper's
+//! §4.3 exists because designs may contain loops. These tests exercise the
+//! loopback-wire API end to end, including its error paths and the
+//! interaction with the events dictionary.
+
+use rlse::designs::ring::ring_oscillator;
+use rlse::prelude::*;
+
+#[test]
+fn ring_oscillator_period_scales_with_stage_count() {
+    for stages in [1usize, 3, 6] {
+        let mut circ = Circuit::new();
+        let seed = circ.inp_at(&[10.0], "SEED");
+        let osc = ring_oscillator(&mut circ, seed, stages).unwrap();
+        circ.inspect(osc.tap, "TAP");
+        let ev = Simulation::new(circ).until(400.0).run().unwrap();
+        let taps = ev.times("TAP");
+        assert!(taps.len() >= 2, "stages={stages}");
+        let measured = taps[1] - taps[0];
+        assert!(
+            (measured - osc.period).abs() < 1e-9,
+            "stages={stages}: measured {measured} vs designed {}",
+            osc.period
+        );
+    }
+}
+
+#[test]
+fn unclosed_loopback_is_rejected_at_simulation_time() {
+    let mut circ = Circuit::new();
+    let seed = circ.inp_at(&[10.0], "SEED");
+    let pending = circ.loopback_wire();
+    let merged = rlse::cells::m(&mut circ, seed, pending).unwrap();
+    circ.inspect(merged, "OUT");
+    // Never closed: simulation must refuse to run.
+    let err = Simulation::new(circ).run().unwrap_err();
+    assert!(matches!(
+        err,
+        rlse::core::Error::Wiring(rlse::core::error::WiringError::Unconnected { .. })
+    ));
+}
+
+#[test]
+fn close_loop_rejects_consumed_sources() {
+    let mut circ = Circuit::new();
+    let seed = circ.inp_at(&[10.0], "SEED");
+    let pending = circ.loopback_wire();
+    let merged = rlse::cells::m(&mut circ, seed, pending).unwrap();
+    let q = rlse::cells::jtl(&mut circ, merged).unwrap();
+    let q2 = rlse::cells::jtl(&mut circ, q).unwrap();
+    // q already feeds the second JTL; it cannot also close the loop.
+    assert!(circ.close_loop(q, pending).is_err());
+    // q2 is free: closing with it succeeds.
+    circ.close_loop(q2, pending).unwrap();
+    circ.check().unwrap();
+}
+
+#[test]
+fn until_bounds_event_recording_in_loops() {
+    let mut circ = Circuit::new();
+    let seed = circ.inp_at(&[10.0], "SEED");
+    let osc = ring_oscillator(&mut circ, seed, 2).unwrap();
+    circ.inspect(osc.tap, "TAP");
+    let short = {
+        let mut c2 = Circuit::new();
+        let seed = c2.inp_at(&[10.0], "SEED");
+        let osc = ring_oscillator(&mut c2, seed, 2).unwrap();
+        c2.inspect(osc.tap, "TAP");
+        Simulation::new(c2).until(100.0).run().unwrap().times("TAP").len()
+    };
+    let long = Simulation::new(circ)
+        .until(300.0)
+        .run()
+        .unwrap()
+        .times("TAP")
+        .len();
+    assert!(long > short, "long {long} vs short {short}");
+}

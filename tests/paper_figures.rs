@@ -1,0 +1,94 @@
+//! Integration tests pinning the concrete numbers the paper calls out in
+//! its figures: Fig. 12 (AND simulation), Fig. 13 (setup violation
+//! diagnostic), Fig. 11 (min-max delays), and Fig. 15/16 (bitonic sorter).
+
+use rlse::cells::and_s;
+use rlse::designs::{bitonic_delay, bitonic_sorter_with_inputs, min_max};
+use rlse::prelude::*;
+
+#[test]
+fn figure12_and_element_events() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
+    let b = c.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
+    let clk = c.inp(50.0, 50.0, 6, "CLK");
+    let q = and_s(&mut c, a, b, clk).unwrap();
+    c.inspect(q, "Q");
+    let events = Simulation::new(c).run().unwrap();
+    assert_eq!(events.times("Q"), &[209.2, 259.2, 309.2]);
+    assert_eq!(events.times("CLK").len(), 6);
+    assert_eq!(events.pulse_count(), 4 + 4 + 6 + 3);
+}
+
+#[test]
+fn figure13_setup_violation_diagnostic() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
+    let b = c.inp_at(&[99.0, 185.0, 225.0, 265.0], "B");
+    let clk = c.inp(50.0, 50.0, 6, "CLK");
+    let q = and_s(&mut c, a, b, clk).unwrap();
+    c.inspect(q, "Q");
+    let err = Simulation::new(c).run().unwrap_err();
+    let msg = err.to_string();
+    for needle in [
+        "Error while sending input(s)",
+        "'clk'",
+        "Prior input violation on FSM 'AND'",
+        "past_constraints",
+        "input 'b' was seen as recently as 2.8 time units ago",
+        "It was last seen at 99",
+        "1.7999999999999998 time units to soon",
+    ] {
+        assert!(msg.contains(needle), "missing {needle:?} in: {msg}");
+    }
+}
+
+#[test]
+fn figure11_min_max_path_balance() {
+    // Paper: earlier pulse reaches LOW after 11 + 14 = 25 ps, later one
+    // reaches HIGH after 11 + 12 + 2 = 25 ps.
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[115.0], "A");
+    let b = c.inp_at(&[64.0], "B");
+    let (low, high) = min_max(&mut c, a, b).unwrap();
+    c.inspect(low, "LOW");
+    c.inspect(high, "HIGH");
+    let events = Simulation::new(c).run().unwrap();
+    assert_eq!(events.times("LOW"), &[64.0 + 25.0]);
+    assert_eq!(events.times("HIGH"), &[115.0 + 25.0]);
+}
+
+#[test]
+fn figure16_bitonic_outputs_in_rank_order() {
+    // "The pulse arriving on input IN4 (the earliest input pulse) is
+    //  produced 150 ps later on OUT0, and more generally, the output pulses
+    //  appear in rank order."
+    let times = [125.0, 35.0, 85.0, 105.0, 15.0, 65.0, 115.0, 45.0];
+    let mut c = Circuit::new();
+    bitonic_sorter_with_inputs(&mut c, &times).unwrap();
+    let events = Simulation::new(c).run().unwrap();
+    assert_eq!(bitonic_delay(8), 150.0);
+    assert_eq!(events.times("o0"), &[15.0 + 150.0]); // earliest was i4
+    let mut sorted = times.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    for (k, t) in sorted.iter().enumerate() {
+        let got = events.times(&format!("o{k}"));
+        assert_eq!(got.len(), 1, "o{k}");
+        assert!((got[0] - (t + 150.0)).abs() < 1e-9, "o{k}");
+    }
+}
+
+#[test]
+fn table2_sizes_match_paper_metrics() {
+    // RLSE sizes in Table 2: C = 6, InvC = 6, Min-Max = 5, Bitonic-8 = 24.
+    assert_eq!(rlse::cells::defs::c_elem().definition_size(), 6);
+    assert_eq!(rlse::cells::defs::c_inv_elem().definition_size(), 6);
+    // The min-max body is 5 cells / ~5 lines, the 8-sorter 24 comparators.
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[10.0], "A");
+    let b = c.inp_at(&[30.0], "B");
+    min_max(&mut c, a, b).unwrap();
+    assert_eq!(c.stats().cells, 5);
+    let schedule = rlse::designs::bitonic_schedule(8);
+    assert_eq!(schedule.iter().map(Vec::len).sum::<usize>(), 24);
+}

@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) over the core semantics, the DBM zone
+//! library, and the larger designs: invariants that must hold for *every*
+//! input, not just the paper's examples.
+
+use proptest::prelude::*;
+use rlse::cells::defs;
+use rlse::core::machine::TimeKey;
+use rlse::designs::{bitonic_delay, bitonic_sorter_with_inputs};
+use rlse::prelude::*;
+use rlse::ta::dbm::{Dbm, Rel};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------- machines
+
+proptest! {
+    /// The AND machine never fires more than once per clock pulse, never
+    /// fires without a clock, and all output times are clock + 9.2.
+    #[test]
+    fn and_fires_only_on_clock_edges(
+        a_times in proptest::collection::vec(0u32..20, 0..6),
+        b_times in proptest::collection::vec(0u32..20, 0..6),
+    ) {
+        // Map slot k to time 100k + 20/30: data mid-period, clocks at 100k.
+        let spec = defs::and_elem();
+        let a_id = spec.input_id("a").unwrap();
+        let b_id = spec.input_id("b").unwrap();
+        let clk_id = spec.input_id("clk").unwrap();
+        let mut sched: BTreeMap<TimeKey, Vec<rlse::core::machine::InputId>> = BTreeMap::new();
+        for &k in &a_times {
+            sched.entry(TimeKey::new(100.0 * k as f64 + 20.0)).or_default().push(a_id);
+        }
+        for &k in &b_times {
+            sched.entry(TimeKey::new(100.0 * k as f64 + 30.0)).or_default().push(b_id);
+        }
+        let n_clk = 21;
+        for k in 1..=n_clk {
+            sched.entry(TimeKey::new(100.0 * k as f64)).or_default().push(clk_id);
+        }
+        let outs = spec.trace(&sched).unwrap();
+        prop_assert!(outs.len() <= n_clk);
+        for (_, t) in &outs {
+            let frac = (t - 9.2).rem_euclid(100.0);
+            prop_assert!(frac.abs() < 1e-6, "output at {t}");
+        }
+        // Reference model: fires in period k iff both a and b pulsed in it.
+        let expected = (0..n_clk as u32)
+            .filter(|k| a_times.contains(k) && b_times.contains(k))
+            .count();
+        prop_assert_eq!(outs.len(), expected);
+    }
+
+    /// Dispatch is permutation-invariant: the result of delivering a set of
+    /// simultaneous inputs does not depend on the order of the input list.
+    #[test]
+    fn dispatch_is_order_insensitive(perm in 0usize..6) {
+        let spec = defs::join2x2_elem();
+        let a_t = spec.input_id("a_t").unwrap();
+        let b_t = spec.input_id("b_t").unwrap();
+        let b_f = spec.input_id("b_f").unwrap();
+        let orders = [
+            [a_t, b_t, b_f], [a_t, b_f, b_t], [b_t, a_t, b_f],
+            [b_t, b_f, a_t], [b_f, a_t, b_t], [b_f, b_t, a_t],
+        ];
+        let cfg = spec.initial_config();
+        // All simultaneous at t=10: the machine handles them by priority,
+        // whatever order the set is presented in.
+        let r0 = spec.dispatch(&cfg, &orders[0], 10.0);
+        let rp = spec.dispatch(&cfg, &orders[perm], 10.0);
+        match (r0, rp) {
+            (Ok((c0, o0)), Ok((cp, op))) => {
+                prop_assert_eq!(c0.state, cp.state);
+                prop_assert_eq!(o0, op);
+            }
+            (Err(e0), Err(ep)) => prop_assert_eq!(e0.kind, ep.kind),
+            (x, y) => prop_assert!(false, "diverged: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Every machine's theta map only ever moves forward in time.
+    #[test]
+    fn theta_is_monotone(times in proptest::collection::vec(1u32..500, 1..12)) {
+        let spec = defs::jtl_elem();
+        let a = spec.input_id("a").unwrap();
+        let mut cfg = spec.initial_config();
+        let mut sorted: Vec<f64> = times.iter().map(|t| *t as f64).collect();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        let mut last = f64::NEG_INFINITY;
+        for t in sorted {
+            let (next, _) = spec.step(&cfg, a, t).unwrap();
+            prop_assert!(next.theta[a.0] >= last);
+            last = next.theta[a.0];
+            cfg = next;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- circuits
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The bitonic sorter sorts *any* set of sufficiently separated times.
+    #[test]
+    fn bitonic_sorts_arbitrary_spaced_inputs(perm in proptest::sample::subsequence(
+        (0..16usize).collect::<Vec<_>>(), 8), offset in 0u32..50)
+    {
+        // Build 8 distinct times with >= 10 ps spacing from the chosen slots.
+        let times: Vec<f64> = perm.iter().map(|k| 15.0 + offset as f64 + 12.0 * *k as f64).collect();
+        let mut c = Circuit::new();
+        bitonic_sorter_with_inputs(&mut c, &times).unwrap();
+        let ev = Simulation::new(c).run().unwrap();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        for (k, t) in sorted.iter().enumerate() {
+            let got = ev.times(&format!("o{k}"));
+            prop_assert_eq!(got.len(), 1);
+            prop_assert!((got[0] - (t + bitonic_delay(8))).abs() < 1e-9);
+        }
+    }
+
+    /// Both adder implementations agree with binary arithmetic on every
+    /// input vector (exhaustive here, but phrased as a property).
+    #[test]
+    fn adders_match_reference(v in 0u8..8) {
+        let (a, b, cin) = (v & 1 != 0, v & 2 != 0, v & 4 != 0);
+        let ones = [a, b, cin].iter().filter(|&&x| x).count();
+
+        let mut c = Circuit::new();
+        rlse::designs::adder::full_adder_sync_with_inputs(&mut c, a, b, cin).unwrap();
+        let ev = Simulation::new(c).run().unwrap();
+        prop_assert_eq!(!ev.times("SUM").is_empty(), ones % 2 == 1);
+        prop_assert_eq!(!ev.times("COUT").is_empty(), ones >= 2);
+
+        let mut c = Circuit::new();
+        rlse::designs::xsfq_adder::full_adder_xsfq_with_inputs(&mut c, a, b, cin).unwrap();
+        let ev = Simulation::new(c).run().unwrap();
+        prop_assert_eq!(!ev.times("SUM_T").is_empty(), ones % 2 == 1);
+        prop_assert_eq!(!ev.times("COUT_T").is_empty(), ones >= 2);
+    }
+}
+
+// -------------------------------------------------------------------- DBMs
+
+proptest! {
+    /// Constrain never grows a zone; up never shrinks it.
+    #[test]
+    fn dbm_constrain_shrinks_up_grows(
+        bounds in proptest::collection::vec((1usize..5, 0i32..100), 1..8)
+    ) {
+        let mut z = Dbm::zero(4);
+        z.up();
+        for (c, v) in bounds {
+            let before = z.clone();
+            let ok = z.constrain_clock(c, Rel::Le, v);
+            if ok {
+                prop_assert!(before.includes(&z));
+                let mut grown = z.clone();
+                grown.up();
+                prop_assert!(grown.includes(&z));
+            } else {
+                prop_assert!(z.is_empty());
+                break;
+            }
+        }
+    }
+
+    /// Extrapolation only ever grows zones (soundness direction) and is
+    /// idempotent.
+    #[test]
+    fn dbm_extrapolation_grows_and_is_idempotent(
+        lows in proptest::collection::vec(0i32..200, 3),
+        max_const in 1i64..50,
+    ) {
+        // Upper bounds alone are always mutually satisfiable, so this zone
+        // is nonempty for every generated vector.
+        let mut z = Dbm::zero(3);
+        z.up();
+        for (i, lo) in lows.iter().enumerate() {
+            prop_assert!(z.constrain_clock(i + 1, Rel::Le, lo + 10));
+        }
+        let max = vec![max_const; 3];
+        let mut e1 = z.clone();
+        e1.extrapolate(&max);
+        prop_assert!(e1.includes(&z));
+        let mut e2 = e1.clone();
+        e2.extrapolate(&max);
+        prop_assert_eq!(&e1, &e2);
+    }
+
+    /// Reset then read-back: the reset clock is exactly zero and other
+    /// clocks keep their ranges.
+    #[test]
+    fn dbm_reset_is_local(hi in 1i32..100) {
+        let mut z = Dbm::zero(2);
+        z.up();
+        prop_assume!(z.constrain_clock(1, Rel::Eq, hi));
+        let (lo2, hi2) = z.clock_range(2);
+        z.reset(2);
+        prop_assert_eq!(z.clock_range(2), (0, Some(0)));
+        prop_assert_eq!(z.clock_range(1), (hi as i64, Some(hi as i64)));
+        let _ = (lo2, hi2);
+    }
+}
+
+// --------------------------------------------------------------- variability
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With zero-σ "jitter", variability must be a no-op.
+    #[test]
+    fn zero_sigma_variability_is_identity(seed in 0u64..1000) {
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[115.0], "A");
+            let b = c.inp_at(&[64.0], "B");
+            let (low, high) = rlse::designs::min_max(&mut c, a, b).unwrap();
+            c.inspect(low, "LOW");
+            c.inspect(high, "HIGH");
+            c
+        };
+        let base = Simulation::new(build()).run().unwrap();
+        let jittered = Simulation::new(build())
+            .variability(Variability::Gaussian { std: 0.0 })
+            .seed(seed)
+            .run()
+            .unwrap();
+        prop_assert_eq!(base, jittered);
+    }
+}

@@ -1,0 +1,263 @@
+//! Differential testing of the production simulator against a naive
+//! reference interpreter transcribed rule-by-rule from the paper's Figure 6
+//! (Transition, Dispatch, Trace, and Network relations).
+//!
+//! The reference interpreter keeps every configuration explicit, scans the
+//! whole pulse list for the earliest batch (`getSimPulses`), and applies the
+//! Normal-κ / Error-κ rules literally — no heaps, no indices, no caching.
+//! Any divergence from `rlse::core::sim` on the same circuit is a bug in
+//! one of the two.
+
+use proptest::prelude::*;
+use rlse::core::circuit::NodeId;
+use rlse::core::machine::{Config, InputId, Machine};
+use rlse::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+// ------------------------------------------------------------ reference
+
+/// A pending pulse headed for (node, port).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RefPulse {
+    time: f64,
+    node: usize,
+    port: usize,
+}
+
+/// Naive network interpreter per Fig. 6. Returns events per wire name or
+/// the violation, exactly like the production simulator.
+fn reference_run(circ: &Circuit) -> Result<BTreeMap<String, Vec<f64>>, String> {
+    let mut events: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut configs: BTreeMap<usize, Config> = BTreeMap::new();
+    for n in 0..circ.node_count() {
+        if let Some(m) = circ.node_machine(NodeId(n)) {
+            configs.insert(n, m.initial_config());
+        }
+    }
+    // Initial pulse list: stimulus pulses routed through their wires.
+    let mut ps: Vec<RefPulse> = Vec::new();
+    for n in 0..circ.node_count() {
+        let node = NodeId(n);
+        if let Some(times) = circ.node_source_times(node) {
+            let w = circ.node_out_wires(node)[0];
+            for &t in times {
+                events
+                    .entry(circ.wire_name(w).to_string())
+                    .or_default()
+                    .push(t);
+                if let Some((sink, port)) = circ.wire_sink(w) {
+                    ps.push(RefPulse {
+                        time: t,
+                        node: sink.0,
+                        port,
+                    });
+                }
+            }
+        }
+    }
+
+    // Net-Cont until no pulse remains (Net-Done).
+    loop {
+        // getSimPulses: earliest time, then (deterministically) the lowest
+        // node id at that time; collect its simultaneous set.
+        let Some(time) = ps
+            .iter()
+            .map(|p| p.time)
+            .min_by(f64::total_cmp)
+        else {
+            break;
+        };
+        let node = ps
+            .iter()
+            .filter(|p| p.time == time)
+            .map(|p| p.node)
+            .min()
+            .expect("nonempty");
+        let batch: Vec<RefPulse> = ps
+            .iter()
+            .copied()
+            .filter(|p| p.time == time && p.node == node)
+            .collect();
+        ps.retain(|p| !(p.time == time && p.node == node));
+
+        let spec: Arc<Machine> = circ
+            .node_machine(NodeId(node))
+            .expect("reference interpreter only handles machines")
+            .clone();
+        let cfg = configs.get(&node).expect("config").clone();
+        let sigmas: Vec<InputId> = batch.iter().map(|p| InputId(p.port)).collect();
+        // Dispatch relation, transcribed: repeatedly pick the argmin-priority
+        // input, apply the Transition relation, accumulate outputs.
+        let mut rest = sigmas;
+        let mut cur = cfg;
+        let mut outs: Vec<(usize, f64)> = Vec::new();
+        while !rest.is_empty() {
+            let (pos, _) = rest
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| {
+                    let t = spec.transition_for(cur.state, **s);
+                    (t.priority, s.0)
+                })
+                .expect("nonempty");
+            let sigma = rest.remove(pos);
+            match spec.step(&cur, sigma, time) {
+                Ok((next, fired)) => {
+                    cur = next;
+                    outs.extend(fired.into_iter().map(|(o, t)| (o.0, t)));
+                }
+                Err(v) => return Err(format!("{v:?}")),
+            }
+        }
+        configs.insert(node, cur);
+        // Route outputs.
+        for (oport, t_out) in outs {
+            let w = circ.node_out_wires(NodeId(node))[oport];
+            events
+                .entry(circ.wire_name(w).to_string())
+                .or_default()
+                .push(t_out);
+            if let Some((sink, port)) = circ.wire_sink(w) {
+                ps.push(RefPulse {
+                    time: t_out,
+                    node: sink.0,
+                    port,
+                });
+            }
+        }
+    }
+    for v in events.values_mut() {
+        v.sort_by(f64::total_cmp);
+    }
+    Ok(events)
+}
+
+// ------------------------------------------------------- random circuits
+
+fn cell_pool() -> Vec<Arc<Machine>> {
+    vec![
+        rlse::cells::defs::jtl_elem(),
+        rlse::cells::defs::s_elem(),
+        rlse::cells::defs::m_elem(),
+        rlse::cells::defs::c_elem(),
+        rlse::cells::defs::c_inv_elem(),
+        rlse::cells::extra::tff_elem(),
+    ]
+}
+
+/// Build a random feed-forward circuit: `n_in` sources with staggered pulse
+/// times, then cells drawn from `picks`, consuming the frontier of unused
+/// wires (keeping everything fanout-legal by construction).
+fn random_circuit(picks: &[u8], n_in: usize) -> Circuit {
+    let mut circ = Circuit::new();
+    // Widely spaced input pulses so async decision cells never see
+    // violation-close pairs regardless of topology.
+    let mut frontier: Vec<Wire> = (0..n_in)
+        .map(|i| circ.inp_at(&[40.0 + 40.0 * i as f64], &format!("I{i}")))
+        .collect();
+    let pool = cell_pool();
+    for &pick in picks {
+        if frontier.is_empty() {
+            break;
+        }
+        let spec = &pool[(pick as usize) % pool.len()];
+        let need = spec.inputs().len();
+        if frontier.len() < need {
+            // Not enough frontier wires for this cell: use a JTL instead.
+            let w = frontier.remove(0);
+            let q = circ.add_machine(&pool[0], &[w]).unwrap()[0];
+            frontier.push(q);
+            continue;
+        }
+        let ins: Vec<Wire> = frontier.drain(..need).collect();
+        let outs = circ.add_machine(spec, &ins).unwrap();
+        frontier.extend(outs);
+    }
+    for (i, w) in frontier.iter().enumerate() {
+        circ.inspect(*w, &format!("O{i}"));
+    }
+    circ
+}
+
+// ------------------------------------------------------------ the tests
+
+fn assert_equivalent(circ_a: Circuit, circ_b: Circuit) {
+    let reference = reference_run(&circ_a);
+    let mut sim = Simulation::new(circ_b);
+    let production = sim.run();
+    match (reference, production) {
+        (Ok(r), Ok(p)) => {
+            for (name, times) in &r {
+                let got = p.times(name);
+                assert_eq!(
+                    got.len(),
+                    times.len(),
+                    "pulse count differs on '{name}': ref {times:?} vs sim {got:?}"
+                );
+                for (a, b) in times.iter().zip(got) {
+                    assert!((a - b).abs() < 1e-9, "'{name}': ref {a} vs sim {b}");
+                }
+            }
+        }
+        (Err(_), Err(_)) => {} // both detected a violation: equivalent
+        (r, p) => panic!("divergence: reference {r:?} vs production {p:?}"),
+    }
+}
+
+#[test]
+fn reference_matches_simulator_on_min_max() {
+    let build = || {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[115.0, 215.0, 315.0], "A");
+        let b = c.inp_at(&[64.0, 184.0, 304.0], "B");
+        let (low, high) = rlse::designs::min_max(&mut c, a, b).unwrap();
+        c.inspect(low, "LOW");
+        c.inspect(high, "HIGH");
+        c
+    };
+    assert_equivalent(build(), build());
+}
+
+#[test]
+fn reference_matches_simulator_on_bitonic_4() {
+    let build = || {
+        let mut c = Circuit::new();
+        rlse::designs::bitonic_sorter_with_inputs(&mut c, &[90.0, 20.0, 60.0, 40.0]).unwrap();
+        c
+    };
+    assert_equivalent(build(), build());
+}
+
+#[test]
+fn reference_matches_simulator_on_violating_circuit() {
+    // Two near-simultaneous pulses into a C element violate its transition
+    // time; both engines must flag it.
+    let build = || {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[20.0], "A");
+        let b = c.inp_at(&[20.5], "B");
+        let q = rlse::cells::c(&mut c, a, b).unwrap();
+        c.inspect(q, "Q");
+        c
+    };
+    assert_equivalent(build(), build());
+    // And confirm both actually error (not both silently succeed).
+    assert!(reference_run(&build()).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The production simulator and the Fig. 6 reference interpreter agree
+    /// on random feed-forward circuits.
+    #[test]
+    fn reference_matches_simulator_on_random_circuits(
+        picks in proptest::collection::vec(0u8..6, 1..24),
+        n_in in 1usize..5,
+    ) {
+        let a = random_circuit(&picks, n_in);
+        let b = random_circuit(&picks, n_in);
+        assert_equivalent(a, b);
+    }
+}

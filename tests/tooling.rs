@@ -1,0 +1,116 @@
+//! Integration tests for the developer tooling around the simulator: static
+//! lints, dispatch traces, VCD export, and the text waveform renderer, all
+//! exercised on real designs.
+
+use rlse::core::plot::{render, PlotOptions};
+use rlse::core::validate::{analyze, Lint};
+use rlse::core::vcd::{to_vcd, VcdOptions};
+use rlse::designs::{bitonic_sorter_with_inputs, min_max};
+use rlse::prelude::*;
+
+#[test]
+fn paper_designs_are_lint_clean() {
+    // Every machine in every Table 3 design has only reachable states, and
+    // the bench circuits observe all their outputs.
+    let mut c = Circuit::new();
+    bitonic_sorter_with_inputs(&mut c, &[95.0, 15.0, 55.0, 75.0, 35.0, 115.0, 25.0, 105.0])
+        .unwrap();
+    let report = analyze(&c);
+    assert!(
+        report.is_clean(),
+        "bitonic sorter should be lint-clean:\n{report}"
+    );
+}
+
+#[test]
+fn trace_log_reconstructs_the_pulse_story() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[115.0], "A");
+    let b = c.inp_at(&[64.0], "B");
+    let (low, high) = min_max(&mut c, a, b).unwrap();
+    c.inspect(low, "LOW");
+    c.inspect(high, "HIGH");
+    let mut sim = Simulation::new(c).with_trace();
+    let events = sim.run().unwrap();
+    let trace = sim.trace();
+    // Every machine dispatch is logged, in nondecreasing time order.
+    assert!(trace.len() >= 6, "got {} entries", trace.len());
+    assert!(trace.windows(2).all(|w| w[0].time <= w[1].time));
+    // The C element's firing entry matches the observed HIGH pulse.
+    let c_fire = trace
+        .iter()
+        .find(|e| e.cell == "C" && !e.fired.is_empty())
+        .expect("C fires once");
+    let (out_name, t) = &c_fire.fired[0];
+    assert_eq!(out_name, "q");
+    // HIGH passes one more JTL (+2.0 ps).
+    assert!((events.times("HIGH")[0] - (t + 2.0)).abs() < 1e-9);
+    // Display formatting mentions the state movement.
+    let line = c_fire.to_string();
+    assert!(line.contains("C"), "{line}");
+    assert!(line.contains("->"), "{line}");
+}
+
+#[test]
+fn vcd_export_of_a_real_run_is_consistent() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[125.0, 175.0], "A");
+    let b = c.inp_at(&[75.0, 185.0], "B");
+    let clk = c.inp(50.0, 50.0, 4, "CLK");
+    let q = rlse::cells::and_s(&mut c, a, b, clk).unwrap();
+    c.inspect(q, "Q");
+    let events = Simulation::new(c).run().unwrap();
+    let vcd = to_vcd(
+        &events,
+        VcdOptions {
+            pulse_width: 2.0,
+            module: "and_test",
+        },
+    );
+    assert!(vcd.contains("$scope module and_test $end"));
+    // One rise per pulse across all named wires.
+    let rises = vcd
+        .lines()
+        .filter(|l| l.len() >= 2 && l.starts_with('1'))
+        .count();
+    assert_eq!(rises, events.pulse_count());
+    // The Q pulse at 209.2 ps lands on tick 2092.
+    assert!(vcd.contains("#2092"), "{vcd}");
+}
+
+#[test]
+fn waveform_renderer_shows_every_named_wire() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[10.0, 90.0], "A");
+    let q = rlse::cells::jtl(&mut c, a).unwrap();
+    c.inspect(q, "Q");
+    let events = Simulation::new(c).run().unwrap();
+    let plot = render(
+        &events,
+        PlotOptions {
+            width: 80,
+            range: None,
+        },
+    );
+    let lines: Vec<&str> = plot.lines().collect();
+    assert!(lines[0].starts_with("A"));
+    assert!(lines[1].starts_with("Q"));
+    assert_eq!(lines[0].matches('|').count(), 2);
+    assert_eq!(lines[1].matches('|').count(), 2);
+}
+
+#[test]
+fn lints_fire_on_a_deliberately_fishy_circuit() {
+    let mut c = Circuit::new();
+    let silent = c.inp_at(&[], "NOPULSES");
+    let _unobserved = rlse::cells::jtl(&mut c, silent).unwrap();
+    let report = analyze(&c);
+    assert!(report
+        .lints
+        .iter()
+        .any(|l| matches!(l, Lint::SilentSource { .. })));
+    assert!(report
+        .lints
+        .iter()
+        .any(|l| matches!(l, Lint::UnobservedOutput { .. })));
+}
