@@ -356,15 +356,11 @@ impl CellState {
             }
             if delta < 1e-9 {
                 // Commit inductor currents.
-                for li in 0..self.inductor_ids.len() {
-                    self.il[li] = x[nn + li];
-                }
+                self.il.copy_from_slice(&x[nn..nn + self.inductor_ids.len()]);
                 break;
             }
             if _iter == 24 {
-                for li in 0..self.inductor_ids.len() {
-                    self.il[li] = x[nn + li];
-                }
+                self.il.copy_from_slice(&x[nn..nn + self.inductor_ids.len()]);
             }
         }
 
@@ -412,7 +408,7 @@ impl CellState {
                 Decision::FirstArrival => {
                     // Fire on the 1st, 3rd, 5th… input pulse overall.
                     let total: u64 = self.seen.iter().sum();
-                    total >= 2 * self.fires + 1
+                    total > 2 * self.fires
                 }
                 Decision::Merge => self.seen.iter().sum::<u64>() > self.fires,
             };

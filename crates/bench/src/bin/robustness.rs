@@ -4,38 +4,49 @@
 //!
 //! Failures are either detected timing violations (transition-time or
 //! past-constraint errors during simulation) or erroneous outputs observed
-//! afterwards — the two failure modes the paper describes.
+//! afterwards — the two failure modes the paper describes. Trials run on
+//! `rlse-core`'s deterministic parallel sweep engine: per-trial seeds are
+//! derived from the master seed, so the table below is reproducible at any
+//! thread count (`--threads N`, default all cores).
+//!
+//! Usage: `robustness [trials] [--threads N] [--seed S]`
 
 use rlse_bench::{bench_bitonic, bitonic_times, Table};
 use rlse_core::prelude::*;
 
-fn run_once(sigma: f64, seed: u64) -> Result<bool, Error> {
-    let bench = bench_bitonic(8);
-    let mut sim = Simulation::new(bench.circuit)
-        .variability(Variability::Gaussian { std: sigma })
-        .seed(seed);
-    let events = sim.run()?;
-    // Rank-order check from §5.2: one pulse per output, in time order.
+/// Rank-order check from §5.2: one pulse per output, in time order.
+fn sorted_ok(events: &Events) -> bool {
     let mut prev = f64::NEG_INFINITY;
     for k in 0..8 {
         let times = events.times(&format!("o{k}"));
         if times.len() != 1 || times[0] < prev {
-            return Ok(false);
+            return false;
         }
         prev = times[0];
     }
-    Ok(true)
+    true
 }
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trials: u64 = 100;
+    let mut threads: usize = 0;
+    let mut master_seed: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => threads = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--seed" => master_seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            other => {
+                if let Ok(n) = other.parse() {
+                    trials = n;
+                }
+            }
+        }
+    }
     println!(
         "Section 5.2: bitonic sorter robustness under delay variability\n\
-         ({} trials per sigma; inputs {:?})\n",
-        trials,
+         ({trials} trials per sigma, master seed {master_seed}; inputs {:?})\n",
         bitonic_times(8)
     );
     let mut table = Table::new(&[
@@ -46,20 +57,19 @@ fn main() {
         "success rate",
     ]);
     for sigma in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 3.0] {
-        let (mut ok, mut wrong, mut violation) = (0u64, 0u64, 0u64);
-        for seed in 0..trials {
-            match run_once(sigma, seed) {
-                Ok(true) => ok += 1,
-                Ok(false) => wrong += 1,
-                Err(_) => violation += 1,
-            }
-        }
+        let report = Sweep::over(|| bench_bitonic(8).circuit)
+            .variability(move || Variability::Gaussian { std: sigma })
+            .check(sorted_ok)
+            .trials(trials)
+            .master_seed(master_seed)
+            .threads(threads)
+            .run();
         table.row(vec![
             format!("{sigma}"),
-            ok.to_string(),
-            wrong.to_string(),
-            violation.to_string(),
-            format!("{:.0}%", 100.0 * ok as f64 / trials as f64),
+            report.ok.to_string(),
+            report.check_failures.to_string(),
+            (report.timing_violations + report.other_errors).to_string(),
+            format!("{:.0}%", 100.0 * (1.0 - report.failure_rate())),
         ]);
     }
     println!("{}", table.render());

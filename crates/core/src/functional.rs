@@ -107,7 +107,7 @@ mod tests {
             if ins[0] {
                 count += 1;
             }
-            vec![count % 2 == 0 && ins[0]]
+            vec![count.is_multiple_of(2) && ins[0]]
         });
         assert_eq!(h.call(&[true], 0.0), vec![false]);
         assert_eq!(h.call(&[true], 1.0), vec![true]);

@@ -12,6 +12,8 @@
 //!   circuits.
 //! * [`sim`] — the discrete-event simulator, with optional firing-delay
 //!   variability.
+//! * [`sweep`] — deterministically-seeded parallel Monte-Carlo sweeps over
+//!   a circuit under variability (the §5.2 / Fig. 13 experiments).
 //! * [`events`] — the events dictionary and §5.2-style dynamic checks.
 //! * [`plot`] — text waveform rendering.
 //! * [`error`] — definition, wiring, and timing-violation errors, with
@@ -56,6 +58,7 @@ pub mod functional;
 pub mod machine;
 pub mod plot;
 pub mod sim;
+pub mod sweep;
 pub mod validate;
 pub mod vcd;
 
@@ -69,4 +72,5 @@ pub mod prelude {
     pub use crate::functional::Hole;
     pub use crate::machine::{EdgeDef, Machine};
     pub use crate::sim::{Simulation, TraceEntry, Variability};
+    pub use crate::sweep::{OutputStats, Sweep, SweepReport};
 }

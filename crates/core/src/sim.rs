@@ -31,8 +31,12 @@ pub enum Variability {
     PerCellType(std::collections::HashMap<String, f64>),
     /// A user-defined function from `(nominal_delay, cell_name, rng)` to the
     /// actual delay, for fine-grained control.
-    Custom(Box<dyn FnMut(Time, &str, &mut dyn RngCore) -> Time + Send>),
+    Custom(CustomDelayFn),
 }
+
+/// The boxed delay-model signature accepted by [`Variability::Custom`]:
+/// `(nominal_delay, cell_name, rng) -> actual_delay`.
+pub type CustomDelayFn = Box<dyn FnMut(Time, &str, &mut dyn RngCore) -> Time + Send>;
 
 impl Variability {
     /// The paper's default jitter: Gaussian with σ = 0.2 ps.
@@ -160,6 +164,13 @@ pub struct Simulation {
     seed: u64,
     trace_enabled: bool,
     trace: Vec<TraceEntry>,
+    // Reusable per-run buffers (see `reset`): machine configurations, the
+    // per-wire event lists, and the pending-pulse heap. Kept on the struct so
+    // repeated runs (Monte-Carlo sweeps) reuse their allocations instead of
+    // rebuilding them per trial.
+    configs: Vec<Option<Config>>,
+    wire_events: Vec<Vec<Time>>,
+    heap: BinaryHeap<Pulse>,
 }
 
 impl Simulation {
@@ -173,6 +184,9 @@ impl Simulation {
             seed: 0xC0FFEE,
             trace_enabled: false,
             trace: Vec::new(),
+            configs: Vec::new(),
+            wire_events: Vec::new(),
+            heap: BinaryHeap::new(),
         }
     }
 
@@ -193,6 +207,57 @@ impl Simulation {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Change the variability RNG seed of an existing simulation (the
+    /// in-place counterpart of [`seed`](Self::seed), for reusing one
+    /// simulation across many trials).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// Change or clear the target time in place.
+    pub fn set_until(&mut self, until: Option<Time>) {
+        self.until = until;
+    }
+
+    /// Change or clear the variability model in place.
+    pub fn set_variability(&mut self, v: Option<Variability>) {
+        self.variability = v;
+    }
+
+    /// Restore the simulation to its pre-run state so it can be run again:
+    /// every machine configuration ⟨q, τ_done, Θ⟩ is reset to its initial
+    /// value, and the pulse heap, per-wire event lists, and dispatch trace
+    /// are emptied — **keeping their allocations** for the next run.
+    ///
+    /// [`run`](Self::run) calls this automatically on entry, so an explicit
+    /// call is only needed to drop stale state eagerly (e.g. after a run
+    /// aborted with a timing violation left pulses pending).
+    pub fn reset(&mut self) {
+        self.trace.clear();
+        self.heap.clear();
+        let n_nodes = self.circuit.nodes.len();
+        self.configs.resize(n_nodes, None);
+        for (slot, node) in self.configs.iter_mut().zip(&self.circuit.nodes) {
+            *slot = match &node.kind {
+                NodeKind::Machine { spec, .. } => Some(spec.initial_config()),
+                _ => None,
+            };
+        }
+        let n_wires = self.circuit.wires.len();
+        if self.wire_events.len() != n_wires {
+            self.wire_events.resize_with(n_wires, Vec::new);
+        }
+        for evs in &mut self.wire_events {
+            evs.clear();
+        }
+    }
+
+    /// Number of pulses currently pending in the heap (0 outside of `run`
+    /// and after a `reset`; nonzero after a run aborted by an error).
+    pub fn pending_pulses(&self) -> usize {
+        self.heap.len()
     }
 
     /// Record a [`TraceEntry`] for every dispatched batch; retrieve the log
@@ -233,30 +298,36 @@ impl Simulation {
     /// [`Error::Hole`] if a hole returns the wrong number of outputs.
     pub fn run(&mut self) -> Result<Events, Error> {
         self.circuit.check()?;
-        let n_nodes = self.circuit.nodes.len();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut configs: Vec<Option<Config>> = (0..n_nodes)
-            .map(|i| match &self.circuit.nodes[i].kind {
-                NodeKind::Machine { spec, .. } => Some(spec.initial_config()),
-                _ => None,
-            })
-            .collect();
-        let mut wire_events: Vec<Vec<Time>> = vec![Vec::new(); self.circuit.wires.len()];
-        let mut heap: BinaryHeap<Pulse> = BinaryHeap::new();
+        self.reset();
+        // Split the struct into disjoint field borrows so the circuit, the
+        // reusable buffers, and the variability model can be used together.
+        let Simulation {
+            circuit,
+            until,
+            variability,
+            seed,
+            trace_enabled,
+            trace,
+            configs,
+            wire_events,
+            heap,
+        } = self;
+        let until = *until;
+        let trace_enabled = *trace_enabled;
+        let mut rng = StdRng::seed_from_u64(*seed);
         let mut seq = 0u64;
-        self.trace.clear();
 
-        let record_ok = |t: Time, until: Option<Time>| until.map_or(true, |u| t <= u);
+        let record_ok = |t: Time, until: Option<Time>| until.is_none_or(|u| t <= u);
 
         // Seed the heap from stimulus sources.
-        for (i, node) in self.circuit.nodes.iter().enumerate() {
+        for node in circuit.nodes.iter() {
             if let NodeKind::Source { pulses } = &node.kind {
                 let wire = node.out_wires[0];
                 for &t in pulses {
-                    if record_ok(t, self.until) {
+                    if record_ok(t, until) {
                         wire_events[wire].push(t);
                     }
-                    if let Some((sink, port)) = self.circuit.wires[wire].sink {
+                    if let Some((sink, port)) = circuit.wires[wire].sink {
                         heap.push(Pulse {
                             time: t,
                             node: sink.0,
@@ -266,13 +337,12 @@ impl Simulation {
                         seq += 1;
                     }
                 }
-                let _ = i;
             }
         }
 
         // Main discrete-event loop.
         while let Some(first) = heap.pop() {
-            if let Some(u) = self.until {
+            if let Some(u) = until {
                 if first.time > u {
                     break;
                 }
@@ -287,11 +357,11 @@ impl Simulation {
                 }
             }
             let node_id = NodeId(first.node);
-            let node_wire = self.circuit.node_wire_name(node_id);
+            let node_wire = circuit.node_wire_name(node_id);
             let t = first.time;
             let mut fired: Vec<(usize, Time)> = Vec::new(); // (output port, time)
             let mut trace_entry: Option<TraceEntry> = None;
-            match &mut self.circuit.nodes[first.node].kind {
+            match &mut circuit.nodes[first.node].kind {
                 NodeKind::Source { .. } => unreachable!("sources receive no pulses"),
                 NodeKind::Machine { spec, overrides } => {
                     let cfg = configs[first.node].as_ref().expect("machine config");
@@ -301,7 +371,7 @@ impl Simulation {
                         v.node_wire = node_wire.clone();
                         v
                     })?;
-                    if self.trace_enabled {
+                    if trace_enabled {
                         trace_entry = Some(TraceEntry {
                             time: t,
                             node_wire: node_wire.clone(),
@@ -322,7 +392,7 @@ impl Simulation {
                     let exempt = overrides.exempt_from_variability;
                     let cell_name = spec.name().to_string();
                     for (oid, t_out) in outs {
-                        let t_out = match (&mut self.variability, exempt) {
+                        let t_out = match (variability.as_mut(), exempt) {
                             (Some(v), false) => t + v.apply(t_out - t, &cell_name, &mut rng),
                             _ => t_out,
                         };
@@ -351,7 +421,7 @@ impl Simulation {
                             hole_fired.push((hole.outputs()[port].clone(), t + delay));
                         }
                     }
-                    if self.trace_enabled {
+                    if trace_enabled {
                         trace_entry = Some(TraceEntry {
                             time: t,
                             node_wire: node_wire.clone(),
@@ -368,15 +438,15 @@ impl Simulation {
                 }
             }
             if let Some(e) = trace_entry {
-                self.trace.push(e);
+                trace.push(e);
             }
             // Deliver fired pulses.
             for (port, t_out) in fired {
-                let wire = self.circuit.nodes[first.node].out_wires[port];
-                if record_ok(t_out, self.until) {
+                let wire = circuit.nodes[first.node].out_wires[port];
+                if record_ok(t_out, until) {
                     wire_events[wire].push(t_out);
                 }
-                if let Some((sink, sport)) = self.circuit.wires[wire].sink {
+                if let Some((sink, sport)) = circuit.wires[wire].sink {
                     heap.push(Pulse {
                         time: t_out,
                         node: sink.0,
@@ -388,10 +458,11 @@ impl Simulation {
             }
         }
 
-        for evs in &mut wire_events {
+        for evs in wire_events.iter_mut() {
             evs.sort_by(f64::total_cmp);
         }
-        Ok(Events::from_wires(&self.circuit, wire_events))
+        // Clone keeps the buffers (and their capacity) for the next run.
+        Ok(Events::from_wires(circuit, wire_events.clone()))
     }
 }
 
@@ -591,6 +662,86 @@ mod tests {
             }
             e => panic!("expected timing violation, got {e}"),
         }
+    }
+
+    #[test]
+    fn rerun_reuses_buffers_with_identical_results() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 30.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut sim = Simulation::new(c).with_trace();
+        let ev1 = sim.run().unwrap();
+        let n_trace = sim.trace().len();
+        let ev2 = sim.run().unwrap();
+        assert_eq!(ev1, ev2);
+        // The trace is rebuilt, not appended to.
+        assert_eq!(sim.trace().len(), n_trace);
+    }
+
+    #[test]
+    fn reset_clears_state_after_error_transition_run() {
+        // A fan-in of widely and narrowly spaced pulses: the narrow pair
+        // trips the transition-time constraint mid-run, leaving pending
+        // pulses in the heap and a partial trace.
+        let m = Machine::new(
+            "DUT",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                transition_time: 10.0,
+                ..Default::default()
+            }],
+        )
+        .unwrap();
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 11.0, 50.0, 90.0], "A");
+        let q = c.add_machine(&m, &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut sim = Simulation::new(c).with_trace();
+        sim.run().unwrap_err();
+        assert!(sim.pending_pulses() > 0, "error run leaves the heap dirty");
+        sim.reset();
+        assert_eq!(sim.pending_pulses(), 0);
+        assert!(sim.trace().is_empty());
+        // The machine configuration ⟨q, τ_done, Θ⟩ is back to initial: the
+        // rerun fails at the same place with the same diagnostic instead of
+        // carrying stale θ entries over.
+        let err1 = format!("{:?}", sim.run().unwrap_err());
+        let err2 = format!("{:?}", sim.run().unwrap_err());
+        assert_eq!(err1, err2);
+    }
+
+    #[test]
+    fn reset_clears_state_after_variability_run() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 30.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut sim = Simulation::new(c)
+            .with_trace()
+            .variability(Variability::Gaussian { std: 0.5 })
+            .seed(9);
+        let jittered = sim.run().unwrap();
+        assert_ne!(jittered.times("Q"), &[15.0, 35.0]);
+        // Same seed on the reused simulation: identical jitter stream.
+        assert_eq!(sim.run().unwrap(), jittered);
+        // Turn variability off in place: exact nominal times — no leftover
+        // heap pulses, RNG state, or machine configurations from the
+        // jittered runs can leak into this one.
+        sim.set_variability(None);
+        let exact = sim.run().unwrap();
+        assert_eq!(exact.times("Q"), &[15.0, 35.0]);
+        // New seeds change the jittered run again.
+        sim.set_variability(Some(Variability::Gaussian { std: 0.5 }));
+        sim.set_seed(10);
+        assert_ne!(sim.run().unwrap(), jittered);
     }
 
     #[test]

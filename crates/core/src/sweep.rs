@@ -1,0 +1,538 @@
+//! Parallel Monte-Carlo sweeps over a circuit under timing variability
+//! (paper §5.2 / Fig. 13 and the Table 2 robustness experiments).
+//!
+//! The paper's variability analysis needs thousands of independent
+//! simulation trials with Gaussian jitter on every propagation delay. A
+//! [`Sweep`] fans those trials out across a thread pool while staying
+//! **deterministic**: each trial's RNG seed is derived from the master seed
+//! with a SplitMix64 finalizer over the trial index, so trial *i* sees the
+//! same jitter stream no matter which thread runs it or how many threads
+//! exist. Per-trial statistics are reduced on the driving thread in trial
+//! order, so the aggregated [`SweepReport`] is **bit-identical** for a given
+//! master seed at any thread count.
+//!
+//! Each worker builds the circuit **once** and then reuses the simulation
+//! across its trials via [`Simulation::reset`], which keeps the pulse heap,
+//! event buffers, and machine-configuration vector allocated — the hot-path
+//! win over the naive rebuild-per-trial loop.
+//!
+//! ```
+//! use rlse_core::prelude::*;
+//! use rlse_core::machine::{EdgeDef, Machine};
+//! use rlse_core::sweep::Sweep;
+//!
+//! # fn main() -> Result<(), rlse_core::Error> {
+//! let jtl = Machine::new("JTL", &["a"], &["q"], 5.0, 2, &[EdgeDef {
+//!     src: "idle", trigger: "a", dst: "idle", firing: "q", ..EdgeDef::default()
+//! }])?;
+//! let report = Sweep::over(move || {
+//!     let mut c = Circuit::new();
+//!     let a = c.inp_at(&[10.0], "A");
+//!     let q = c.add_machine(&jtl, &[a]).unwrap()[0];
+//!     c.inspect(q, "Q");
+//!     c
+//! })
+//! .variability(|| Variability::Gaussian { std: 0.3 })
+//! .trials(256)
+//! .master_seed(42)
+//! .run();
+//! assert_eq!(report.trials, 256);
+//! let q = report.output("Q").unwrap();
+//! assert!((q.mean - 15.0).abs() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::Circuit;
+use crate::error::{Error, Time};
+use crate::events::Events;
+use crate::sim::{Simulation, Variability};
+
+/// SplitMix64 finalizer: derive the RNG seed of trial `trial` from the
+/// sweep's master seed. A pure function of `(master, trial)`, so the
+/// assignment of trials to threads cannot perturb any trial's jitter stream.
+pub fn trial_seed(master: u64, trial: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(trial.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Firing-time statistics for one observed output wire, aggregated over
+/// every successful trial of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputStats {
+    /// The observed wire's name.
+    pub name: String,
+    /// Total pulses seen on the wire across all successful trials.
+    pub pulses: u64,
+    /// Mean firing time over those pulses.
+    pub mean: Time,
+    /// Standard deviation of the firing times.
+    pub std: Time,
+    /// Earliest firing time seen.
+    pub min: Time,
+    /// Latest firing time seen.
+    pub max: Time,
+}
+
+/// The aggregate of one Monte-Carlo sweep (see [`Sweep::run`]).
+///
+/// Comparable with `==`: two reports from the same circuit builder, trial
+/// count, and master seed are bit-identical regardless of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Trials that simulated cleanly and passed the output check (if any).
+    pub ok: u64,
+    /// Trials that simulated cleanly but failed the output check.
+    pub check_failures: u64,
+    /// Trials aborted by a timing violation (an error transition — the
+    /// paper's transition-time or past-constraint errors).
+    pub timing_violations: u64,
+    /// Trials aborted by any other simulation error.
+    pub other_errors: u64,
+    /// Per-output firing-time statistics, sorted by wire name.
+    pub outputs: Vec<OutputStats>,
+}
+
+impl SweepReport {
+    /// Fraction of trials that did not end in `ok` (0.0 when no trials ran).
+    pub fn failure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            (self.trials - self.ok) as f64 / self.trials as f64
+        }
+    }
+
+    /// Statistics for the named output wire, if it was observed.
+    pub fn output(&self, name: &str) -> Option<&OutputStats> {
+        self.outputs.iter().find(|o| o.name == name)
+    }
+}
+
+/// Per-trial, per-output accumulator (count/sum/sum-of-squares/min/max).
+/// Computed identically for a trial regardless of scheduling, then folded
+/// serially in trial order — the key to bit-identical reports.
+#[derive(Debug, Clone, Copy)]
+struct OutAcc {
+    count: u64,
+    sum: f64,
+    sumsq: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OutAcc {
+    fn empty() -> Self {
+        OutAcc {
+            count: 0,
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn of(times: &[Time]) -> Self {
+        let mut acc = OutAcc::empty();
+        for &t in times {
+            acc.count += 1;
+            acc.sum += t;
+            acc.sumsq += t * t;
+            acc.min = acc.min.min(t);
+            acc.max = acc.max.max(t);
+        }
+        acc
+    }
+
+    fn fold(&mut self, other: &OutAcc) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// What one trial produced.
+#[derive(Debug, Clone)]
+enum TrialOutcome {
+    /// Clean simulation: per-output stats (aligned with the sweep's sorted
+    /// output-name list) and the check verdict.
+    Done { per_output: Vec<OutAcc>, check_ok: bool },
+    /// Aborted by a timing violation (error transition).
+    Timing,
+    /// Aborted by any other error.
+    Other,
+}
+
+/// The boxed per-trial acceptance predicate installed by [`Sweep::check`].
+type CheckFn<'a> = Box<dyn Fn(&Events) -> bool + Sync + 'a>;
+
+/// A deterministically-seeded, parallel Monte-Carlo sweep builder.
+///
+/// See the [module docs](self) for the determinism contract and an example.
+pub struct Sweep<'a> {
+    build: Box<dyn Fn() -> Circuit + Sync + 'a>,
+    variability: Option<Box<dyn Fn() -> Variability + Sync + 'a>>,
+    check: Option<CheckFn<'a>>,
+    trials: u64,
+    master_seed: u64,
+    threads: usize,
+    until: Option<Time>,
+}
+
+impl std::fmt::Debug for Sweep<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("trials", &self.trials)
+            .field("master_seed", &self.master_seed)
+            .field("threads", &self.threads)
+            .field("until", &self.until)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Sweep<'a> {
+    /// Start a sweep over the circuit produced by `build`. The builder is
+    /// called once per worker thread (not once per trial); it must be
+    /// deterministic — every call must produce the same circuit.
+    pub fn over(build: impl Fn() -> Circuit + Sync + 'a) -> Self {
+        Sweep {
+            build: Box::new(build),
+            variability: None,
+            check: None,
+            trials: 100,
+            master_seed: 0,
+            threads: 0,
+            until: None,
+        }
+    }
+
+    /// Set the number of independent trials (default 100).
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Set the master seed from which every trial's RNG stream is derived
+    /// (default 0).
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Set the worker thread count. `0` (the default) uses the machine's
+    /// available parallelism. The thread count affects wall-clock only,
+    /// never the report's contents.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Simulate each trial only until the given time (required for circuits
+    /// with feedback loops).
+    pub fn until(mut self, t: Time) -> Self {
+        self.until = Some(t);
+        self
+    }
+
+    /// Apply a variability model to every trial. The factory is called once
+    /// per trial, so stateful [`Variability::Custom`] closures start fresh
+    /// each time.
+    pub fn variability(mut self, factory: impl Fn() -> Variability + Sync + 'a) -> Self {
+        self.variability = Some(Box::new(factory));
+        self
+    }
+
+    /// Add a per-trial output check (e.g. "outputs are rank-ordered"); a
+    /// clean simulation whose events fail the check counts as a
+    /// `check_failure` instead of `ok`.
+    pub fn check(mut self, check: impl Fn(&Events) -> bool + Sync + 'a) -> Self {
+        self.check = Some(Box::new(check));
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        // No point spawning more workers than trials.
+        t.min(self.trials.max(1) as usize)
+    }
+
+    /// Run one trial on a reusable simulation. Pure in `(sweep, trial)`.
+    fn run_trial(&self, sim: &mut Simulation, trial: u64, names: &[String]) -> TrialOutcome {
+        sim.set_seed(trial_seed(self.master_seed, trial));
+        if let Some(v) = &self.variability {
+            sim.set_variability(Some(v()));
+        }
+        match sim.run() {
+            Ok(events) => {
+                let per_output = names.iter().map(|n| OutAcc::of(events.times(n))).collect();
+                let check_ok = self.check.as_ref().is_none_or(|c| c(&events));
+                TrialOutcome::Done {
+                    per_output,
+                    check_ok,
+                }
+            }
+            Err(Error::Timing(_)) => TrialOutcome::Timing,
+            Err(_) => TrialOutcome::Other,
+        }
+    }
+
+    /// Execute the sweep and aggregate the per-trial results.
+    ///
+    /// Trials are split into contiguous chunks, one per worker; workers
+    /// return their chunk's outcomes, which are folded on the calling thread
+    /// in trial order. Floating-point accumulation order is therefore fixed,
+    /// making the report bit-identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit builder produces an ill-formed circuit (the
+    /// per-trial simulation errors are *counted*, not propagated, but a
+    /// wiring error on the probe build is a bug in the builder).
+    pub fn run(&self) -> SweepReport {
+        // Probe build: capture the observed-output name list (sorted, which
+        // matches the Events BTreeMap order) shared by every trial.
+        let probe = (self.build)();
+        probe.check().expect("sweep circuit builder must be valid");
+        let mut names: Vec<String> = (0..probe.wire_count())
+            .map(|i| probe.wire_at(i))
+            .filter(|w| probe.wire_observed(*w))
+            .map(|w| probe.wire_name(w).to_string())
+            .collect();
+        names.sort();
+        drop(probe);
+
+        let threads = self.effective_threads();
+        let chunk = (self.trials as usize).div_ceil(threads.max(1)).max(1) as u64;
+        let mut records: Vec<TrialOutcome> = Vec::with_capacity(self.trials as usize);
+        std::thread::scope(|scope| {
+            let names = &names;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = (w as u64) * chunk;
+                    let hi = (lo + chunk).min(self.trials);
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity((hi.saturating_sub(lo)) as usize);
+                        if lo >= hi {
+                            return out;
+                        }
+                        let mut sim = Simulation::new((self.build)());
+                        sim.set_until(self.until);
+                        for trial in lo..hi {
+                            out.push(self.run_trial(&mut sim, trial, names));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                records.extend(h.join().expect("sweep worker panicked"));
+            }
+        });
+
+        // Serial, trial-ordered reduction.
+        let mut accs: Vec<OutAcc> = vec![OutAcc::empty(); names.len()];
+        let (mut ok, mut check_failures, mut timing, mut other) = (0u64, 0u64, 0u64, 0u64);
+        for rec in &records {
+            match rec {
+                TrialOutcome::Done {
+                    per_output,
+                    check_ok,
+                } => {
+                    if *check_ok {
+                        ok += 1;
+                    } else {
+                        check_failures += 1;
+                    }
+                    for (acc, one) in accs.iter_mut().zip(per_output) {
+                        acc.fold(one);
+                    }
+                }
+                TrialOutcome::Timing => timing += 1,
+                TrialOutcome::Other => other += 1,
+            }
+        }
+
+        let outputs = names
+            .into_iter()
+            .zip(accs)
+            .map(|(name, a)| {
+                let n = a.count as f64;
+                let (mean, std, min, max) = if a.count == 0 {
+                    (0.0, 0.0, 0.0, 0.0)
+                } else {
+                    let mean = a.sum / n;
+                    let var = (a.sumsq / n - mean * mean).max(0.0);
+                    (mean, var.sqrt(), a.min, a.max)
+                };
+                OutputStats {
+                    name,
+                    pulses: a.count,
+                    mean,
+                    std,
+                    min,
+                    max,
+                }
+            })
+            .collect();
+
+        SweepReport {
+            trials: self.trials,
+            ok,
+            check_failures,
+            timing_violations: timing,
+            other_errors: other,
+            outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{EdgeDef, Machine};
+    use std::sync::Arc;
+
+    fn jtl(delay: f64) -> Arc<Machine> {
+        Machine::new(
+            "JTL",
+            &["a"],
+            &["q"],
+            delay,
+            2,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                ..Default::default()
+            }],
+        )
+        .unwrap()
+    }
+
+    fn chain_builder() -> impl Fn() -> Circuit + Sync {
+        move || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0, 30.0], "A");
+            let q1 = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+            let q2 = c.add_machine(&jtl(5.0), &[q1]).unwrap()[0];
+            c.inspect(q2, "Q");
+            c
+        }
+    }
+
+    #[test]
+    fn sweep_without_variability_is_exact() {
+        let report = Sweep::over(chain_builder()).trials(16).run();
+        assert_eq!(report.ok, 16);
+        assert_eq!(report.failure_rate(), 0.0);
+        let q = report.output("Q").unwrap();
+        assert_eq!(q.pulses, 32); // 2 pulses × 16 trials
+        assert_eq!(q.min, 20.0);
+        assert_eq!(q.max, 40.0);
+        assert!((q.mean - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_report_across_thread_counts() {
+        let sweep = |threads| {
+            Sweep::over(chain_builder())
+                .variability(|| Variability::Gaussian { std: 0.4 })
+                .trials(64)
+                .master_seed(7)
+                .threads(threads)
+                .run()
+        };
+        let serial = sweep(1);
+        let parallel = sweep(4);
+        let excessive = sweep(64);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, excessive);
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let sweep = |seed| {
+            Sweep::over(chain_builder())
+                .variability(|| Variability::Gaussian { std: 0.4 })
+                .trials(32)
+                .master_seed(seed)
+                .run()
+        };
+        assert_ne!(sweep(1), sweep(2));
+    }
+
+    #[test]
+    fn check_failures_are_counted() {
+        let report = Sweep::over(chain_builder())
+            .trials(10)
+            .check(|ev| ev.times("Q").len() == 3) // actually 2: always fails
+            .run();
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.check_failures, 10);
+        assert_eq!(report.failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn timing_violations_are_counted_not_propagated() {
+        // A machine with a 10 ps transition time fed pulses 1 ps apart
+        // violates on every trial.
+        let m = Machine::new(
+            "DUT",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                transition_time: 10.0,
+                ..Default::default()
+            }],
+        )
+        .unwrap();
+        let report = Sweep::over(move || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0, 11.0], "A");
+            let q = c.add_machine(&m, &[a]).unwrap()[0];
+            c.inspect(q, "Q");
+            c
+        })
+        .trials(8)
+        .run();
+        assert_eq!(report.timing_violations, 8);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn trial_seed_is_a_bijection_like_mix() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..10_000).map(|i| trial_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 10_000);
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0));
+    }
+
+    #[test]
+    fn until_is_applied_to_every_trial() {
+        let report = Sweep::over(chain_builder()).trials(4).until(25.0).run();
+        let q = report.output("Q").unwrap();
+        // Only the first pulse (t=20) fits under until=25.
+        assert_eq!(q.pulses, 4);
+        assert_eq!(q.max, 20.0);
+    }
+}

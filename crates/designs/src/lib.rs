@@ -21,6 +21,8 @@
 //!   decision trees.
 //! * [`ring`] — feedback loops (ring oscillators), exercising the
 //!   simulator's target-time cutoff.
+//! * [`margins`] — Monte-Carlo timing-margin analyses of the ripple adder
+//!   and decision trees, built on `rlse_core`'s parallel sweep engine.
 //!
 //! Each module exposes both a composable builder (taking wires) and a
 //! `*_with_inputs` convenience that constructs a self-contained test bench.
@@ -32,6 +34,7 @@ pub mod adder;
 pub mod bitonic;
 pub mod decision_tree;
 pub mod dual_rail;
+pub mod margins;
 pub mod memory;
 pub mod minmax;
 pub mod race_tree;
@@ -43,6 +46,7 @@ pub mod xsfq_adder;
 pub use adder::full_adder_sync;
 pub use decision_tree::{decision_tree, decision_tree_with_inputs, Tree};
 pub use dual_rail::{dr_and, dr_fork, dr_input, dr_inspect, dr_not, dr_or, dr_xor};
+pub use margins::{decision_tree_margin, ripple_adder_margin, MarginAnalysis, MarginPoint};
 pub use registers::{ripple_counter, shift_register};
 pub use ring::ring_oscillator;
 pub use ripple_adder::{ripple_adder, ripple_adder_with_inputs};

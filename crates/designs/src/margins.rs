@@ -1,0 +1,177 @@
+//! Sweep-based timing-margin analyses for the larger designs: how much
+//! Gaussian delay jitter (paper §5.2) can the ripple-carry adder and the
+//! race-logic decision tree absorb before they mis-compute?
+//!
+//! Each analysis runs a deterministic Monte-Carlo [`Sweep`] per jitter σ
+//! with a functional-correctness check (sum decodes correctly; the fired
+//! label matches the software reference) and reports the per-σ failure
+//! breakdown. The smallest σ whose failure rate exceeds a tolerance is the
+//! design's *margin*.
+
+use crate::decision_tree::{decision_tree_with_inputs, Tree};
+use crate::ripple_adder::{decode_sum, ripple_adder_with_inputs};
+use rlse_core::circuit::Circuit;
+use rlse_core::sweep::{Sweep, SweepReport};
+use rlse_core::sim::Variability;
+
+/// One row of a margin analysis: the jitter σ applied and the sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginPoint {
+    /// Standard deviation of the Gaussian delay jitter, in ps.
+    pub sigma: f64,
+    /// The aggregated sweep under that jitter.
+    pub report: SweepReport,
+}
+
+/// The outcome of sweeping a design across a σ ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginAnalysis {
+    /// One point per σ, in the order given.
+    pub points: Vec<MarginPoint>,
+}
+
+impl MarginAnalysis {
+    /// The smallest σ whose failure rate exceeds `tolerance`, if any — the
+    /// design's usable jitter margin ends just below it.
+    pub fn margin_sigma(&self, tolerance: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.report.failure_rate() > tolerance)
+            .map(|p| p.sigma)
+    }
+}
+
+fn sweep_margin<'a>(
+    build: impl Fn() -> Circuit + Sync + 'a,
+    check: impl Fn(&rlse_core::events::Events) -> bool + Sync + 'a,
+    sigmas: &[f64],
+    trials: u64,
+    master_seed: u64,
+    threads: usize,
+) -> MarginAnalysis {
+    let build = &build;
+    let check = &check;
+    let points = sigmas
+        .iter()
+        .map(|&sigma| MarginPoint {
+            sigma,
+            report: Sweep::over(build)
+                .variability(move || Variability::Gaussian { std: sigma })
+                .check(check)
+                .trials(trials)
+                .master_seed(master_seed)
+                .threads(threads)
+                .run(),
+        })
+        .collect();
+    MarginAnalysis { points }
+}
+
+/// Sweep the `n`-bit ripple-carry adder computing `x + y` across the given
+/// jitter σ ladder: a trial passes when the decoded sum is arithmetically
+/// correct.
+pub fn ripple_adder_margin(
+    n: usize,
+    x: u64,
+    y: u64,
+    sigmas: &[f64],
+    trials: u64,
+    master_seed: u64,
+    threads: usize,
+) -> MarginAnalysis {
+    let expected = x + y;
+    sweep_margin(
+        move || {
+            let mut circ = Circuit::new();
+            ripple_adder_with_inputs(&mut circ, n, x, y, false).expect("valid adder bench");
+            circ
+        },
+        move |ev| decode_sum(ev, n) == expected,
+        sigmas,
+        trials,
+        master_seed,
+        threads,
+    )
+}
+
+/// Sweep a race-logic decision tree classifying `values` across the jitter
+/// σ ladder: a trial passes when exactly the reference label fires, exactly
+/// once.
+pub fn decision_tree_margin(
+    tree: &Tree,
+    values: &[f64],
+    sigmas: &[f64],
+    trials: u64,
+    master_seed: u64,
+    threads: usize,
+) -> MarginAnalysis {
+    let expected = tree.classify(values).to_string();
+    let labels: Vec<String> = tree.labels().into_iter().map(String::from).collect();
+    let tree = tree.clone();
+    let values = values.to_vec();
+    sweep_margin(
+        move || {
+            let mut circ = Circuit::new();
+            decision_tree_with_inputs(&mut circ, &tree, &values, 20.0)
+                .expect("valid decision-tree bench");
+            circ
+        },
+        move |ev| {
+            labels
+                .iter()
+                .all(|l| ev.times(l).len() == usize::from(*l == expected))
+        },
+        sigmas,
+        trials,
+        master_seed,
+        threads,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_margin_clean_at_zero_sigma_and_degrades() {
+        let analysis = ripple_adder_margin(2, 1, 2, &[0.0, 8.0], 24, 11, 0);
+        // σ=0: every trial decodes 1+2=3.
+        assert_eq!(analysis.points[0].report.ok, 24);
+        // σ=8 ps rivals the cell delays themselves: the adder must break.
+        assert!(analysis.points[1].report.failure_rate() > 0.0);
+        assert_eq!(analysis.margin_sigma(0.01), Some(8.0));
+    }
+
+    #[test]
+    fn adder_margin_is_deterministic_across_thread_counts() {
+        let run = |threads| ripple_adder_margin(2, 2, 1, &[0.3], 16, 5, threads);
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn tree_margin_clean_at_zero_sigma() {
+        let tree = Tree::branch(
+            0,
+            50.0,
+            Tree::branch(1, 30.0, Tree::leaf("a"), Tree::leaf("b")),
+            Tree::branch(1, 70.0, Tree::leaf("c"), Tree::leaf("d")),
+        );
+        let analysis = decision_tree_margin(&tree, &[20.0, 12.0], &[0.0], 16, 3, 0);
+        assert_eq!(analysis.points[0].report.ok, 16);
+        assert_eq!(analysis.margin_sigma(0.01), None);
+    }
+
+    #[test]
+    fn tree_margin_degrades_near_threshold() {
+        let tree = Tree::branch(
+            0,
+            50.0,
+            Tree::branch(1, 30.0, Tree::leaf("a"), Tree::leaf("b")),
+            Tree::branch(1, 70.0, Tree::leaf("c"), Tree::leaf("d")),
+        );
+        // f0 = 49: only 1 ps below the 50 ps threshold, so even small
+        // jitter flips decisions some of the time.
+        let analysis = decision_tree_margin(&tree, &[49.0, 12.0], &[2.0], 32, 3, 0);
+        assert!(analysis.points[0].report.failure_rate() > 0.0);
+    }
+}

@@ -114,9 +114,9 @@ pub fn memory_bench(circ: &mut Circuit, ops: &[MemOp]) -> Result<(Wire, Wire), E
                 times[10].push(t); // we
             }
             MemOp::Read { addr } => {
-                for b in 0..4 {
+                for (b, ra) in times.iter_mut().enumerate().take(4) {
                     if addr & (1 << (3 - b)) != 0 {
-                        times[b].push(t);
+                        ra.push(t);
                     }
                 }
             }

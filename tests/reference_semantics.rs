@@ -58,16 +58,9 @@ fn reference_run(circ: &Circuit) -> Result<BTreeMap<String, Vec<f64>>, String> {
     }
 
     // Net-Cont until no pulse remains (Net-Done).
-    loop {
-        // getSimPulses: earliest time, then (deterministically) the lowest
-        // node id at that time; collect its simultaneous set.
-        let Some(time) = ps
-            .iter()
-            .map(|p| p.time)
-            .min_by(f64::total_cmp)
-        else {
-            break;
-        };
+    // getSimPulses: earliest time, then (deterministically) the lowest
+    // node id at that time; collect its simultaneous set.
+    while let Some(time) = ps.iter().map(|p| p.time).min_by(f64::total_cmp) {
         let node = ps
             .iter()
             .filter(|p| p.time == time)

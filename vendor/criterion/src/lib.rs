@@ -1,0 +1,243 @@
+//! Offline drop-in subset of the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access to crates.io, so RLSE vendors
+//! the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], `bench_function`, `iter` / `iter_batched`,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is calibrated with a short warm-up to
+//! pick an iteration count that fits a fixed time budget, then timed over
+//! `sample_size` samples. Mean, min, and max per-iteration times are printed
+//! to stdout. There is no HTML report, outlier analysis, or statistical
+//! regression test — this harness exists to produce honest relative numbers
+//! (e.g. "parallel sweep vs. serial rebuild") in an offline environment.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched in `iter_batched` (accepted for API
+/// compatibility; this harness materializes one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: batch many per allocation.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Setup output per iteration.
+    PerIteration,
+}
+
+/// Target time budget per benchmark, in nanoseconds.
+const TARGET_NS: u128 = 400_000_000;
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration mean durations, one per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit one sample's share of budget?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_nanos().max(1);
+        let per_sample = (TARGET_NS / self.samples as u128 / once).clamp(1, 10_000) as usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            self.results.push(total / per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().as_nanos().max(1);
+        let per_sample = (TARGET_NS / self.samples as u128 / once.max(1)).clamp(1, 10_000) as usize;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            self.results.push(total / per_sample as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark under this group's name.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.results);
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// End the group (printing is incremental; this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, results: &[f64]) {
+    if results.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let mean = results.iter().sum::<f64>() / results.len() as f64;
+    let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = results.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    ran: usize,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            ran: 0,
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.default_samples);
+        f(&mut b);
+        report(&id, &b.results);
+        self.ran += 1;
+        self
+    }
+}
+
+/// Collect benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The bench entry point: run each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_run_batched_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
