@@ -2,6 +2,14 @@
 //! scaling behavior: pulse-level simulation of each Table 2 design, the
 //! analog (schematic-level) counterparts, and a bitonic-size sweep showing
 //! the per-event cost of the discrete-event simulator.
+//!
+//! Two pulse-simulation groups are measured:
+//!
+//! * `pulse_sim` — a fresh `Simulation` per iteration (setup excluded), so
+//!   each run pays one-time circuit compilation and buffer growth;
+//! * `pulse_sim_steady` — one `Simulation` re-run per iteration, the steady
+//!   state Monte-Carlo sweep workers live in: compiled dispatch tables and
+//!   scratch buffers are reused, isolating the kernel's per-event cost.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rlse_analog::synth::from_circuit;
@@ -35,6 +43,25 @@ fn pulse_level(c: &mut Criterion) {
     group.finish();
 }
 
+fn pulse_level_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pulse_sim_steady");
+    for (name, build) in [
+        ("c_element", bench_c as fn() -> rlse_bench::Bench),
+        ("inv_c", bench_c_inv),
+        ("min_max", bench_min_max),
+    ] {
+        let mut sim = Simulation::new(build().circuit);
+        sim.run().unwrap();
+        group.bench_function(name, |b| b.iter(|| sim.run().unwrap()));
+    }
+    for n in [4usize, 8, 16, 32] {
+        let mut sim = Simulation::new(bench_bitonic(n).circuit);
+        sim.run().unwrap();
+        group.bench_function(format!("bitonic_{n}"), |b| b.iter(|| sim.run().unwrap()));
+    }
+    group.finish();
+}
+
 fn analog_level(c: &mut Criterion) {
     let mut group = c.benchmark_group("analog_sim");
     group.sample_size(10);
@@ -55,5 +82,5 @@ fn analog_level(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pulse_level, analog_level);
+criterion_group!(benches, pulse_level, pulse_level_steady, analog_level);
 criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! Performance-baseline harness: measures median ns/event and heap
+//! allocations per run for the simulation, sweep, and verification
+//! workloads, and prints a `BENCH_sim.json` document to stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rlse-bench --bin perf_baseline [label] > BENCH_sim.json
+//! ```
+//!
+//! The optional `label` (default `"current"`) tags the kernel under test so
+//! before/after reports from different checkouts can sit side by side.
+//!
+//! Two timing modes are reported per simulation workload:
+//!
+//! * `fresh` — build a new `Simulation` per iteration and run it, matching
+//!   the `benches/simulation.rs` criterion setup (includes circuit
+//!   compilation and first-use buffer growth);
+//! * `reused` — one `Simulation` run repeatedly, the steady state seen by
+//!   Monte-Carlo sweep workers (compiled tables and buffers reused).
+//!
+//! Allocation counts come from a counting global allocator and cover the
+//! whole `run()` call, including the per-run `Events` materialization at the
+//! boundary; the interesting signal is the per-event marginal cost.
+
+use rlse_bench::{bench_bitonic, bench_c, bench_c_inv, bench_min_max, Bench};
+use rlse_core::prelude::*;
+use rlse_core::sweep::Sweep;
+use rlse_designs::ripple_adder_with_inputs;
+use rlse_ta::mc::{check, McOptions, McQuery};
+use rlse_ta::translate::translate_circuit;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A pass-through allocator that counts every allocation and reallocation.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to the system allocator; the
+// counter is a relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Median of a sample of nanosecond timings.
+fn median_ns(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
+/// Time `f` repeatedly until ~`budget_ms` of samples are collected (at least
+/// `min_reps`), returning the median ns per call.
+fn time_median<F: FnMut()>(mut f: F, budget_ms: f64, min_reps: usize) -> f64 {
+    // Warmup.
+    f();
+    let probe = {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64() * 1e9
+    };
+    let reps = ((budget_ms * 1e6 / probe.max(1.0)) as usize).clamp(min_reps, 10_000);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    median_ns(&mut samples)
+}
+
+/// Like [`time_median`], but with a per-iteration `setup` whose cost is
+/// excluded from the timing (criterion's `iter_batched` shape).
+fn time_median_with_setup<T, S: FnMut() -> T, F: FnMut(T)>(
+    mut setup: S,
+    mut routine: F,
+    budget_ms: f64,
+    min_reps: usize,
+) -> f64 {
+    routine(setup());
+    let probe = {
+        let v = setup();
+        let t0 = Instant::now();
+        routine(v);
+        t0.elapsed().as_secs_f64() * 1e9
+    };
+    let reps = ((budget_ms * 1e6 / probe.max(1.0)) as usize).clamp(min_reps, 10_000);
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let v = setup();
+        let t0 = Instant::now();
+        routine(v);
+        samples.push(t0.elapsed().as_secs_f64() * 1e9);
+    }
+    median_ns(&mut samples)
+}
+
+struct SimRow {
+    name: &'static str,
+    events: usize,
+    fresh_ns: f64,
+    fresh_allocs: u64,
+    reused_ns: f64,
+    reused_allocs: u64,
+}
+
+fn measure_sim<F: Fn() -> Bench>(name: &'static str, build: F) -> SimRow {
+    // Event count (identical on every run: no variability).
+    let events = {
+        let mut sim = Simulation::new(build().circuit);
+        sim.run().expect("bench simulates cleanly").pulse_count_all()
+    };
+    // Fresh: new simulation per iteration (setup excluded from timing, as
+    // in the criterion bench), so the number includes compilation and
+    // first-use buffer growth but not circuit construction.
+    let fresh_ns = time_median_with_setup(
+        || Simulation::new(build().circuit),
+        |mut sim| {
+            sim.run().expect("clean");
+        },
+        150.0,
+        10,
+    );
+    let fresh_allocs = {
+        let mut sim = Simulation::new(build().circuit);
+        let a0 = allocs();
+        sim.run().expect("clean");
+        allocs() - a0
+    };
+    // Reused: one simulation, repeated runs (the sweep steady state).
+    let mut sim = Simulation::new(build().circuit);
+    sim.run().expect("clean");
+    let reused_ns = time_median(
+        || {
+            sim.run().expect("clean");
+        },
+        150.0,
+        10,
+    );
+    let reused_allocs = {
+        let a0 = allocs();
+        sim.run().expect("clean");
+        allocs() - a0
+    };
+    SimRow {
+        name,
+        events,
+        fresh_ns,
+        fresh_allocs,
+        reused_ns,
+        reused_allocs,
+    }
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+
+    let rows = [
+        measure_sim("c_element", bench_c),
+        measure_sim("inv_c", bench_c_inv),
+        measure_sim("min_max", bench_min_max),
+        measure_sim("bitonic_4", || bench_bitonic(4)),
+        measure_sim("bitonic_8", || bench_bitonic(8)),
+        measure_sim("bitonic_16", || bench_bitonic(16)),
+        measure_sim("bitonic_32", || bench_bitonic(32)),
+    ];
+
+    // Sweep: the 1000-trial Gaussian study of the 4-bit ripple adder from
+    // benches/sweep.rs, pinned to one worker so the number isolates kernel
+    // cost rather than core count.
+    const TRIALS: u64 = 1000;
+    let build_adder = || {
+        let mut c = Circuit::new();
+        ripple_adder_with_inputs(&mut c, 4, 9, 6, false).expect("valid bench");
+        c
+    };
+    let adder_events = {
+        let mut sim = Simulation::new(build_adder());
+        sim.run().expect("clean").pulse_count_all()
+    };
+    let sweep_ns = time_median(
+        || {
+            let report = Sweep::over(build_adder)
+                .variability(|| Variability::Gaussian { std: 0.2 })
+                .trials(TRIALS)
+                .master_seed(42)
+                .threads(1)
+                .run();
+            assert_eq!(report.trials, TRIALS);
+        },
+        400.0,
+        3,
+    );
+    let sweep_ns_per_trial = sweep_ns / TRIALS as f64;
+    let sweep_ns_per_event = sweep_ns_per_trial / adder_events as f64;
+
+    // Verification: PyLSE→TA translation of the 8-input bitonic sorter and
+    // Query-2 model checking of the And cell (from benches/verification.rs).
+    let bitonic8 = bench_bitonic(8).circuit;
+    let translate_ns = time_median(|| drop(translate_circuit(&bitonic8).unwrap()), 150.0, 10);
+    let and_spec = rlse_cells::defs::and_elem();
+    let and_circ = rlse_bench::cell_bench("And", &and_spec).circuit;
+    let tr = translate_circuit(&and_circ).unwrap();
+    let mc_ns = time_median(
+        || drop(check(&tr.net, &McQuery::query2(&tr), McOptions::default())),
+        400.0,
+        3,
+    );
+
+    // Hand-rolled JSON (the workspace deliberately has no serde dependency).
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"kernel\": \"{label}\",\n"));
+    out.push_str("  \"tool\": \"perf_baseline\",\n");
+    out.push_str("  \"simulation\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let ev = r.events.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events_per_run\": {}, \
+             \"fresh_median_ns\": {:.0}, \"fresh_ns_per_event\": {:.1}, \
+             \"fresh_allocs_per_run\": {}, \
+             \"reused_median_ns\": {:.0}, \"reused_ns_per_event\": {:.1}, \
+             \"reused_allocs_per_run\": {}}}{}\n",
+            r.name,
+            r.events,
+            r.fresh_ns,
+            r.fresh_ns / ev,
+            r.fresh_allocs,
+            r.reused_ns,
+            r.reused_ns / ev,
+            r.reused_allocs,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"sweep\": {{\"name\": \"ripple_adder_4bit_gaussian\", \"trials\": {TRIALS}, \
+         \"threads\": 1, \"events_per_trial\": {adder_events}, \
+         \"median_ns_per_trial\": {sweep_ns_per_trial:.0}, \
+         \"ns_per_event\": {sweep_ns_per_event:.1}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"verification\": {{\"translate_bitonic_8_median_ns\": {translate_ns:.0}, \
+         \"model_check_query2_and_median_ns\": {mc_ns:.0}}}\n"
+    ));
+    out.push_str("}\n");
+    print!("{out}");
+}

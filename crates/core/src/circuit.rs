@@ -446,6 +446,17 @@ impl Circuit {
             .unwrap_or_else(|| format!("<node {}>", node.0))
     }
 
+    /// Borrowing variant of [`node_wire_name`](Self::node_wire_name):
+    /// `None` when the node drives no wires (the caller supplies the
+    /// `<node N>` placeholder). Used by circuit compilation to intern names
+    /// without cloning.
+    pub(crate) fn node_wire_name_ref(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.0]
+            .out_wires
+            .first()
+            .map(|&w| self.wires[w].name.as_str())
+    }
+
     /// Number of nodes (sources, machines, and holes).
     pub fn node_count(&self) -> usize {
         self.nodes.len()

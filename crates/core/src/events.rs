@@ -14,15 +14,15 @@ pub struct Events {
 }
 
 impl Events {
-    pub(crate) fn from_wires(circuit: &Circuit, wire_events: Vec<Vec<Time>>) -> Self {
+    pub(crate) fn from_wires(circuit: &Circuit, wire_events: &[Vec<Time>]) -> Self {
         let mut named = BTreeMap::new();
         let mut all = BTreeMap::new();
-        for (idx, evs) in wire_events.into_iter().enumerate() {
+        for (idx, evs) in wire_events.iter().enumerate() {
             let wd = &circuit.wires[idx];
             if wd.observed {
                 named.insert(wd.name.clone(), evs.clone());
             }
-            all.insert(wd.name.clone(), evs);
+            all.insert(wd.name.clone(), evs.clone());
         }
         Events { named, all }
     }

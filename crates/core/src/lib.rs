@@ -12,6 +12,9 @@
 //!   circuits.
 //! * [`sim`] — the discrete-event simulator, with optional firing-delay
 //!   variability.
+//! * [`compiled`] — the one-time lowering of a circuit into flat dispatch
+//!   tables and interned names that makes the simulator's hot loop
+//!   allocation-free.
 //! * [`sweep`] — deterministically-seeded parallel Monte-Carlo sweeps over
 //!   a circuit under variability (the §5.2 / Fig. 13 experiments).
 //! * [`events`] — the events dictionary and §5.2-style dynamic checks.
@@ -52,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod circuit;
+pub mod compiled;
 pub mod error;
 pub mod events;
 pub mod functional;

@@ -6,11 +6,24 @@
 //! (`getSimPulses` from Fig. 6), and dispatched through that cell's PyLSE
 //! Machine; newly fired pulses are pushed back onto the heap until it is
 //! empty or the user-defined target time is reached.
+//!
+//! ## Kernel architecture
+//!
+//! The hot loop is **allocation-free**. On first use, the circuit is lowered
+//! by [`CompiledCircuit::compile`] into flat transition tables and an
+//! interned symbol table (see [`crate::compiled`]); the event loop then works
+//! entirely with `u32` state/port/symbol indices, mutates the flat
+//! `(state, τ_done, Θ)` runtime arrays in place, and reuses per-simulation
+//! scratch buffers for the simultaneous-pulse batch, the dispatch working
+//! set, and the fired-output list. Strings are materialized only at the
+//! boundary: [`TraceEntry`] construction, timing diagnostics, and the final
+//! [`Events`] dictionary. Compiled tables survive [`Simulation::reset`], so
+//! Monte-Carlo sweep workers compile once per circuit, not once per trial.
 
-use crate::circuit::{Circuit, NodeId, NodeKind};
-use crate::error::{Error, HoleError, Time};
+use crate::circuit::{Circuit, NodeKind};
+use crate::compiled::{CompiledCircuit, CompiledNode};
+use crate::error::{Error, HoleError, Time, TimingViolation, ViolationKind};
 use crate::events::Events;
-use crate::machine::{Config, InputId};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BinaryHeap;
@@ -43,18 +56,6 @@ impl Variability {
     pub fn default_gaussian() -> Self {
         Variability::Gaussian { std: 0.2 }
     }
-
-    fn apply(&mut self, delay: Time, cell: &str, rng: &mut StdRng) -> Time {
-        let jittered = match self {
-            Variability::Gaussian { std } => delay + *std * gaussian(rng),
-            Variability::PerCellType(map) => match map.get(cell) {
-                Some(std) => delay + *std * gaussian(rng),
-                None => delay,
-            },
-            Variability::Custom(f) => f(delay, cell, rng),
-        };
-        jittered.max(0.0)
-    }
 }
 
 impl std::fmt::Debug for Variability {
@@ -67,11 +68,30 @@ impl std::fmt::Debug for Variability {
     }
 }
 
-/// Standard-normal sample via the Box–Muller transform.
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+/// Standard-normal sampler using the Box–Muller transform, keeping the sine
+/// half of each generated pair as a spare for the next call — halving the
+/// `ln`/`sqrt`/trig work per jittered delay.
+///
+/// The spare lives on the sampler (one per simulation run), never in
+/// thread-local or global state, so the jitter stream for a given seed is
+/// identical no matter which thread runs the trial.
+#[derive(Debug, Default)]
+struct BoxMuller {
+    spare: Option<f64>,
+}
+
+impl BoxMuller {
+    fn sample(&mut self, rng: &mut StdRng) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (sin, cos) = (std::f64::consts::TAU * u2).sin_cos();
+        self.spare = Some(r * sin);
+        r * cos
+    }
 }
 
 /// One dispatched batch in a simulation trace (see
@@ -159,18 +179,36 @@ impl PartialOrd for Pulse {
 #[derive(Debug)]
 pub struct Simulation {
     circuit: Circuit,
+    /// Built lazily on first `reset`/`run` and retained for the lifetime of
+    /// the simulation (the circuit is immutable while owned here), so sweep
+    /// workers compile once per circuit, not per trial.
+    compiled: Option<CompiledCircuit>,
     until: Option<Time>,
     variability: Option<Variability>,
     seed: u64,
     trace_enabled: bool,
     trace: Vec<TraceEntry>,
-    // Reusable per-run buffers (see `reset`): machine configurations, the
-    // per-wire event lists, and the pending-pulse heap. Kept on the struct so
-    // repeated runs (Monte-Carlo sweeps) reuse their allocations instead of
-    // rebuilding them per trial.
-    configs: Vec<Option<Config>>,
+    // Flat machine runtime state κ = ⟨q, τ_done, Θ⟩, indexed by node (Θ by
+    // the node's theta offset from the compiled circuit). Reset per run,
+    // mutated in place by the event loop.
+    states: Vec<u32>,
+    tau_done: Vec<f64>,
+    theta: Vec<f64>,
+    // Reusable per-run buffers (see `reset`): the per-wire event lists and
+    // the pending-pulse heap. Kept on the struct so repeated runs
+    // (Monte-Carlo sweeps) reuse their allocations instead of rebuilding
+    // them per trial.
     wire_events: Vec<Vec<Time>>,
     heap: BinaryHeap<Pulse>,
+    // Scratch buffers reused across every dispatched batch: the
+    // simultaneous-pulse batch (input ports in arrival order), the dispatch
+    // working set, the fired-output list, the hole pulse-presence vector,
+    // and the per-node pre-resolved variability sigma (NaN = exempt).
+    batch: Vec<u32>,
+    rest: Vec<u32>,
+    fired: Vec<(u32, f64)>,
+    present: Vec<bool>,
+    var_std: Vec<f64>,
 }
 
 impl Simulation {
@@ -179,14 +217,22 @@ impl Simulation {
     pub fn new(circuit: Circuit) -> Self {
         Simulation {
             circuit,
+            compiled: None,
             until: None,
             variability: None,
             seed: 0xC0FFEE,
             trace_enabled: false,
             trace: Vec::new(),
-            configs: Vec::new(),
+            states: Vec::new(),
+            tau_done: Vec::new(),
+            theta: Vec::new(),
             wire_events: Vec::new(),
             heap: BinaryHeap::new(),
+            batch: Vec::new(),
+            rest: Vec::new(),
+            fired: Vec::new(),
+            present: Vec::new(),
+            var_std: Vec::new(),
         }
     }
 
@@ -226,10 +272,22 @@ impl Simulation {
         self.variability = v;
     }
 
+    /// The circuit lowered to flat dispatch tables, compiling it now if this
+    /// simulation has not yet run. The compiled form is cached for the
+    /// simulation's lifetime.
+    pub fn compiled(&mut self) -> &CompiledCircuit {
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledCircuit::compile(&self.circuit));
+        }
+        self.compiled.as_ref().expect("just compiled")
+    }
+
     /// Restore the simulation to its pre-run state so it can be run again:
     /// every machine configuration ⟨q, τ_done, Θ⟩ is reset to its initial
     /// value, and the pulse heap, per-wire event lists, and dispatch trace
-    /// are emptied — **keeping their allocations** for the next run.
+    /// are emptied — **keeping their allocations** for the next run. The
+    /// compiled dispatch tables are retained (the circuit cannot change
+    /// while owned by the simulation), so a reset run pays no recompilation.
     ///
     /// [`run`](Self::run) calls this automatically on entry, so an explicit
     /// call is only needed to drop stale state eagerly (e.g. after a run
@@ -237,14 +295,20 @@ impl Simulation {
     pub fn reset(&mut self) {
         self.trace.clear();
         self.heap.clear();
-        let n_nodes = self.circuit.nodes.len();
-        self.configs.resize(n_nodes, None);
-        for (slot, node) in self.configs.iter_mut().zip(&self.circuit.nodes) {
-            *slot = match &node.kind {
-                NodeKind::Machine { spec, .. } => Some(spec.initial_config()),
-                _ => None,
-            };
+        if self.compiled.is_none() {
+            self.compiled = Some(CompiledCircuit::compile(&self.circuit));
         }
+        let cc = self.compiled.as_ref().expect("compiled above");
+        let n_nodes = cc.nodes.len();
+        self.states.clear();
+        self.tau_done.clear();
+        self.tau_done.resize(n_nodes, 0.0);
+        self.states.extend(cc.nodes.iter().map(|n| match n {
+            CompiledNode::Machine { cm, .. } => cc.machines[*cm as usize].start,
+            _ => 0,
+        }));
+        self.theta.clear();
+        self.theta.resize(cc.theta_len, f64::NEG_INFINITY);
         let n_wires = self.circuit.wires.len();
         if self.wire_events.len() != n_wires {
             self.wire_events.resize_with(n_wires, Vec::new);
@@ -300,22 +364,64 @@ impl Simulation {
         self.circuit.check()?;
         self.reset();
         // Split the struct into disjoint field borrows so the circuit, the
-        // reusable buffers, and the variability model can be used together.
+        // compiled tables, the flat runtime state, and the scratch buffers
+        // can be used together.
         let Simulation {
             circuit,
+            compiled,
             until,
             variability,
             seed,
             trace_enabled,
             trace,
-            configs,
+            states,
+            tau_done,
+            theta,
             wire_events,
             heap,
+            batch,
+            rest,
+            fired,
+            present,
+            var_std,
         } = self;
+        let cc = compiled.as_ref().expect("compiled in reset");
         let until = *until;
         let trace_enabled = *trace_enabled;
         let mut rng = StdRng::seed_from_u64(*seed);
+        let mut bm = BoxMuller::default();
         let mut seq = 0u64;
+
+        // Pre-resolve variability to a per-node sigma so the hot loop never
+        // touches cell-name strings: NaN means "no jitter for this node"
+        // (variability off for it, exempt instance, hole, or an absent
+        // PerCellType entry — the latter draws no RNG sample, matching the
+        // interpreted kernel). Custom models get a 0.0 marker and call the
+        // user closure with the interned cell name.
+        let var_active = variability.is_some();
+        var_std.clear();
+        if var_active {
+            var_std.resize(cc.nodes.len(), f64::NAN);
+            for (i, cn) in cc.nodes.iter().enumerate() {
+                if let CompiledNode::Machine { exempt, .. } = cn {
+                    if *exempt {
+                        continue;
+                    }
+                    var_std[i] = match variability.as_ref().expect("active") {
+                        Variability::Gaussian { std } => *std,
+                        Variability::PerCellType(map) => map
+                            .get(cc.symbols.resolve(cc.cell[i]))
+                            .copied()
+                            .unwrap_or(f64::NAN),
+                        Variability::Custom(_) => 0.0,
+                    };
+                }
+            }
+        }
+        let mut custom = match variability.as_mut() {
+            Some(Variability::Custom(f)) => Some(f),
+            _ => None,
+        };
 
         let record_ok = |t: Time, until: Option<Time>| until.is_none_or(|u| t <= u);
 
@@ -348,63 +454,125 @@ impl Simulation {
                 }
             }
             // getSimPulses: gather all pulses with the same (time, node).
-            let mut batch = vec![first];
+            let node = first.node;
+            let t = first.time;
+            batch.clear();
+            batch.push(first.port as u32);
             while let Some(p) = heap.peek() {
-                if p.time == first.time && p.node == first.node {
-                    batch.push(heap.pop().expect("peeked"));
+                if p.time == t && p.node == node {
+                    batch.push(heap.pop().expect("peeked").port as u32);
                 } else {
                     break;
                 }
             }
-            let node_id = NodeId(first.node);
-            let node_wire = circuit.node_wire_name(node_id);
-            let t = first.time;
-            let mut fired: Vec<(usize, Time)> = Vec::new(); // (output port, time)
-            let mut trace_entry: Option<TraceEntry> = None;
-            match &mut circuit.nodes[first.node].kind {
-                NodeKind::Source { .. } => unreachable!("sources receive no pulses"),
-                NodeKind::Machine { spec, overrides } => {
-                    let cfg = configs[first.node].as_ref().expect("machine config");
-                    let state_before = spec.states()[cfg.state.0].clone();
-                    let sigmas: Vec<InputId> = batch.iter().map(|p| InputId(p.port)).collect();
-                    let (next, outs) = spec.dispatch(cfg, &sigmas, t).map_err(|mut v| {
-                        v.node_wire = node_wire.clone();
-                        v
-                    })?;
+            fired.clear();
+            match cc.nodes[node] {
+                CompiledNode::Source => unreachable!("sources receive no pulses"),
+                CompiledNode::Machine { cm, theta_off, .. } => {
+                    let m = &cc.machines[cm as usize];
+                    let th =
+                        &mut theta[theta_off as usize..theta_off as usize + m.n_inputs as usize];
+                    let mut q = states[node];
+                    let state_before = q;
+                    let mut td = tau_done[node];
+                    // Dispatch (Fig. 6): handle the batch in priority order
+                    // (lowest priority number first, ties broken by input
+                    // index), mutating κ in place. On a violation the run
+                    // aborts, so partial in-place updates never leak: the
+                    // next run resets the flat state.
+                    rest.clear();
+                    rest.extend_from_slice(batch);
+                    while !rest.is_empty() {
+                        let mut pos = 0usize;
+                        let mut best = (m.transition(q, rest[0]).priority, rest[0]);
+                        for (i, &p) in rest.iter().enumerate().skip(1) {
+                            let key = (m.transition(q, p).priority, p);
+                            if key < best {
+                                pos = i;
+                                best = key;
+                            }
+                        }
+                        let sigma = rest.remove(pos);
+                        let tr = *m.transition(q, sigma);
+                        if t < td {
+                            return Err(violation(
+                                cc,
+                                m,
+                                node,
+                                batch,
+                                &tr,
+                                t,
+                                ViolationKind::TransitionTime { tau_done: td },
+                            )
+                            .into());
+                        }
+                        for &(cin, dist) in &m.pasts[tr.past.0 as usize..tr.past.1 as usize] {
+                            let last = th[cin as usize];
+                            if t < last + dist {
+                                return Err(violation(
+                                    cc,
+                                    m,
+                                    node,
+                                    batch,
+                                    &tr,
+                                    t,
+                                    ViolationKind::PastConstraint {
+                                        constrained: cc
+                                            .symbols
+                                            .resolve(m.inputs[cin as usize])
+                                            .to_string(),
+                                        required: dist,
+                                        last_seen: last,
+                                    },
+                                )
+                                .into());
+                            }
+                        }
+                        q = tr.dst;
+                        td = t + tr.tau_tran;
+                        th[sigma as usize] = t;
+                        for &(o, d) in &m.firings[tr.fire.0 as usize..tr.fire.1 as usize] {
+                            fired.push((o, t + d));
+                        }
+                    }
+                    states[node] = q;
+                    tau_done[node] = td;
                     if trace_enabled {
-                        trace_entry = Some(TraceEntry {
+                        // Boundary string materialization: the trace records
+                        // nominal firing times (pre-variability), exactly as
+                        // the interpreted kernel did.
+                        trace.push(TraceEntry {
                             time: t,
-                            node_wire: node_wire.clone(),
-                            cell: spec.name().to_string(),
-                            inputs: sigmas
+                            node_wire: cc.symbols.resolve(cc.node_wire[node]).to_string(),
+                            cell: cc.symbols.resolve(m.name).to_string(),
+                            inputs: batch
                                 .iter()
-                                .map(|s| spec.inputs()[s.0].clone())
+                                .map(|&p| cc.symbols.resolve(m.inputs[p as usize]).to_string())
                                 .collect(),
-                            state_before,
-                            state_after: spec.states()[next.state.0].clone(),
-                            fired: outs
+                            state_before: cc
+                                .symbols
+                                .resolve(m.states[state_before as usize])
+                                .to_string(),
+                            state_after: cc.symbols.resolve(m.states[q as usize]).to_string(),
+                            fired: fired
                                 .iter()
-                                .map(|(o, t)| (spec.outputs()[o.0].clone(), *t))
+                                .map(|&(o, ft)| {
+                                    (cc.symbols.resolve(m.outputs[o as usize]).to_string(), ft)
+                                })
                                 .collect(),
                         });
                     }
-                    configs[first.node] = Some(next);
-                    let exempt = overrides.exempt_from_variability;
-                    let cell_name = spec.name().to_string();
-                    for (oid, t_out) in outs {
-                        let t_out = match (variability.as_mut(), exempt) {
-                            (Some(v), false) => t + v.apply(t_out - t, &cell_name, &mut rng),
-                            _ => t_out,
-                        };
-                        fired.push((oid.0, t_out));
-                    }
                 }
-                NodeKind::Hole(hole) => {
-                    let mut present = vec![false; hole.inputs().len()];
-                    for p in &batch {
-                        present[p.port] = true;
+                CompiledNode::Hole { in_syms, out_syms } => {
+                    let NodeKind::Hole(hole) = &mut circuit.nodes[node].kind else {
+                        unreachable!("compiled node kind matches circuit node kind")
+                    };
+                    present.clear();
+                    present.resize(hole.inputs().len(), false);
+                    for &p in batch.iter() {
+                        present[p as usize] = true;
                     }
-                    let outs = hole.call(&present, t);
+                    let outs = hole.call(present, t);
                     if outs.len() != hole.outputs().len() {
                         return Err(HoleError::ArityMismatch {
                             hole: hole.name().to_string(),
@@ -414,43 +582,69 @@ impl Simulation {
                         .into());
                     }
                     let delay = hole.delay();
-                    let mut hole_fired = Vec::new();
                     for (port, fire) in outs.into_iter().enumerate() {
                         if fire {
-                            fired.push((port, t + delay));
-                            hole_fired.push((hole.outputs()[port].clone(), t + delay));
+                            fired.push((port as u32, t + delay));
                         }
                     }
                     if trace_enabled {
-                        trace_entry = Some(TraceEntry {
+                        trace.push(TraceEntry {
                             time: t,
-                            node_wire: node_wire.clone(),
-                            cell: hole.name().to_string(),
+                            node_wire: cc.symbols.resolve(cc.node_wire[node]).to_string(),
+                            cell: cc.symbols.resolve(cc.cell[node]).to_string(),
                             inputs: batch
                                 .iter()
-                                .map(|p| hole.inputs()[p.port].clone())
+                                .map(|&p| {
+                                    cc.symbols
+                                        .resolve(cc.hole_port_syms[(in_syms + p) as usize])
+                                        .to_string()
+                                })
                                 .collect(),
                             state_before: String::new(),
                             state_after: String::new(),
-                            fired: hole_fired,
+                            fired: fired
+                                .iter()
+                                .map(|&(o, ft)| {
+                                    (
+                                        cc.symbols
+                                            .resolve(cc.hole_port_syms[(out_syms + o) as usize])
+                                            .to_string(),
+                                        ft,
+                                    )
+                                })
+                                .collect(),
                         });
                     }
                 }
             }
-            if let Some(e) = trace_entry {
-                trace.push(e);
+            // Apply firing-delay variability in place (machines only; holes
+            // and exempt/unmapped nodes have a NaN sigma).
+            if var_active {
+                let std = var_std[node];
+                if !std.is_nan() {
+                    for fo in fired.iter_mut() {
+                        let nominal = fo.1 - t;
+                        let actual = match custom.as_mut() {
+                            Some(f) => f(nominal, cc.symbols.resolve(cc.cell[node]), &mut rng),
+                            None => nominal + std * bm.sample(&mut rng),
+                        };
+                        fo.1 = t + actual.max(0.0);
+                    }
+                }
             }
-            // Deliver fired pulses.
-            for (port, t_out) in fired {
-                let wire = circuit.nodes[first.node].out_wires[port];
+            // Deliver fired pulses through the flat routing arrays.
+            let outs = cc.node_out_wires(node);
+            for &(port, t_out) in fired.iter() {
+                let wire = outs[port as usize] as usize;
                 if record_ok(t_out, until) {
                     wire_events[wire].push(t_out);
                 }
-                if let Some((sink, sport)) = circuit.wires[wire].sink {
+                let (sink, sport) = cc.sink[wire];
+                if sink != u32::MAX {
                     heap.push(Pulse {
                         time: t_out,
-                        node: sink.0,
-                        port: sport,
+                        node: sink as usize,
+                        port: sport as usize,
                         seq,
                     });
                     seq += 1;
@@ -461,8 +655,32 @@ impl Simulation {
         for evs in wire_events.iter_mut() {
             evs.sort_by(f64::total_cmp);
         }
-        // Clone keeps the buffers (and their capacity) for the next run.
-        Ok(Events::from_wires(circuit, wire_events.clone()))
+        Ok(Events::from_wires(circuit, wire_events))
+    }
+}
+
+/// Materialize a Figure-13-style timing diagnostic from compiled indices
+/// (cold path: only reached when the run is about to abort).
+#[cold]
+fn violation(
+    cc: &CompiledCircuit,
+    m: &crate::compiled::CompiledMachine,
+    node: usize,
+    batch: &[u32],
+    tr: &crate::compiled::CompiledTransition,
+    tau_arr: Time,
+    kind: ViolationKind,
+) -> TimingViolation {
+    TimingViolation {
+        machine: cc.symbols.resolve(m.name).to_string(),
+        node_wire: cc.symbols.resolve(cc.node_wire[node]).to_string(),
+        transition: tr.id as usize,
+        inputs: batch
+            .iter()
+            .map(|&p| cc.symbols.resolve(m.inputs[p as usize]).to_string())
+            .collect(),
+        tau_arr,
+        kind,
     }
 }
 
@@ -621,6 +839,29 @@ mod tests {
     }
 
     #[test]
+    fn custom_variability_sees_interned_cell_names() {
+        // The custom model gets the cell-type name; symbols round-trip
+        // through the compiled table without garbling it.
+        let mut seen: Vec<String> = Vec::new();
+        let names = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let names2 = std::sync::Arc::clone(&names);
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let ev = Simulation::new(c)
+            .variability(Variability::Custom(Box::new(move |d, cell, _rng| {
+                names2.lock().unwrap().push(cell.to_string());
+                d + 1.0
+            })))
+            .run()
+            .unwrap();
+        assert_eq!(ev.times("Q"), &[16.0]);
+        seen.extend(names.lock().unwrap().iter().cloned());
+        assert_eq!(seen, vec!["JTL".to_string()]);
+    }
+
+    #[test]
     fn hole_arity_mismatch_is_reported() {
         use crate::functional::Hole;
         let mut c = Circuit::new();
@@ -680,6 +921,21 @@ mod tests {
     }
 
     #[test]
+    fn compiled_tables_survive_reset() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut sim = Simulation::new(c);
+        let before = sim.compiled() as *const CompiledCircuit;
+        sim.run().unwrap();
+        sim.reset();
+        sim.run().unwrap();
+        let after = sim.compiled() as *const CompiledCircuit;
+        assert_eq!(before, after, "reset must not recompile the circuit");
+    }
+
+    #[test]
     fn reset_clears_state_after_error_transition_run() {
         // A fan-in of widely and narrowly spaced pulses: the narrow pair
         // trips the transition-time constraint mid-run, leaving pending
@@ -730,7 +986,8 @@ mod tests {
             .seed(9);
         let jittered = sim.run().unwrap();
         assert_ne!(jittered.times("Q"), &[15.0, 35.0]);
-        // Same seed on the reused simulation: identical jitter stream.
+        // Same seed on the reused simulation: identical jitter stream (the
+        // Box–Muller spare is per-run state, so reruns start fresh).
         assert_eq!(sim.run().unwrap(), jittered);
         // Turn variability off in place: exact nominal times — no leftover
         // heap pulses, RNG state, or machine configurations from the
@@ -747,11 +1004,29 @@ mod tests {
     #[test]
     fn gaussian_sampler_is_roughly_standard_normal() {
         let mut rng = StdRng::seed_from_u64(7);
+        let mut bm = BoxMuller::default();
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn box_muller_spare_halves_rng_draws() {
+        // Two samples from the cached sampler consume one uniform pair; the
+        // RNG position after 2k samples equals the position after k pairs.
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let mut bm = BoxMuller::default();
+        for _ in 0..10 {
+            bm.sample(&mut rng1);
+        }
+        let mut rng2 = StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let _: f64 = rng2.gen_range(f64::MIN_POSITIVE..1.0);
+            let _: f64 = rng2.gen();
+        }
+        assert_eq!(rng1.gen::<u64>(), rng2.gen::<u64>());
     }
 }

@@ -14,7 +14,10 @@
 //! Each worker builds the circuit **once** and then reuses the simulation
 //! across its trials via [`Simulation::reset`], which keeps the pulse heap,
 //! event buffers, and machine-configuration vector allocated — the hot-path
-//! win over the naive rebuild-per-trial loop.
+//! win over the naive rebuild-per-trial loop. Because reset retains the
+//! [compiled dispatch tables](crate::compiled) as well, each worker pays
+//! circuit compilation exactly once; every trial after the first runs the
+//! allocation-free steady-state kernel.
 //!
 //! ```
 //! use rlse_core::prelude::*;

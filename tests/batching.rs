@@ -1,0 +1,186 @@
+//! `getSimPulses` batching semantics (paper Fig. 6, the Dispatch relation):
+//! all pulses that share an arrival time *and* a destination node form one
+//! batch and are dispatched through the machine together, while equal-time
+//! pulses bound for different nodes are separate batches. Within a batch,
+//! inputs dispatch one at a time by ascending `(priority, port)`.
+//!
+//! These tests pin the observable contract the compiled kernel must keep:
+//! the simulation trace shows one entry per batch, in a deterministic order.
+
+use rlse::prelude::*;
+use std::sync::Arc;
+
+/// The C element from the paper: fires `q` once both inputs have arrived.
+fn c_element() -> Arc<Machine> {
+    Machine::new(
+        "C",
+        &["a", "b"],
+        &["q"],
+        12.0,
+        7,
+        &[
+            EdgeDef { src: "idle", trigger: "a", dst: "a_arr", ..EdgeDef::default() },
+            EdgeDef { src: "idle", trigger: "b", dst: "b_arr", ..EdgeDef::default() },
+            EdgeDef { src: "a_arr", trigger: "b", dst: "idle", firing: "q", ..EdgeDef::default() },
+            EdgeDef { src: "a_arr", trigger: "a", dst: "a_arr", ..EdgeDef::default() },
+            EdgeDef { src: "b_arr", trigger: "a", dst: "idle", firing: "q", ..EdgeDef::default() },
+            EdgeDef { src: "b_arr", trigger: "b", dst: "b_arr", ..EdgeDef::default() },
+        ],
+    )
+    .unwrap()
+}
+
+/// A pass-through cell: every input pulse fires `q` after 3 ps.
+fn buffer() -> Arc<Machine> {
+    Machine::new(
+        "Buf",
+        &["a"],
+        &["q"],
+        3.0,
+        1,
+        &[EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..EdgeDef::default() }],
+    )
+    .unwrap()
+}
+
+/// Simultaneous pulses on *different ports of the same node* are one batch:
+/// the trace shows a single dispatch carrying both port names, and the whole
+/// batch runs through the machine before any later event.
+#[test]
+fn same_node_simultaneous_ports_are_one_batch() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[100.0], "A");
+    let b = c.inp_at(&[100.0], "B");
+    let q = c.add_machine(&c_element(), &[a, b]).unwrap()[0];
+    c.inspect(q, "Q");
+    let mut sim = Simulation::new(c).with_trace();
+    let events = sim.run().unwrap();
+
+    let batches: Vec<_> = sim.trace().iter().filter(|e| e.cell == "C").collect();
+    assert_eq!(batches.len(), 1, "one batch, not one dispatch per pulse");
+    let batch = batches[0];
+    assert_eq!(batch.time, 100.0);
+    assert_eq!(batch.inputs, vec!["a".to_string(), "b".to_string()]);
+    // Both pulses dispatched within the batch: a moves idle -> a_arr, then b
+    // completes the round trip and fires.
+    assert_eq!(batch.state_before, "idle");
+    assert_eq!(batch.state_after, "idle");
+    assert_eq!(batch.fired, vec![("q".to_string(), 112.0)]);
+    assert_eq!(events.times("Q"), &[112.0]);
+}
+
+/// Pulses at different times on the same node are separate batches even on
+/// the same port.
+#[test]
+fn same_node_different_times_are_separate_batches() {
+    let mut c = Circuit::new();
+    let a = c.inp_at(&[100.0, 150.0], "A");
+    let q = c.add_machine(&buffer(), &[a]).unwrap()[0];
+    c.inspect(q, "Q");
+    let mut sim = Simulation::new(c).with_trace();
+    sim.run().unwrap();
+
+    let batches: Vec<_> = sim.trace().iter().filter(|e| e.cell == "Buf").collect();
+    assert_eq!(batches.len(), 2);
+    assert_eq!(batches[0].time, 100.0);
+    assert_eq!(batches[1].time, 150.0);
+    for b in batches {
+        assert_eq!(b.inputs, vec!["a".to_string()]);
+    }
+}
+
+/// Equal-time pulses bound for *different nodes* are separate batches, one
+/// trace entry each, dispatched in node-creation order (the heap breaks
+/// time ties by node index, then insertion sequence).
+#[test]
+fn equal_time_different_nodes_are_separate_batches() {
+    let mut c = Circuit::new();
+    let a1 = c.inp_at(&[100.0], "A1");
+    let a2 = c.inp_at(&[100.0], "A2");
+    let buf = buffer();
+    let q1 = c.add_machine(&buf, &[a1]).unwrap()[0];
+    let q2 = c.add_machine(&buf, &[a2]).unwrap()[0];
+    c.inspect(q1, "Q1");
+    c.inspect(q2, "Q2");
+    let mut sim = Simulation::new(c).with_trace();
+    sim.run().unwrap();
+
+    let batches: Vec<_> = sim.trace().iter().filter(|e| e.cell == "Buf").collect();
+    assert_eq!(batches.len(), 2, "no cross-node merging of equal-time pulses");
+    assert!(batches.iter().all(|e| e.time == 100.0 && e.inputs.len() == 1));
+    // Deterministic batch order: the first-created node dispatches first.
+    assert_eq!(batches[0].node_wire, "Q1");
+    assert_eq!(batches[1].node_wire, "Q2");
+}
+
+/// Within a batch, inputs dispatch by ascending `(priority, port)`: an
+/// explicit lower priority number wins even when a lower-indexed port pulsed
+/// at the same instant.
+#[test]
+fn batch_dispatch_order_follows_priority_then_port() {
+    // `first` records which input was dispatched first out of `idle`: the
+    // second input of the pair then fires the telltale output.
+    let racer = |pa: Option<u32>, pb: Option<u32>| {
+        Machine::new(
+            "Racer",
+            &["a", "b"],
+            &["qa", "qb"],
+            5.0,
+            3,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "saw_a", priority: pa, ..EdgeDef::default() },
+                EdgeDef { src: "idle", trigger: "b", dst: "saw_b", priority: pb, ..EdgeDef::default() },
+                // `qa` fires iff a dispatched first, `qb` iff b did.
+                EdgeDef { src: "saw_a", trigger: "b", dst: "idle", firing: "qa", ..EdgeDef::default() },
+                EdgeDef { src: "saw_a", trigger: "a", dst: "saw_a", ..EdgeDef::default() },
+                EdgeDef { src: "saw_b", trigger: "a", dst: "idle", firing: "qb", ..EdgeDef::default() },
+                EdgeDef { src: "saw_b", trigger: "b", dst: "saw_b", ..EdgeDef::default() },
+            ],
+        )
+        .unwrap()
+    };
+    let run = |machine: Arc<Machine>| {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[100.0], "A");
+        let b = c.inp_at(&[100.0], "B");
+        let outs = c.add_machine(&machine, &[a, b]).unwrap();
+        c.inspect(outs[0], "QA");
+        c.inspect(outs[1], "QB");
+        Simulation::new(c).run().unwrap()
+    };
+
+    // Default priorities (declaration order): the `a` edge was declared
+    // first, so `a` dispatches first and `b` fires `qa`.
+    let ev = run(racer(None, None));
+    assert_eq!(ev.times("QA"), &[105.0]);
+    assert!(ev.times("QB").is_empty());
+
+    // Explicit priorities inverted: `b`'s edge now outranks `a`'s, so `b`
+    // dispatches first and `a` fires `qb`.
+    let ev = run(racer(Some(5), Some(1)));
+    assert!(ev.times("QA").is_empty());
+    assert_eq!(ev.times("QB"), &[105.0]);
+}
+
+/// The whole batching pipeline is deterministic: two fresh simulations of
+/// the same circuit produce identical traces, entry for entry.
+#[test]
+fn batch_dispatch_is_deterministic_across_runs() {
+    let build = || {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[100.0, 100.0, 200.0], "A");
+        let b = c.inp_at(&[100.0, 200.0], "B");
+        let q = c.add_machine(&c_element(), &[a, b]).unwrap()[0];
+        c.inspect(q, "Q");
+        c
+    };
+    let mut s1 = Simulation::new(build()).with_trace();
+    let mut s2 = Simulation::new(build()).with_trace();
+    s1.run().unwrap();
+    s2.run().unwrap();
+    assert_eq!(s1.trace(), s2.trace());
+    // And a reused simulation replays the identical trace.
+    let t1 = s1.trace().to_vec();
+    s1.run().unwrap();
+    assert_eq!(s1.trace(), &t1[..]);
+}
