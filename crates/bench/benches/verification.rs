@@ -4,7 +4,9 @@
 //! model checking of basic cells.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rlse_bench::{bench_bitonic, bench_min_max, cell_bench, expected_outputs, simulate};
+use rlse_bench::{
+    bench_adder_sync, bench_bitonic, bench_min_max, cell_bench, expected_outputs, simulate,
+};
 use rlse_cells::defs;
 use rlse_ta::dbm::{Dbm, Rel};
 use rlse_ta::mc::{check, McOptions, McQuery};
@@ -104,6 +106,27 @@ fn model_checking(c: &mut Criterion) {
     group.finish();
 }
 
+fn model_checking_designs(c: &mut Criterion) {
+    // Table-3-style composed designs: the workload the sharded zone-graph
+    // engine and the active-clock reduction were built for.
+    let mut group = c.benchmark_group("model_check_design");
+    group.sample_size(10);
+    for bench in [bench_min_max(), bench_adder_sync()] {
+        let name = bench.name.replace(' ', "_").to_lowercase();
+        let (events, _, circ) = simulate(bench);
+        let expected = expected_outputs(&circ, &events);
+        let tr = translate_circuit(&circ).unwrap();
+        group.bench_function(format!("query2_{name}"), |b| {
+            b.iter(|| check(&tr.net, &McQuery::query2(&tr), McOptions::default()))
+        });
+        let refs: Vec<(&str, Vec<f64>)> =
+            expected.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        group.bench_function(format!("query1_{name}"), |b| {
+            b.iter(|| check(&tr.net, &McQuery::query1(&tr, &refs), McOptions::default()))
+        });
+    }
+    group.finish();
+}
 
-criterion_group!(benches, translation, dbm_ops, model_checking);
+criterion_group!(benches, translation, dbm_ops, model_checking, model_checking_designs);
 criterion_main!(benches);

@@ -23,7 +23,10 @@
 //! whole `run()` call, including the per-run `Events` materialization at the
 //! boundary; the interesting signal is the per-event marginal cost.
 
-use rlse_bench::{bench_bitonic, bench_c, bench_c_inv, bench_min_max, Bench};
+use rlse_bench::{
+    bench_adder_sync, bench_bitonic, bench_c, bench_c_inv, bench_min_max, expected_outputs,
+    simulate, Bench,
+};
 use rlse_core::prelude::*;
 use rlse_core::sweep::Sweep;
 use rlse_designs::ripple_adder_with_inputs;
@@ -233,6 +236,52 @@ fn main() {
         3,
     );
 
+    // Design-level model checking: Table-3-style compositions, both queries,
+    // with explored-state counts and the peak live-zone store size so the
+    // memory side of the engine is tracked alongside wall clock.
+    struct McRow {
+        name: &'static str,
+        q1_ns: f64,
+        q2_ns: f64,
+        states: usize,
+        peak_store: usize,
+    }
+    let mc_rows: Vec<McRow> = [
+        ("min_max", bench_min_max()),
+        ("adder_sync", bench_adder_sync()),
+        ("bitonic_4", bench_bitonic(4)),
+    ]
+    .into_iter()
+    .map(|(name, bench)| {
+        let (events, _, circ) = simulate(bench);
+        let expected = expected_outputs(&circ, &events);
+        let refs: Vec<(&str, Vec<f64>)> = expected
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.clone()))
+            .collect();
+        let tr = translate_circuit(&circ).unwrap();
+        let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
+        assert_eq!(q2.holds, Some(true), "{name} q2: {:?}", q2.violation);
+        let q2_ns = time_median(
+            || drop(check(&tr.net, &McQuery::query2(&tr), McOptions::default())),
+            400.0,
+            3,
+        );
+        let q1_ns = time_median(
+            || drop(check(&tr.net, &McQuery::query1(&tr, &refs), McOptions::default())),
+            400.0,
+            3,
+        );
+        McRow {
+            name,
+            q1_ns,
+            q2_ns,
+            states: q2.states,
+            peak_store: q2.peak_store,
+        }
+    })
+    .collect();
+
     // Hand-rolled JSON (the workspace deliberately has no serde dependency).
     let mut out = String::new();
     out.push_str("{\n");
@@ -267,8 +316,22 @@ fn main() {
     ));
     out.push_str(&format!(
         "  \"verification\": {{\"translate_bitonic_8_median_ns\": {translate_ns:.0}, \
-         \"model_check_query2_and_median_ns\": {mc_ns:.0}}}\n"
+         \"model_check_query2_and_median_ns\": {mc_ns:.0},\n"
     ));
+    out.push_str("  \"model_check_designs\": [\n");
+    for (i, r) in mc_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"query1_median_ns\": {:.0}, \
+             \"query2_median_ns\": {:.0}, \"states\": {}, \"peak_store\": {}}}{}\n",
+            r.name,
+            r.q1_ns,
+            r.q2_ns,
+            r.states,
+            r.peak_store,
+            if i + 1 == mc_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]}\n");
     out.push_str("}\n");
     print!("{out}");
 }

@@ -44,6 +44,7 @@ fn run_bench(bench: Bench, budget: usize) -> Row {
     let opts = McOptions {
         max_states: budget,
         max_seconds: 120.0,
+        ..McOptions::default()
     };
     let q1 = check(&tr.net, &McQuery::query1(&tr, &expected_refs), opts);
     let q2 = check(&tr.net, &McQuery::query2(&tr), opts);

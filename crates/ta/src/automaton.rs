@@ -205,6 +205,34 @@ impl TaNetwork {
         max
     }
 
+    /// The first constraint (in automaton order, invariants before edge
+    /// guards) whose bound exceeds `limit` in magnitude and therefore cannot
+    /// be encoded in the checker's `i32` bound representation, returned as
+    /// `(automaton index, constraint)`. `None` when every bound fits.
+    ///
+    /// The model checker calls this with [`crate::dbm::MAX_BOUND`] before
+    /// exploring, so an oversized model is refused with a diagnostic instead
+    /// of silently wrapping into a wrong verdict.
+    pub fn find_unencodable_bound(&self, limit: i64) -> Option<(usize, Constraint)> {
+        for (ai, a) in self.automata.iter().enumerate() {
+            for l in &a.locations {
+                for c in &l.invariant {
+                    if c.bound.abs() > limit {
+                        return Some((ai, *c));
+                    }
+                }
+            }
+            for e in &a.edges {
+                for c in &e.guard {
+                    if c.bound.abs() > limit {
+                        return Some((ai, *c));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// All `(automaton, location)` pairs with the given kind.
     pub fn locations_of_kind(&self, kind: LocKind) -> Vec<(usize, LocId)> {
         let mut out = Vec::new();

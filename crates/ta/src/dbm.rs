@@ -13,6 +13,20 @@ use std::fmt;
 /// Encoded bound: infinity (no constraint).
 pub const INF: i32 = i32::MAX;
 
+/// Largest absolute constraint bound the encoded-`i32` arithmetic supports
+/// safely.
+///
+/// Bounds are stored as `2m + 1` (for `≤ m`) or `2m` (for `< m`), and both
+/// [`Dbm::constrain`] and [`Dbm::canonicalize`] sum chains of up to three
+/// encoded bounds before comparing. Canonical entries are themselves bounded
+/// by the model's constants only *after* extrapolation, so intermediate sums
+/// can reach a few multiples of the largest constant. `1 << 26` keeps even a
+/// three-term chain of doubled bounds (≈ `3 · 2^27`) a factor of ~16 below
+/// `i32::MAX`, so no intermediate can wrap for models whose constants all
+/// satisfy `|m| ≤ MAX_BOUND`. Callers that accept `i64` bounds (the model
+/// checker, the translator) must reject anything larger up front.
+pub const MAX_BOUND: i32 = 1 << 26;
+
 /// Encode `≤ m`.
 #[inline]
 pub const fn le(m: i32) -> i32 {
@@ -151,6 +165,25 @@ impl Dbm {
         self.set(0, c, LE_ZERO);
         // Wait: (c,0) must copy (0,0)=LE_ZERO and (0,c) likewise; the loop
         // above already wrote them via j = 0, but keep them exact.
+    }
+
+    /// Forget everything about clock `c` except `c ≥ 0` (UPPAAL's *free*
+    /// operation): the zone becomes the cylinder over the other clocks.
+    ///
+    /// Used for active-clock reduction — when no automaton can read `c`
+    /// again before resetting it, its value is dead and freeing it merges
+    /// states that differ only in `c`. Preserves canonical form: row `c`
+    /// becomes `INF`, and the tightest bound on `x_j - x_c` with `x_c`
+    /// unconstrained above and `≥ 0` is the bound on `x_j - 0`.
+    pub fn free(&mut self, c: usize) {
+        debug_assert!(c >= 1 && c < self.dim);
+        for j in 0..self.dim {
+            if j != c {
+                self.set(c, j, INF);
+                let v = self.at(j, 0);
+                self.set(j, c, v);
+            }
+        }
     }
 
     /// True if `self` includes `other` (every valuation of `other` is in
@@ -383,6 +416,26 @@ mod tests {
             assert!(seen.len() < 20, "no fixpoint reached");
         }
         assert!(seen.len() <= 4, "fixpoint after a few iterations");
+    }
+
+    #[test]
+    fn free_forgets_one_clock_and_stays_canonical() {
+        let mut z = Dbm::zero(2);
+        z.up();
+        assert!(z.constrain_clock(1, Rel::Eq, 10)); // pins x2 == 10 too
+        z.free(2);
+        // x2 is unconstrained (≥ 0); x1 keeps its pin.
+        assert_eq!(z.clock_range(2), (0, None));
+        assert_eq!(z.clock_range(1), (10, Some(10)));
+        // Canonical: a full re-canonicalization changes nothing.
+        let mut w = z.clone();
+        w.canonicalize();
+        assert_eq!(w, z);
+        // Freeing only widens.
+        let mut pinned = Dbm::zero(2);
+        pinned.up();
+        assert!(pinned.constrain_clock(1, Rel::Eq, 10));
+        assert!(z.includes(&pinned));
     }
 
     #[test]

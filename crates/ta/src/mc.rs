@@ -1,5 +1,5 @@
-//! A zone-based model checker for networks of timed automata — the role
-//! UPPAAL's `verifyta` plays in the paper's §5.3.
+//! A parallel zone-based model checker for networks of timed automata — the
+//! role UPPAAL's `verifyta` plays in the paper's §5.3.
 //!
 //! The checker explores the zone graph: states are pairs of a location
 //! vector and a canonical DBM, successors follow internal (`τ`) edges and
@@ -13,11 +13,57 @@
 //!   instants.
 //! * **Query 2 (unreachable error states)** — `A[] ¬(err₁ ∨ … ∨ errₙ)`:
 //!   no transition-time or past-constraint error location is reachable.
+//!
+//! # Engine
+//!
+//! Exploration is a **level-synchronous BFS** over the zone graph, run in
+//! three phases per level:
+//!
+//! * **Expand** — the frontier is split into contiguous units and fanned
+//!   across a scoped thread pool (the [`crate::automaton::TaNetwork`] is
+//!   shared read-only); each unit emits successor candidates. Per-unit
+//!   results are flattened in unit order, so the global candidate order is a
+//!   pure function of the frontier, never of thread scheduling. Successor
+//!   generation uses per-`(automaton, location)` edge indices (`τ` edges,
+//!   sends, receives) plus a per-channel receiver table, so a send only
+//!   visits automata that can actually receive on its channel.
+//! * **Insert** — the passed/waiting store is sharded by a hash of the
+//!   location vector; location vectors are interned per shard and stored
+//!   once. Candidates are partitioned by shard and the shards are processed
+//!   in parallel, each consuming its candidates in global candidate order —
+//!   subsumption is local to a location vector, hence local to a shard, so
+//!   the accept/kill decisions are again scheduling-independent. A
+//!   candidate subsumed by a stored zone is dropped; a candidate that
+//!   subsumes stored zones evicts them, and if an evicted zone was accepted
+//!   *earlier in the same level* its entry is marked dead via the
+//!   level-stamp on the bucket slot — dead entries are counted and kept for
+//!   traces but never expanded (the sequential predecessor expanded them: a
+//!   real wasted-work bug).
+//! * **Merge** — a single thread folds the per-shard accept lists in
+//!   candidate order: arena ids are assigned, the next frontier is built
+//!   from surviving entries, and the violation with the smallest candidate
+//!   index is selected. First-found-at-minimum-BFS-depth therefore holds at
+//!   any thread count, and `threads = 1` runs the identical algorithm
+//!   inline without spawning.
+//!
+//! The arena kept for counterexample reconstruction stores only the interned
+//! location id, parent pointer, action, and the global-clock range — zones
+//! live once, reference-counted, shared between store and frontier.
+//!
+//! # Budgets
+//!
+//! `max_states` is checked at level boundaries (crossing a deterministic
+//! point, so the verdict is thread-count independent; one level of overshoot
+//! is possible). `max_seconds` is wall-clock and inherently approximate:
+//! workers poll the elapsed time during expansion and raise a shared abort
+//! flag. Both exhaustions yield `holds = None` with a diagnostic.
 
-use crate::automaton::{LocId, Sync, TaNetwork};
-use crate::dbm::Dbm;
+use crate::automaton::{LocId, Sync as EdgeSync, TaNetwork};
+use crate::dbm::{Dbm, MAX_BOUND};
 use crate::translate::Translation;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One expected-output specification for Query 1.
@@ -78,10 +124,11 @@ impl McQuery {
 #[derive(Debug, Clone)]
 pub struct McResult {
     /// `Some(true)` if the property holds, `Some(false)` with a diagnostic
-    /// if it fails, `None` if the state budget was exhausted first (the
-    /// paper's `∞` rows).
+    /// if it fails, `None` if a state/time budget was exhausted first (the
+    /// paper's `∞` rows) or the model was refused (see [`McResult::diagnostic`]).
     pub holds: Option<bool>,
-    /// Number of distinct (location vector, zone) states explored.
+    /// Number of distinct (location vector, zone) states accepted into the
+    /// store, including states later evicted by a subsuming zone.
     pub states: usize,
     /// Wall-clock verification time in seconds.
     pub time_secs: f64,
@@ -90,6 +137,14 @@ pub struct McResult {
     /// For a failed property: the action sequence from the initial state to
     /// the violating state (UPPAAL-style counterexample trace).
     pub trace: Option<Vec<String>>,
+    /// Peak number of zones simultaneously live in the passed/waiting store
+    /// (sampled at level boundaries) — the checker's memory high-water mark
+    /// in states.
+    pub peak_store: usize,
+    /// Qualifies unusual verdicts: a vacuous pass (empty initial zone), a
+    /// refused model (unencodable bounds), or which budget was exhausted.
+    /// `None` for an ordinary verdict.
+    pub diagnostic: Option<String>,
 }
 
 /// Configuration for [`check`].
@@ -101,6 +156,11 @@ pub struct McOptions {
     /// seconds — large networks can exhaust memory long before the state
     /// budget (the paper reports such designs as `∞`).
     pub max_seconds: f64,
+    /// Worker thread count: `0` uses the machine's available parallelism,
+    /// `1` runs the identical algorithm inline without spawning. The
+    /// verdict, state count, and counterexample are the same at any value —
+    /// exploration order is deterministic by construction.
+    pub threads: usize,
 }
 
 impl Default for McOptions {
@@ -108,6 +168,7 @@ impl Default for McOptions {
         McOptions {
             max_states: 2_000_000,
             max_seconds: 600.0,
+            threads: 0,
         }
     }
 }
@@ -116,25 +177,186 @@ impl Default for McOptions {
 #[derive(Debug, Clone, Copy)]
 enum Action {
     Init,
-    Tau { automaton: usize },
-    Sync { sender: usize, receiver: usize, chan: usize },
+    Tau { automaton: u32 },
+    Sync { sender: u32, receiver: u32, chan: u32 },
 }
 
-struct Explorer<'n> {
+/// Number of store shards (must be a power of two for the mask below).
+const SHARDS: usize = 64;
+
+/// FNV-1a over the location vector, folded to a shard index.
+fn shard_of(locs: &[u32]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &l in locs {
+        h ^= u64::from(l);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h & (SHARDS as u64 - 1)) as usize
+}
+
+/// A stored zone, stamped with the level and per-level accept index that
+/// produced it so same-level eviction can kill the not-yet-expanded entry.
+struct BucketZone {
+    zone: Arc<Dbm>,
+    level: u32,
+    lidx: u32,
+}
+
+/// One shard of the passed/waiting store: interned location vectors plus
+/// their zone buckets.
+#[derive(Default)]
+struct Shard {
+    intern: HashMap<Box<[u32]>, u32>,
+    vecs: Vec<Box<[u32]>>,
+    buckets: Vec<Vec<BucketZone>>,
+    /// Zones currently stored across all buckets of this shard.
+    live: usize,
+}
+
+/// Compact per-state record for counterexample reconstruction: no zone, just
+/// the interned location id, the parent pointer, and the global-clock range
+/// captured at accept time (`ghi == i64::MIN` means unbounded or absent).
+struct ArenaEntry {
+    shard: u32,
+    local: u32,
+    parent: u32,
+    action: Action,
+    glo: i64,
+    ghi: i64,
+}
+
+/// A frontier state awaiting expansion.
+struct Frontier {
+    state: u32,
+    locs: Box<[u32]>,
+    zone: Arc<Dbm>,
+}
+
+/// A successor candidate produced by the expand phase.
+struct Cand {
+    shard: u32,
+    locs: Box<[u32]>,
+    zone: Arc<Dbm>,
+    parent: u32,
+    action: Action,
+}
+
+/// Per-shard accept record for one level.
+struct LocalAcc {
+    cand: u32,
+    local: u32,
+    alive: bool,
+    violation: Option<String>,
+}
+
+/// Run `f(0..units)` across a deterministic scoped thread pool, returning
+/// the per-unit results **in unit order** regardless of which thread ran
+/// which unit. `threads <= 1` (or a single unit) runs inline.
+fn run_units<T, F>(threads: usize, units: usize, f: F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Vec<T> + std::marker::Sync,
+{
+    if threads <= 1 || units <= 1 {
+        return (0..units).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Vec<T>>> = (0..units).map(|_| Mutex::new(Vec::new())).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(units) {
+            scope.spawn(|| loop {
+                let u = next.fetch_add(1, Ordering::Relaxed);
+                if u >= units {
+                    break;
+                }
+                let out = f(u);
+                *slots[u].lock().expect("unit slot poisoned") = out;
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("unit slot poisoned"))
+        .collect()
+}
+
+/// Read-only exploration context: the network plus precomputed edge indices.
+struct Engine<'n> {
     net: &'n TaNetwork,
     max_consts: Vec<i64>,
     /// Per automaton: which locations are committed.
     committed: Vec<Vec<bool>>,
-    /// clock index in the DBM = ClockId + 1.
-    visited: HashMap<Vec<u32>, Vec<Dbm>>,
-    /// Work queue of arena indices.
-    queue: VecDeque<usize>,
-    /// Arena of explored states, for parent-pointer traces.
-    arena: Vec<(Vec<u32>, Dbm, usize, Action)>,
-    states: usize,
+    /// `tau[aut][loc]` — indices of τ edges leaving `loc`.
+    tau: Vec<Vec<Vec<u32>>>,
+    /// `send[aut][loc]` — `(channel, edge index)` of sends leaving `loc`.
+    send: Vec<Vec<Vec<(u32, u32)>>>,
+    /// `recv[aut][loc]` — `(channel, edge index)` of receives leaving `loc`.
+    recv: Vec<Vec<Vec<(u32, u32)>>>,
+    /// `recv_aut[chan]` — automata with at least one receive on `chan`.
+    recv_aut: Vec<Vec<u32>>,
+    /// Words per clock bitset.
+    clock_words: usize,
+    /// `active[aut][loc]` — bitset of clocks automaton `aut` may read
+    /// (guard or invariant) before resetting them, starting from `loc`.
+    active: Vec<Vec<Box<[u64]>>>,
+    /// The global clock (0-based), exempt from freeing: queries read it.
+    global: Option<usize>,
 }
 
-impl<'n> Explorer<'n> {
+/// Per-location clock activity of one automaton (Daws–Yovine): clock `c` is
+/// active at `l` when some path from `l` reads `c` (in an invariant or
+/// guard) before this automaton resets it. Backward fixpoint over the
+/// automaton's edge graph.
+fn clock_activity(a: &crate::automaton::Automaton, words: usize) -> Vec<Box<[u64]>> {
+    let set = |m: &mut [u64], c: usize| m[c / 64] |= 1u64 << (c % 64);
+    let mut act: Vec<Box<[u64]>> = a
+        .locations
+        .iter()
+        .map(|_| vec![0u64; words].into_boxed_slice())
+        .collect();
+    loop {
+        let mut changed = false;
+        for (li, l) in a.locations.iter().enumerate() {
+            let mut new = vec![0u64; words].into_boxed_slice();
+            for c in &l.invariant {
+                set(&mut new, c.clock.0);
+            }
+            for e in &a.edges {
+                if e.src.0 != li {
+                    continue;
+                }
+                for c in &e.guard {
+                    set(&mut new, c.clock.0);
+                }
+                let mut inherited = act[e.dst.0].clone();
+                for r in &e.resets {
+                    inherited[r.0 / 64] &= !(1u64 << (r.0 % 64));
+                }
+                for (w, i) in new.iter_mut().zip(inherited.iter()) {
+                    *w |= i;
+                }
+            }
+            if new != act[li] {
+                act[li] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            return act;
+        }
+    }
+}
+
+fn apply_guard(z: &mut Dbm, guard: &[crate::automaton::Constraint]) -> bool {
+    for c in guard {
+        if !z.constrain_clock(c.clock.0 + 1, c.rel, c.bound as i32) {
+            return false;
+        }
+    }
+    true
+}
+
+impl<'n> Engine<'n> {
     fn new(net: &'n TaNetwork, extra_global_const: i64) -> Self {
         let mut max_consts = net.max_constants();
         if let Some(g) = net.global_clock {
@@ -145,14 +367,75 @@ impl<'n> Explorer<'n> {
             .iter()
             .map(|a| a.locations.iter().map(|l| l.committed).collect())
             .collect();
-        Explorer {
+        let mut tau = Vec::with_capacity(net.automata.len());
+        let mut send = Vec::with_capacity(net.automata.len());
+        let mut recv = Vec::with_capacity(net.automata.len());
+        let mut recv_aut: Vec<Vec<u32>> = vec![Vec::new(); net.chan_names.len()];
+        for (ai, a) in net.automata.iter().enumerate() {
+            let mut t = vec![Vec::new(); a.locations.len()];
+            let mut s = vec![Vec::new(); a.locations.len()];
+            let mut r = vec![Vec::new(); a.locations.len()];
+            let mut receives = vec![false; net.chan_names.len()];
+            for (ei, e) in a.edges.iter().enumerate() {
+                match e.sync {
+                    EdgeSync::Tau => t[e.src.0].push(ei as u32),
+                    EdgeSync::Send(ch) => s[e.src.0].push((ch.0 as u32, ei as u32)),
+                    EdgeSync::Recv(ch) => {
+                        r[e.src.0].push((ch.0 as u32, ei as u32));
+                        receives[ch.0] = true;
+                    }
+                }
+            }
+            for (ch, &has) in receives.iter().enumerate() {
+                if has {
+                    recv_aut[ch].push(ai as u32);
+                }
+            }
+            tau.push(t);
+            send.push(s);
+            recv.push(r);
+        }
+        let clock_words = net.clock_names.len().div_ceil(64);
+        let active = net
+            .automata
+            .iter()
+            .map(|a| clock_activity(a, clock_words))
+            .collect();
+        Engine {
             net,
             max_consts,
             committed,
-            visited: HashMap::new(),
-            queue: VecDeque::new(),
-            arena: Vec::new(),
-            states: 0,
+            tau,
+            send,
+            recv,
+            recv_aut,
+            clock_words,
+            active,
+            global: net.global_clock.map(|g| g.0),
+        }
+    }
+
+    /// Active-clock reduction: free every clock (except the global one) no
+    /// automaton can read again before resetting it. Dead clock values
+    /// cannot influence any future transition or query, so freeing them is
+    /// exact for location reachability and global-clock ranges — it merges
+    /// states that differ only in dead dimensions (fewer states, smaller
+    /// store) and leaves `INF` rows that the O(dim³) re-canonicalization in
+    /// extrapolation skips.
+    fn free_inactive_clocks(&self, locs: &[u32], z: &mut Dbm) {
+        let mut used = vec![0u64; self.clock_words];
+        for (ai, &l) in locs.iter().enumerate() {
+            for (w, a) in used.iter_mut().zip(self.active[ai][l as usize].iter()) {
+                *w |= a;
+            }
+        }
+        for c in 0..self.net.clock_names.len() {
+            if self.global == Some(c) {
+                continue;
+            }
+            if used[c / 64] & (1u64 << (c % 64)) == 0 {
+                z.free(c + 1);
+            }
         }
     }
 
@@ -162,15 +445,6 @@ impl<'n> Explorer<'n> {
                 if !z.constrain_clock(c.clock.0 + 1, c.rel, c.bound as i32) {
                     return false;
                 }
-            }
-        }
-        true
-    }
-
-    fn apply_guard(z: &mut Dbm, guard: &[crate::automaton::Constraint]) -> bool {
-        for c in guard {
-            if !z.constrain_clock(c.clock.0 + 1, c.rel, c.bound as i32) {
-                return false;
             }
         }
         true
@@ -186,6 +460,7 @@ impl<'n> Explorer<'n> {
         if !self.apply_invariants(locs, &mut z) {
             return None;
         }
+        self.free_inactive_clocks(locs, &mut z);
         z.extrapolate(&self.max_consts);
         if z.is_empty() {
             None
@@ -194,100 +469,29 @@ impl<'n> Explorer<'n> {
         }
     }
 
-    /// Insert if not subsumed; returns true if it was new.
-    fn insert(&mut self, locs: Vec<u32>, z: Dbm, parent: usize, action: Action) -> bool {
-        let bucket = self.visited.entry(locs.clone()).or_default();
-        if bucket.iter().any(|old| old.includes(&z)) {
-            return false;
-        }
-        bucket.retain(|old| !z.includes(old));
-        bucket.push(z.clone());
-        self.states += 1;
-        self.arena.push((locs, z, parent, action));
-        self.queue.push_back(self.arena.len() - 1);
-        true
-    }
-
-    fn initial(&mut self) -> bool {
-        let locs: Vec<u32> = self.net.automata.iter().map(|a| a.init.0 as u32).collect();
-        let z = Dbm::zero(self.net.clock_count());
-        match self.close(&locs, z) {
-            Some(z) => self.insert(locs, z, usize::MAX, Action::Init),
-            None => false,
-        }
-    }
-
-    /// Reconstruct the action trace leading to arena entry `idx`.
-    fn trace_to(&self, idx: usize) -> Vec<String> {
-        let mut steps = Vec::new();
-        let mut cur = idx;
-        while cur != usize::MAX {
-            let (locs, z, parent, action) = &self.arena[cur];
-            let when = self
-                .net
-                .global_clock
-                .map(|g| {
-                    let (lo, hi) = z.clock_range(g.0 + 1);
-                    match hi {
-                        Some(h) if h == lo => format!(" @ global={lo}"),
-                        _ => format!(" @ global>={lo}"),
-                    }
-                })
-                .unwrap_or_default();
-            let name = |ai: usize| {
-                format!(
-                    "{}.{}",
-                    self.net.automata[ai].name,
-                    self.net.automata[ai].locations[locs[ai] as usize].name
-                )
-            };
-            match action {
-                Action::Init => steps.push("initial state".to_string()),
-                Action::Tau { automaton } => {
-                    steps.push(format!("tau -> {}{when}", name(*automaton)))
-                }
-                Action::Sync { sender, receiver, chan } => steps.push(format!(
-                    "{}! : {} -> {}{when}",
-                    self.net.chan_names[*chan],
-                    name(*sender),
-                    name(*receiver)
-                )),
-            }
-            cur = *parent;
-        }
-        steps.reverse();
-        steps
-    }
-
-    /// Push every successor of `(locs, z)` into the queue.
+    /// Emit every successor of `(locs, zone)` into `out`, in a fixed order
+    /// (τ edges by automaton then edge index, syncs by sender/receiver/edge
+    /// index) so the global candidate order is deterministic.
     ///
     /// Committed semantics (UPPAAL): while any automaton sits in a committed
     /// location, only transitions involving a committed automaton may fire —
     /// this removes the useless interleavings through zero-duration fire
     /// chains that otherwise blow up the state space.
-    fn expand(&mut self, idx: usize) {
-        let (locs, z) = {
-            let (l, z, _, _) = &self.arena[idx];
-            (l.clone(), z.clone())
-        };
-        let locs = &locs[..];
-        let z = &z;
+    fn expand_state(&self, locs: &[u32], zone: &Dbm, parent: u32, out: &mut Vec<Cand>) {
         let any_committed = locs
             .iter()
             .enumerate()
             .any(|(ai, &l)| self.committed[ai][l as usize]);
-        let is_committed = |ex: &Self, ai: usize| ex.committed[ai][locs[ai] as usize];
+        let committed_at = |ai: usize| self.committed[ai][locs[ai] as usize];
         // Internal (τ) edges.
         for (ai, a) in self.net.automata.iter().enumerate() {
-            if any_committed && !is_committed(self, ai) {
+            if any_committed && !committed_at(ai) {
                 continue;
             }
-            for e in a.edges_from(LocId(locs[ai] as usize)) {
-                if e.sync != Sync::Tau {
-                    continue;
-                }
-                let mut nz = z.clone();
-                if !Self::apply_guard(&mut nz, &e.guard) {
+            for &ei in &self.tau[ai][locs[ai] as usize] {
+                let e = &a.edges[ei as usize];
+                let mut nz = zone.clone();
+                if !apply_guard(&mut nz, &e.guard) {
                     continue;
                 }
                 for r in &e.resets {
@@ -296,31 +500,36 @@ impl<'n> Explorer<'n> {
                 let mut nl = locs.to_vec();
                 nl[ai] = e.dst.0 as u32;
                 if let Some(nz) = self.close(&nl, nz) {
-                    self.insert(nl, nz, idx, Action::Tau { automaton: ai });
+                    out.push(Cand {
+                        shard: shard_of(&nl) as u32,
+                        locs: nl.into_boxed_slice(),
+                        zone: Arc::new(nz),
+                        parent,
+                        action: Action::Tau { automaton: ai as u32 },
+                    });
                 }
             }
         }
-        // Channel synchronizations: every (send, recv) pair.
+        // Channel synchronizations: each send pairs with every receiver that
+        // currently has a matching receive edge.
         for (ai, a) in self.net.automata.iter().enumerate() {
-            for e1 in a.edges_from(LocId(locs[ai] as usize)) {
-                let ch = match e1.sync {
-                    Sync::Send(ch) => ch,
-                    _ => continue,
-                };
-                for (bi, b) in self.net.automata.iter().enumerate() {
+            for &(ch, ei) in &self.send[ai][locs[ai] as usize] {
+                let e1 = &a.edges[ei as usize];
+                for &bi in &self.recv_aut[ch as usize] {
+                    let bi = bi as usize;
                     if bi == ai {
                         continue;
                     }
-                    if any_committed && !is_committed(self, ai) && !is_committed(self, bi) {
+                    if any_committed && !committed_at(ai) && !committed_at(bi) {
                         continue;
                     }
-                    for e2 in b.edges_from(LocId(locs[bi] as usize)) {
-                        if e2.sync != Sync::Recv(ch) {
+                    for &(ch2, e2i) in &self.recv[bi][locs[bi] as usize] {
+                        if ch2 != ch {
                             continue;
                         }
-                        let mut nz = z.clone();
-                        if !Self::apply_guard(&mut nz, &e1.guard)
-                            || !Self::apply_guard(&mut nz, &e2.guard)
+                        let e2 = &self.net.automata[bi].edges[e2i as usize];
+                        let mut nz = zone.clone();
+                        if !apply_guard(&mut nz, &e1.guard) || !apply_guard(&mut nz, &e2.guard)
                         {
                             continue;
                         }
@@ -331,16 +540,17 @@ impl<'n> Explorer<'n> {
                         nl[ai] = e1.dst.0 as u32;
                         nl[bi] = e2.dst.0 as u32;
                         if let Some(nz) = self.close(&nl, nz) {
-                            self.insert(
-                                nl,
-                                nz,
-                                idx,
-                                Action::Sync {
-                                    sender: ai,
-                                    receiver: bi,
-                                    chan: ch.0,
+                            out.push(Cand {
+                                shard: shard_of(&nl) as u32,
+                                locs: nl.into_boxed_slice(),
+                                zone: Arc::new(nz),
+                                parent,
+                                action: Action::Sync {
+                                    sender: ai as u32,
+                                    receiver: bi as u32,
+                                    chan: ch,
                                 },
-                            );
+                            });
                         }
                     }
                 }
@@ -349,9 +559,95 @@ impl<'n> Explorer<'n> {
     }
 }
 
-/// Model-check `query` over `net` by zone-graph exploration.
+/// The global-clock range of a zone as `(lo, hi)` with `i64::MIN` standing
+/// in for "unbounded" (`hi`) or "no global clock" (`lo`).
+fn grange(g_idx: Option<usize>, z: &Dbm) -> (i64, i64) {
+    match g_idx {
+        None => (i64::MIN, i64::MIN),
+        Some(g) => {
+            let (lo, hi) = z.clock_range(g);
+            (lo, hi.unwrap_or(i64::MIN))
+        }
+    }
+}
+
+/// Reconstruct the action trace leading to arena entry `idx`.
+fn trace_to(
+    net: &TaNetwork,
+    shards: &[Mutex<Shard>],
+    arena: &[ArenaEntry],
+    idx: u32,
+) -> Vec<String> {
+    let mut steps = Vec::new();
+    let mut cur = idx;
+    loop {
+        let e = &arena[cur as usize];
+        let locs = shards[e.shard as usize]
+            .lock()
+            .expect("shard poisoned")
+            .vecs[e.local as usize]
+            .clone();
+        let when = if e.glo == i64::MIN {
+            String::new()
+        } else if e.ghi == e.glo {
+            format!(" @ global={}", e.glo)
+        } else {
+            format!(" @ global>={}", e.glo)
+        };
+        let name = |ai: u32| {
+            let ai = ai as usize;
+            format!(
+                "{}.{}",
+                net.automata[ai].name,
+                net.automata[ai].locations[locs[ai] as usize].name
+            )
+        };
+        match e.action {
+            Action::Init => steps.push("initial state".to_string()),
+            Action::Tau { automaton } => steps.push(format!("tau -> {}{when}", name(automaton))),
+            Action::Sync { sender, receiver, chan } => steps.push(format!(
+                "{}! : {} -> {}{when}",
+                net.chan_names[chan as usize],
+                name(sender),
+                name(receiver)
+            )),
+        }
+        if e.parent == u32::MAX {
+            break;
+        }
+        cur = e.parent;
+    }
+    steps.reverse();
+    steps
+}
+
+/// Model-check `query` over `net` by deterministic parallel zone-graph
+/// exploration (see the module docs for the engine's phase structure).
 pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
     let start = Instant::now();
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    };
+
+    // Refuse models whose constants cannot be encoded, instead of silently
+    // wrapping `bound as i32` into a wrong verdict.
+    if let Some((ai, c)) = net.find_unencodable_bound(MAX_BOUND as i64) {
+        return McResult {
+            holds: None,
+            states: 0,
+            time_secs: start.elapsed().as_secs_f64(),
+            violation: None,
+            trace: None,
+            peak_store: 0,
+            diagnostic: Some(format!(
+                "clock bound '{c}' in automaton '{}' exceeds the encodable range ±{MAX_BOUND}; \
+                 rescale the model (no verdict)",
+                net.automata[ai].name
+            )),
+        };
+    }
     // Make sure the global clock stays concrete up to the latest expected
     // output instant, so Query 1 can pin exact times.
     let extra = match query {
@@ -362,7 +658,22 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
             .unwrap_or(0),
         McQuery::NoErrorState(_) => 0,
     };
-    let mut ex = Explorer::new(net, extra);
+    if extra.abs() > MAX_BOUND as i64 {
+        return McResult {
+            holds: None,
+            states: 0,
+            time_secs: start.elapsed().as_secs_f64(),
+            violation: None,
+            trace: None,
+            peak_store: 0,
+            diagnostic: Some(format!(
+                "expected output instant {extra} exceeds the encodable range ±{MAX_BOUND}; \
+                 rescale the model (no verdict)"
+            )),
+        };
+    }
+
+    let engine = Engine::new(net, extra);
     let g_idx = net.global_clock.map(|g| g.0 + 1);
 
     let violation = |locs: &[u32], z: &Dbm| -> Option<String> {
@@ -403,54 +714,255 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
         }
     };
 
-    if !ex.initial() {
+    // Initial state. An empty initial zone means the initial invariants are
+    // unsatisfiable: every safety property holds vacuously — say so instead
+    // of reporting a clean pass.
+    let init_locs: Vec<u32> = net.automata.iter().map(|a| a.init.0 as u32).collect();
+    let Some(z0) = engine.close(&init_locs, Dbm::zero(net.clock_count())) else {
         return McResult {
             holds: Some(true),
             states: 0,
             time_secs: start.elapsed().as_secs_f64(),
             violation: None,
             trace: None,
+            peak_store: 0,
+            diagnostic: Some(
+                "vacuous: the initial zone is empty (conflicting invariants at the initial \
+                 locations); every safety property holds trivially"
+                    .to_string(),
+            ),
+        };
+    };
+    let z0 = Arc::new(z0);
+
+    let mut shards: Vec<Mutex<Shard>> = (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect();
+    let mut arena: Vec<ArenaEntry> = Vec::new();
+    let mut peak_store = 1usize;
+
+    let s0 = shard_of(&init_locs);
+    {
+        let sh = shards[s0].get_mut().expect("shard poisoned");
+        sh.intern
+            .insert(init_locs.clone().into_boxed_slice(), 0);
+        sh.vecs.push(init_locs.clone().into_boxed_slice());
+        sh.buckets.push(vec![BucketZone {
+            zone: z0.clone(),
+            level: 0,
+            lidx: 0,
+        }]);
+        sh.live = 1;
+    }
+    let (glo, ghi) = grange(g_idx, &z0);
+    arena.push(ArenaEntry {
+        shard: s0 as u32,
+        local: 0,
+        parent: u32::MAX,
+        action: Action::Init,
+        glo,
+        ghi,
+    });
+    if let Some(v) = violation(&init_locs, &z0) {
+        return McResult {
+            holds: Some(false),
+            states: 1,
+            time_secs: start.elapsed().as_secs_f64(),
+            violation: Some(v),
+            trace: Some(trace_to(net, &shards, &arena, 0)),
+            peak_store,
+            diagnostic: None,
         };
     }
 
-    while let Some(idx) = ex.queue.pop_front() {
-        let (locs, z) = {
-            let (l, z, _, _) = &ex.arena[idx];
-            (l.clone(), z.clone())
-        };
-        if let Some(v) = violation(&locs, &z) {
-            return McResult {
-                holds: Some(false),
-                states: ex.states,
-                time_secs: start.elapsed().as_secs_f64(),
-                violation: Some(v),
-                trace: Some(ex.trace_to(idx)),
-            };
-        }
-        if ex.states >= opts.max_states || start.elapsed().as_secs_f64() > opts.max_seconds {
+    let aborted = AtomicBool::new(false);
+    let mut frontier = vec![Frontier {
+        state: 0,
+        locs: init_locs.into_boxed_slice(),
+        zone: z0,
+    }];
+    let mut level: u32 = 0;
+
+    while !frontier.is_empty() {
+        level += 1;
+        if arena.len() >= opts.max_states {
             return McResult {
                 holds: None,
-                states: ex.states,
+                states: arena.len(),
                 time_secs: start.elapsed().as_secs_f64(),
                 violation: None,
                 trace: None,
+                peak_store,
+                diagnostic: Some(format!("state budget ({}) exhausted", opts.max_states)),
             };
         }
-        ex.expand(idx);
+
+        // Phase A: expand the frontier in parallel units; flatten in unit
+        // order so the candidate order is deterministic.
+        let unit_size = frontier
+            .len()
+            .div_ceil((threads * 4).max(1))
+            .max(1);
+        let units = frontier.len().div_ceil(unit_size);
+        let cand_lists = run_units(threads, units, |u| {
+            let mut out = Vec::new();
+            if aborted.load(Ordering::Relaxed) {
+                return out;
+            }
+            let lo = u * unit_size;
+            let hi = ((u + 1) * unit_size).min(frontier.len());
+            for fe in &frontier[lo..hi] {
+                if start.elapsed().as_secs_f64() > opts.max_seconds {
+                    aborted.store(true, Ordering::Relaxed);
+                    break;
+                }
+                engine.expand_state(&fe.locs, &fe.zone, fe.state, &mut out);
+            }
+            out
+        });
+        if aborted.load(Ordering::Relaxed) {
+            return McResult {
+                holds: None,
+                states: arena.len(),
+                time_secs: start.elapsed().as_secs_f64(),
+                violation: None,
+                trace: None,
+                peak_store,
+                diagnostic: Some(format!("time budget ({}s) exhausted", opts.max_seconds)),
+            };
+        }
+        let cands: Vec<Cand> = cand_lists.into_iter().flatten().collect();
+
+        // Phase B: partition candidates by shard; process each shard's
+        // candidates in global candidate order (subsumption is per-location
+        // vector, hence shard-local, so this is scheduling-independent).
+        let mut shard_cands: Vec<Vec<u32>> = vec![Vec::new(); SHARDS];
+        for (i, c) in cands.iter().enumerate() {
+            shard_cands[c.shard as usize].push(i as u32);
+        }
+        let active: Vec<u32> = (0..SHARDS as u32)
+            .filter(|&s| !shard_cands[s as usize].is_empty())
+            .collect();
+        let acc_lists = run_units(threads, active.len(), |u| {
+            let s = active[u] as usize;
+            let mut guard = shards[s].lock().expect("shard poisoned");
+            let sh = &mut *guard;
+            let mut accs: Vec<LocalAcc> = Vec::new();
+            for &ci in &shard_cands[s] {
+                let cand = &cands[ci as usize];
+                let local = match sh.intern.get(&cand.locs) {
+                    Some(&l) => l,
+                    None => {
+                        let l = sh.vecs.len() as u32;
+                        sh.intern.insert(cand.locs.clone(), l);
+                        sh.vecs.push(cand.locs.clone());
+                        sh.buckets.push(Vec::new());
+                        l
+                    }
+                };
+                let bucket = &mut sh.buckets[local as usize];
+                if bucket.iter().any(|b| b.zone.includes(&cand.zone)) {
+                    continue;
+                }
+                let before = bucket.len();
+                bucket.retain(|b| {
+                    let evicted = cand.zone.includes(&b.zone);
+                    if evicted && b.level == level {
+                        // Accepted earlier this level but not yet expanded:
+                        // kill it so it never reaches the next frontier.
+                        accs[b.lidx as usize].alive = false;
+                    }
+                    !evicted
+                });
+                sh.live -= before - bucket.len();
+                let lidx = accs.len() as u32;
+                bucket.push(BucketZone {
+                    zone: cand.zone.clone(),
+                    level,
+                    lidx,
+                });
+                sh.live += 1;
+                accs.push(LocalAcc {
+                    cand: ci,
+                    local,
+                    alive: true,
+                    violation: violation(&cand.locs, &cand.zone),
+                });
+            }
+            accs
+        });
+
+        // Phase C: sequential merge in candidate order — assign arena ids,
+        // pick the minimum-index violation, build the next frontier.
+        let mut all: Vec<(u32, LocalAcc)> = Vec::new();
+        for (u, accs) in acc_lists.into_iter().enumerate() {
+            let s = active[u];
+            for a in accs {
+                all.push((s, a));
+            }
+        }
+        all.sort_by_key(|(_, a)| a.cand);
+        let mut best_violation: Option<(u32, String)> = None;
+        let mut next_frontier = Vec::new();
+        for (s, mut acc) in all {
+            let cand = &cands[acc.cand as usize];
+            let id = arena.len() as u32;
+            let (glo, ghi) = grange(g_idx, &cand.zone);
+            arena.push(ArenaEntry {
+                shard: s,
+                local: acc.local,
+                parent: cand.parent,
+                action: cand.action,
+                glo,
+                ghi,
+            });
+            if best_violation.is_none() {
+                if let Some(v) = acc.violation.take() {
+                    best_violation = Some((id, v));
+                }
+            }
+            if acc.alive && best_violation.is_none() {
+                next_frontier.push(Frontier {
+                    state: id,
+                    locs: cand.locs.clone(),
+                    zone: cand.zone.clone(),
+                });
+            }
+        }
+        let live_now: usize = shards
+            .iter_mut()
+            .map(|s| s.get_mut().expect("shard poisoned").live)
+            .sum();
+        peak_store = peak_store.max(live_now);
+
+        if let Some((id, v)) = best_violation {
+            return McResult {
+                holds: Some(false),
+                states: arena.len(),
+                time_secs: start.elapsed().as_secs_f64(),
+                violation: Some(v),
+                trace: Some(trace_to(net, &shards, &arena, id)),
+                peak_store,
+                diagnostic: None,
+            };
+        }
+        frontier = next_frontier;
     }
 
     McResult {
         holds: Some(true),
-        states: ex.states,
+        states: arena.len(),
         time_secs: start.elapsed().as_secs_f64(),
         violation: None,
         trace: None,
+        peak_store,
+        diagnostic: None,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::automaton::{Automaton, ClockId, Constraint, LocKind, Location};
+    use crate::dbm::Rel;
     use crate::translate::translate_machine;
     use rlse_cells::defs;
 
@@ -462,6 +974,7 @@ mod tests {
         let r = check(&tr.net, &q1, McOptions::default());
         assert_eq!(r.holds, Some(true), "{:?}", r.violation);
         assert!(r.states > 0);
+        assert!(r.peak_store > 0 && r.peak_store <= r.states);
     }
 
     #[test]
@@ -484,6 +997,7 @@ mod tests {
         let q2 = McQuery::query2(&tr);
         let r = check(&tr.net, &q2, McOptions::default());
         assert_eq!(r.holds, Some(true), "{:?}", r.violation);
+        assert!(r.diagnostic.is_none());
     }
 
     #[test]
@@ -545,7 +1059,78 @@ mod tests {
         )
         .unwrap();
         let q2 = McQuery::query2(&tr);
-        let r = check(&tr.net, &q2, McOptions { max_states: 3, max_seconds: 10.0 });
+        let r = check(
+            &tr.net,
+            &q2,
+            McOptions {
+                max_states: 3,
+                max_seconds: 10.0,
+                threads: 1,
+            },
+        );
         assert_eq!(r.holds, None);
+        assert!(r.diagnostic.unwrap().contains("state budget"));
+    }
+
+    #[test]
+    fn sequential_and_parallel_runs_are_identical() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![49.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        for query in [
+            McQuery::query2(&tr),
+            McQuery::query1(&tr, &[("q", vec![59.2])]),
+        ] {
+            let seq = check(&tr.net, &query, McOptions { threads: 1, ..Default::default() });
+            let par = check(&tr.net, &query, McOptions { threads: 4, ..Default::default() });
+            assert_eq!(seq.holds, par.holds);
+            assert_eq!(seq.states, par.states);
+            assert_eq!(seq.peak_store, par.peak_store);
+            assert_eq!(seq.violation, par.violation);
+            assert_eq!(seq.trace, par.trace);
+        }
+    }
+
+    /// A single-location automaton whose invariant is the given constraint.
+    fn one_loc_net(inv: Vec<Constraint>) -> TaNetwork {
+        let mut net = TaNetwork::new(1);
+        net.add_clock("c");
+        net.automata.push(Automaton {
+            name: "A".into(),
+            init: LocId(0),
+            locations: vec![Location {
+                name: "l0".into(),
+                invariant: inv,
+                kind: LocKind::Normal,
+                committed: false,
+            }],
+            edges: vec![],
+        });
+        net
+    }
+
+    #[test]
+    fn vacuous_initial_zone_gets_a_diagnostic() {
+        // Invariant c >= 5 is unsatisfiable at time 0: the initial zone is
+        // empty and the "pass" must be flagged as vacuous.
+        let net = one_loc_net(vec![Constraint::new(ClockId(0), Rel::Ge, 5)]);
+        let r = check(&net, &McQuery::NoErrorState(vec![]), McOptions::default());
+        assert_eq!(r.holds, Some(true));
+        assert_eq!(r.states, 0);
+        assert!(r.diagnostic.unwrap().contains("vacuous"));
+    }
+
+    #[test]
+    fn oversized_bounds_refuse_a_verdict() {
+        // A bound beyond MAX_BOUND used to wrap in `bound as i32` encoding
+        // (2m+1) and silently produce a wrong verdict; now the model is
+        // refused with holds = None and a diagnostic.
+        let net = one_loc_net(vec![Constraint::new(ClockId(0), Rel::Le, 1 << 30)]);
+        let r = check(&net, &McQuery::NoErrorState(vec![]), McOptions::default());
+        assert_eq!(r.holds, None);
+        assert!(r.diagnostic.unwrap().contains("encodable"));
     }
 }

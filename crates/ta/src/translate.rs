@@ -54,6 +54,18 @@ pub enum TranslateError {
         /// The scale in use.
         scale: i64,
     },
+    /// A scaled time constant exceeds the range the DBM arithmetic can
+    /// encode without overflow ([`crate::dbm::MAX_BOUND`]). Before this
+    /// check, such constants were cast to `i32` downstream and silently
+    /// wrapped, producing wrong verdicts instead of an error.
+    BoundOverflow {
+        /// The offending time (ps).
+        time: f64,
+        /// The scale in use.
+        scale: i64,
+        /// The out-of-range scaled constant.
+        scaled: i64,
+    },
 }
 
 impl fmt::Display for TranslateError {
@@ -65,6 +77,12 @@ impl fmt::Display for TranslateError {
             TranslateError::TimeNotRepresentable { time, scale } => write!(
                 f,
                 "time {time} ps is not an integer multiple of 1/{scale} ps"
+            ),
+            TranslateError::BoundOverflow { time, scale, scaled } => write!(
+                f,
+                "time {time} ps at scale {scale} yields the constant {scaled}, \
+                 outside the encodable bound range ±{}",
+                crate::dbm::MAX_BOUND
             ),
         }
     }
@@ -93,7 +111,11 @@ fn scale_time(t: f64, scale: i64) -> Result<i64, TranslateError> {
     if (v - r).abs() > 1e-6 {
         return Err(TranslateError::TimeNotRepresentable { time: t, scale });
     }
-    Ok(r as i64)
+    let scaled = r as i64;
+    if scaled.abs() > crate::dbm::MAX_BOUND as i64 {
+        return Err(TranslateError::BoundOverflow { time: t, scale, scaled });
+    }
+    Ok(scaled)
 }
 
 /// Make a string a valid UPPAAL identifier.
@@ -747,6 +769,20 @@ mod tests {
             translate_circuit(&circ),
             Err(TranslateError::HoleNotSupported { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_scaled_times_are_rejected() {
+        // 100 ps at scale 10_000_000 is the constant 1e9 > MAX_BOUND; the
+        // old unchecked `as i32` path downstream would wrap such constants
+        // silently. The translator must refuse instead.
+        let tr = translate_machine(&defs::jtl_elem(), &[("a", vec![100.0])], 10_000_000);
+        match tr {
+            Err(TranslateError::BoundOverflow { scaled, .. }) => {
+                assert_eq!(scaled, 1_000_000_000);
+            }
+            other => panic!("expected BoundOverflow, got {other:?}"),
+        }
     }
 
     #[test]

@@ -170,6 +170,12 @@ pub fn query1_tctl(tr: &Translation, expected: &[(&str, Vec<f64>)]) -> String {
             .join(" && ");
         groups.push(format!("({conj})"));
     }
+    if groups.is_empty() {
+        // A translation with no output wires has nothing to constrain; the
+        // empty conjunction used to serialize as the invalid formula
+        // `A[] ()` — mirror query2's empty case instead.
+        return "A[] true".to_string();
+    }
     format!("A[] ({})", groups.join(" && "))
 }
 
@@ -219,6 +225,15 @@ mod tests {
         let q = query1_tctl(&tr, &[("q", vec![15.7])]);
         assert!(q.starts_with("A[] "));
         assert!(q.contains("fta_end imply ((global == 157))"), "{q}");
+    }
+
+    #[test]
+    fn query1_with_no_outputs_is_a_valid_formula() {
+        // A translation without output wires used to produce the invalid
+        // UPPAAL formula `A[] ()`; it must degrade to `A[] true`.
+        let mut tr = translate_machine(&defs::jtl_elem(), &[("a", vec![10.0])], 10).unwrap();
+        tr.output_ends.clear();
+        assert_eq!(query1_tctl(&tr, &[]), "A[] true");
     }
 
     #[test]

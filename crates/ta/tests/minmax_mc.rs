@@ -25,6 +25,10 @@ fn query1_and_query2_hold_for_min_max() {
     let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
     assert_eq!(q2.holds, Some(true), "{:?}", q2.violation);
     assert!(q2.states > 10);
+    // The store never holds more zones than there are explored states, and
+    // a completed pass records a nonzero peak.
+    assert!(q2.peak_store > 0 && q2.peak_store <= q2.states);
+    assert!(q2.diagnostic.is_none(), "{:?}", q2.diagnostic);
 
     let expected = [
         ("LOW", vec![89.0, 209.0, 329.0]),

@@ -142,6 +142,104 @@ proptest! {
 
 // -------------------------------------------------------------------- DBMs
 
+/// Apply a random constraint sequence to a zone, skipping any op that would
+/// empty it, so every generated zone is nonempty and (because `constrain`
+/// maintains canonicity incrementally) canonical by construction.
+fn apply_ops(mut z: Dbm, ops: &[(usize, u8, i32)]) -> Dbm {
+    let clocks = z.clocks();
+    for &(c, rel, v) in ops {
+        let c = 1 + c % clocks;
+        let rel = match rel % 5 {
+            0 => Rel::Le,
+            1 => Rel::Lt,
+            2 => Rel::Ge,
+            3 => Rel::Gt,
+            _ => Rel::Eq,
+        };
+        let mut t = z.clone();
+        if t.constrain_clock(c, rel, v) {
+            z = t;
+        }
+    }
+    z
+}
+
+/// Build a canonical nonempty zone: all clocks equal, time elapsed, then a
+/// random constraint sequence.
+fn zone_from_ops(clocks: usize, ops: &[(usize, u8, i32)]) -> Dbm {
+    let mut z = Dbm::zero(clocks);
+    z.up();
+    apply_ops(z, ops)
+}
+
+/// Strategy for the random constraint sequences above.
+fn op_seq() -> impl Strategy<Value = Vec<(usize, u8, i32)>> {
+    proptest::collection::vec((0usize..4, 0u8..5, 0i32..60), 0..10)
+}
+
+proptest! {
+    /// `constrain` maintains canonical form incrementally, so a full
+    /// Floyd–Warshall `canonicalize` must be a no-op on any zone built from
+    /// constraints — and `canonicalize` itself must be idempotent.
+    #[test]
+    fn dbm_constrain_keeps_canonical_and_canonicalize_is_idempotent(ops in op_seq()) {
+        let z = zone_from_ops(4, &ops);
+        let mut once = z.clone();
+        once.canonicalize();
+        prop_assert_eq!(&once, &z);
+        let mut twice = once.clone();
+        twice.canonicalize();
+        prop_assert_eq!(&twice, &once);
+    }
+
+    /// Zone inclusion is a partial order: reflexive, transitive along chains
+    /// of refinements, and antisymmetric on canonical representations.
+    #[test]
+    fn dbm_includes_is_a_partial_order(
+        ops_a in op_seq(), ops_b in op_seq(), ops_c in op_seq(),
+    ) {
+        let a = zone_from_ops(3, &ops_a);
+        prop_assert!(a.includes(&a));
+        // Each refinement only adds constraints, so inclusion must chain.
+        let b = apply_ops(a.clone(), &ops_b);
+        let c = apply_ops(b.clone(), &ops_c);
+        prop_assert!(a.includes(&b));
+        prop_assert!(b.includes(&c));
+        prop_assert!(a.includes(&c));
+        // Antisymmetry: mutual inclusion of canonical zones forces equality.
+        if a.includes(&b) && b.includes(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// Maximal-constant extrapolation only ever widens a zone, for arbitrary
+    /// constraint-built zones (not just upper-bounded boxes).
+    #[test]
+    fn dbm_extrapolate_only_widens(ops in op_seq(), max_const in 1i64..40) {
+        let z = zone_from_ops(3, &ops);
+        let max = vec![max_const; 3];
+        let mut e = z.clone();
+        e.extrapolate(&max);
+        prop_assert!(e.includes(&z));
+        let mut e2 = e.clone();
+        e2.extrapolate(&max);
+        prop_assert_eq!(&e2, &e);
+    }
+
+    /// Freeing a clock (active-clock reduction) only widens the zone and
+    /// leaves it canonical, so it composes safely with inclusion checks.
+    #[test]
+    fn dbm_free_widens_and_keeps_canonical(ops in op_seq(), c in 1usize..4) {
+        let z = zone_from_ops(3, &ops);
+        let mut f = z.clone();
+        f.free(c);
+        prop_assert!(f.includes(&z));
+        let mut canon = f.clone();
+        canon.canonicalize();
+        prop_assert_eq!(&canon, &f);
+    }
+}
+
 proptest! {
     /// Constrain never grows a zone; up never shrinks it.
     #[test]
