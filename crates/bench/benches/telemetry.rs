@@ -1,0 +1,31 @@
+//! Criterion benches for the telemetry layer: the same steady-state
+//! bitonic_8 run with no handle, a disabled handle, and an enabled handle.
+//! The first two bars should be indistinguishable — the disabled handle is
+//! a `None` inner and every hot-path call short-circuits on one branch; the
+//! third shows what the enabled instrumentation (counters, per-cell tallies,
+//! spans) costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlse_bench::bench_bitonic;
+use rlse_core::prelude::*;
+
+fn telemetry_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_bitonic_8");
+
+    let mut sim = Simulation::new(bench_bitonic(8).circuit);
+    sim.run().unwrap();
+    group.bench_function("off", |b| b.iter(|| sim.run().unwrap()));
+
+    let disabled = Telemetry::disabled();
+    sim.set_telemetry(&disabled);
+    group.bench_function("disabled", |b| b.iter(|| sim.run().unwrap()));
+
+    let enabled = Telemetry::new();
+    sim.set_telemetry(&enabled);
+    group.bench_function("enabled", |b| b.iter(|| sim.run().unwrap()));
+
+    group.finish();
+}
+
+criterion_group!(benches, telemetry_modes);
+criterion_main!(benches);

@@ -19,6 +19,14 @@
 //! * `reused` — one `Simulation` run repeatedly, the steady state seen by
 //!   Monte-Carlo sweep workers (compiled tables and buffers reused).
 //!
+//! Event and state counts come from the shared telemetry layer
+//! ([`rlse_core::telemetry`]): every workload is run once with an enabled
+//! [`Telemetry`] handle and the counters (`sim.wire_pulses`, `sweep.trials`,
+//! `mc.states`, ...) feed the JSON directly, so the numbers here are the
+//! same ones every other consumer of the telemetry layer sees. A dedicated
+//! section measures the overhead of the instrumentation itself (no handle
+//! vs. disabled handle vs. enabled handle) on the bitonic_8 workload.
+//!
 //! Allocation counts come from a counting global allocator and cover the
 //! whole `run()` call, including the per-run `Events` materialization at the
 //! boundary; the interesting signal is the per-event marginal cost.
@@ -30,7 +38,7 @@ use rlse_bench::{
 use rlse_core::prelude::*;
 use rlse_core::sweep::Sweep;
 use rlse_designs::ripple_adder_with_inputs;
-use rlse_ta::mc::{check, McOptions, McQuery};
+use rlse_ta::mc::{check, check_with_telemetry, McOptions, McQuery};
 use rlse_ta::translate::translate_circuit;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -126,7 +134,10 @@ fn time_median_with_setup<T, S: FnMut() -> T, F: FnMut(T)>(
 
 struct SimRow {
     name: &'static str,
-    events: usize,
+    events: u64,
+    dispatches: u64,
+    transitions: u64,
+    max_heap: u64,
     fresh_ns: f64,
     fresh_allocs: u64,
     reused_ns: f64,
@@ -134,10 +145,25 @@ struct SimRow {
 }
 
 fn measure_sim<F: Fn() -> Bench>(name: &'static str, build: F) -> SimRow {
-    // Event count (identical on every run: no variability).
-    let events = {
+    // One instrumented run: the event/dispatch/transition counts come from
+    // the telemetry report and are identical on every run (no variability).
+    let tel = Telemetry::new();
+    let (events, dispatches, transitions, max_heap) = {
         let mut sim = Simulation::new(build().circuit);
-        sim.run().expect("bench simulates cleanly").pulse_count_all()
+        sim.set_telemetry(&tel);
+        let ev = sim.run().expect("bench simulates cleanly");
+        let report = tel.report();
+        assert_eq!(
+            report.counter("sim.wire_pulses"),
+            ev.pulse_count_all() as u64,
+            "{name}: telemetry wire-pulse counter must match the Events view"
+        );
+        (
+            report.counter("sim.wire_pulses"),
+            report.counter("sim.dispatches"),
+            report.counter("sim.transitions"),
+            report.gauge("sim.max_heap_depth"),
+        )
     };
     // Fresh: new simulation per iteration (setup excluded from timing, as
     // in the criterion bench), so the number includes compilation and
@@ -174,10 +200,60 @@ fn measure_sim<F: Fn() -> Bench>(name: &'static str, build: F) -> SimRow {
     SimRow {
         name,
         events,
+        dispatches,
+        transitions,
+        max_heap,
         fresh_ns,
         fresh_allocs,
         reused_ns,
         reused_allocs,
+    }
+}
+
+/// Telemetry overhead on the reused bitonic_8 workload: median run time
+/// with no handle attached, with a disabled handle, and with an enabled
+/// handle. The first two must be indistinguishable (the disabled handle is
+/// a `None` inner — every call is a no-op); the third prices the enabled
+/// instrumentation.
+struct Overhead {
+    off_ns: f64,
+    disabled_ns: f64,
+    enabled_ns: f64,
+}
+
+fn measure_overhead() -> Overhead {
+    let bench = bench_bitonic(8);
+    let mut sim = Simulation::new(bench.circuit);
+    sim.run().expect("clean");
+    let off_ns = time_median(
+        || {
+            sim.run().expect("clean");
+        },
+        300.0,
+        20,
+    );
+    let disabled = Telemetry::disabled();
+    sim.set_telemetry(&disabled);
+    let disabled_ns = time_median(
+        || {
+            sim.run().expect("clean");
+        },
+        300.0,
+        20,
+    );
+    let enabled = Telemetry::new();
+    sim.set_telemetry(&enabled);
+    let enabled_ns = time_median(
+        || {
+            sim.run().expect("clean");
+        },
+        300.0,
+        20,
+    );
+    Overhead {
+        off_ns,
+        disabled_ns,
+        enabled_ns,
     }
 }
 
@@ -196,16 +272,30 @@ fn main() {
 
     // Sweep: the 1000-trial Gaussian study of the 4-bit ripple adder from
     // benches/sweep.rs, pinned to one worker so the number isolates kernel
-    // cost rather than core count.
+    // cost rather than core count. The trial/outcome tallies come from one
+    // instrumented sweep; the timed loop runs uninstrumented.
     const TRIALS: u64 = 1000;
     let build_adder = || {
         let mut c = Circuit::new();
         ripple_adder_with_inputs(&mut c, 4, 9, 6, false).expect("valid bench");
         c
     };
+    let sweep_tel = Telemetry::new();
+    {
+        let report = Sweep::over(build_adder)
+            .variability(|| Variability::Gaussian { std: 0.2 })
+            .trials(TRIALS)
+            .master_seed(42)
+            .threads(1)
+            .telemetry(&sweep_tel)
+            .run();
+        assert_eq!(report.trials, TRIALS);
+    }
+    let sweep_report = sweep_tel.report();
+    assert_eq!(sweep_report.counter("sweep.trials"), TRIALS);
     let adder_events = {
         let mut sim = Simulation::new(build_adder());
-        sim.run().expect("clean").pulse_count_all()
+        sim.run().expect("clean").pulse_count_all() as u64
     };
     let sweep_ns = time_median(
         || {
@@ -221,7 +311,7 @@ fn main() {
         3,
     );
     let sweep_ns_per_trial = sweep_ns / TRIALS as f64;
-    let sweep_ns_per_event = sweep_ns_per_trial / adder_events as f64;
+    let sweep_ns_per_event = sweep_ns_per_trial / adder_events.max(1) as f64;
 
     // Verification: PyLSE→TA translation of the 8-input bitonic sorter and
     // Query-2 model checking of the And cell (from benches/verification.rs).
@@ -236,15 +326,14 @@ fn main() {
         3,
     );
 
-    // Design-level model checking: Table-3-style compositions, both queries,
-    // with explored-state counts and the peak live-zone store size so the
-    // memory side of the engine is tracked alongside wall clock.
+    // Design-level model checking: Table-3-style compositions, both queries.
+    // Explored-state, peak-store, and subsumption counts come from the
+    // telemetry flush of one instrumented Query-2 pass per design.
     struct McRow {
         name: &'static str,
         q1_ns: f64,
         q2_ns: f64,
-        states: usize,
-        peak_store: usize,
+        report: TelemetryReport,
     }
     let mc_rows: Vec<McRow> = [
         ("min_max", bench_min_max()),
@@ -260,8 +349,11 @@ fn main() {
             .map(|(n, t)| (n.as_str(), t.clone()))
             .collect();
         let tr = translate_circuit(&circ).unwrap();
-        let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
+        let tel = Telemetry::new();
+        let q2 = check_with_telemetry(&tr.net, &McQuery::query2(&tr), McOptions::default(), Some(&tel));
         assert_eq!(q2.holds, Some(true), "{name} q2: {:?}", q2.violation);
+        let report = tel.report();
+        assert_eq!(report.counter("mc.states"), q2.states() as u64);
         let q2_ns = time_median(
             || drop(check(&tr.net, &McQuery::query2(&tr), McOptions::default())),
             400.0,
@@ -276,11 +368,12 @@ fn main() {
             name,
             q1_ns,
             q2_ns,
-            states: q2.states,
-            peak_store: q2.peak_store,
+            report,
         }
     })
     .collect();
+
+    let overhead = measure_overhead();
 
     // Hand-rolled JSON (the workspace deliberately has no serde dependency).
     let mut out = String::new();
@@ -292,12 +385,17 @@ fn main() {
         let ev = r.events.max(1) as f64;
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"events_per_run\": {}, \
+             \"dispatches_per_run\": {}, \"transitions_per_run\": {}, \
+             \"max_heap_depth\": {}, \
              \"fresh_median_ns\": {:.0}, \"fresh_ns_per_event\": {:.1}, \
              \"fresh_allocs_per_run\": {}, \
              \"reused_median_ns\": {:.0}, \"reused_ns_per_event\": {:.1}, \
              \"reused_allocs_per_run\": {}}}{}\n",
             r.name,
             r.events,
+            r.dispatches,
+            r.transitions,
+            r.max_heap,
             r.fresh_ns,
             r.fresh_ns / ev,
             r.fresh_allocs,
@@ -309,10 +407,15 @@ fn main() {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"sweep\": {{\"name\": \"ripple_adder_4bit_gaussian\", \"trials\": {TRIALS}, \
-         \"threads\": 1, \"events_per_trial\": {adder_events}, \
+        "  \"sweep\": {{\"name\": \"ripple_adder_4bit_gaussian\", \"trials\": {}, \
+         \"threads\": 1, \"ok_trials\": {}, \"check_failures\": {}, \
+         \"timing_violations\": {}, \"events_per_trial\": {adder_events}, \
          \"median_ns_per_trial\": {sweep_ns_per_trial:.0}, \
-         \"ns_per_event\": {sweep_ns_per_event:.1}}},\n"
+         \"ns_per_event\": {sweep_ns_per_event:.1}}},\n",
+        sweep_report.counter("sweep.trials"),
+        sweep_report.counter("sweep.ok"),
+        sweep_report.counter("sweep.check_failures"),
+        sweep_report.counter("sweep.timing_violations"),
     ));
     out.push_str(&format!(
         "  \"verification\": {{\"translate_bitonic_8_median_ns\": {translate_ns:.0}, \
@@ -322,16 +425,29 @@ fn main() {
     for (i, r) in mc_rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"query1_median_ns\": {:.0}, \
-             \"query2_median_ns\": {:.0}, \"states\": {}, \"peak_store\": {}}}{}\n",
+             \"query2_median_ns\": {:.0}, \"states\": {}, \"peak_store\": {}, \
+             \"candidates\": {}, \"subsumed\": {}, \"evicted\": {}}}{}\n",
             r.name,
             r.q1_ns,
             r.q2_ns,
-            r.states,
-            r.peak_store,
+            r.report.counter("mc.states"),
+            r.report.gauge("mc.peak_store"),
+            r.report.counter("mc.candidates"),
+            r.report.counter("mc.subsumed"),
+            r.report.counter("mc.evicted"),
             if i + 1 == mc_rows.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]}\n");
+    out.push_str("  ]},\n");
+    let disabled_pct = 100.0 * (overhead.disabled_ns - overhead.off_ns) / overhead.off_ns;
+    let enabled_pct = 100.0 * (overhead.enabled_ns - overhead.off_ns) / overhead.off_ns;
+    out.push_str(&format!(
+        "  \"telemetry_overhead\": {{\"workload\": \"bitonic_8_reused\", \
+         \"off_median_ns\": {:.0}, \"disabled_median_ns\": {:.0}, \
+         \"enabled_median_ns\": {:.0}, \"disabled_overhead_pct\": {:.2}, \
+         \"enabled_overhead_pct\": {:.2}}}\n",
+        overhead.off_ns, overhead.disabled_ns, overhead.enabled_ns, disabled_pct, enabled_pct,
+    ));
     out.push_str("}\n");
     print!("{out}");
 }

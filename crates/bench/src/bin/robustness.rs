@@ -9,7 +9,18 @@
 //! derived from the master seed, so the table below is reproducible at any
 //! thread count (`--threads N`, default all cores).
 //!
-//! Usage: `robustness [trials] [--threads N] [--seed S]`
+//! The per-sigma tallies are read from the shared telemetry layer
+//! ([`rlse_core::telemetry`]): each sweep runs with an enabled [`Telemetry`]
+//! handle and the table rows come from its `sweep.*` counters, the same
+//! numbers every other telemetry consumer sees.
+//!
+//! Usage: `robustness [trials] [--threads N] [--seed S] [--json]
+//!                    [--timeline FILE]`
+//!
+//! * `--json` — additionally print one `TelemetryReport` JSON document per
+//!   sigma (keyed by sigma) after the table;
+//! * `--timeline FILE` — write a Chrome `trace_event` timeline of the last
+//!   sweep (open in `about:tracing` or Perfetto).
 
 use rlse_bench::{bench_bitonic, bitonic_times, Table};
 use rlse_core::prelude::*;
@@ -32,11 +43,15 @@ fn main() {
     let mut trials: u64 = 100;
     let mut threads: usize = 0;
     let mut master_seed: u64 = 0;
+    let mut json = false;
+    let mut timeline: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--threads" => threads = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
             "--seed" => master_seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--json" => json = true,
+            "--timeline" => timeline = it.next().cloned(),
             other => {
                 if let Ok(n) = other.parse() {
                     trials = n;
@@ -56,21 +71,36 @@ fn main() {
         "timing violation",
         "success rate",
     ]);
+    let mut reports: Vec<(f64, TelemetryReport)> = Vec::new();
+    let mut last_tel: Option<Telemetry> = None;
     for sigma in [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 3.0] {
-        let report = Sweep::over(|| bench_bitonic(8).circuit)
+        let tel = Telemetry::new();
+        let sweep_report = Sweep::over(|| bench_bitonic(8).circuit)
             .variability(move || Variability::Gaussian { std: sigma })
             .check(sorted_ok)
             .trials(trials)
             .master_seed(master_seed)
             .threads(threads)
+            .telemetry(&tel)
             .run();
+        let report = tel.report();
+        // The telemetry counters and the sweep's own report are two views of
+        // the same fold; they must agree.
+        assert_eq!(report.counter("sweep.trials"), sweep_report.trials);
+        assert_eq!(report.counter("sweep.ok"), sweep_report.ok);
+        let ok = report.counter("sweep.ok");
+        let wrong = report.counter("sweep.check_failures");
+        let violations =
+            report.counter("sweep.timing_violations") + report.counter("sweep.other_errors");
         table.row(vec![
             format!("{sigma}"),
-            report.ok.to_string(),
-            report.check_failures.to_string(),
-            (report.timing_violations + report.other_errors).to_string(),
-            format!("{:.0}%", 100.0 * (1.0 - report.failure_rate())),
+            ok.to_string(),
+            wrong.to_string(),
+            violations.to_string(),
+            format!("{:.0}%", 100.0 * ok as f64 / trials.max(1) as f64),
         ]);
+        reports.push((sigma, report));
+        last_tel = Some(tel);
     }
     println!("{}", table.render());
     println!(
@@ -78,4 +108,17 @@ fn main() {
          times and the input spacing, violations and mis-ordered outputs appear,\n\
          signalling that the network needs redesign margin (paper §5.2)."
     );
+    if json {
+        println!("\n{{\"tool\": \"robustness\", \"reports\": {{");
+        for (i, (sigma, report)) in reports.iter().enumerate() {
+            let sep = if i + 1 == reports.len() { "" } else { "," };
+            println!("\"{sigma}\": {}{sep}", report.to_json());
+        }
+        println!("}}}}");
+    }
+    if let Some(path) = timeline {
+        let tel = last_tel.expect("at least one sweep ran");
+        std::fs::write(&path, tel.chrome_trace_json()).expect("write timeline");
+        println!("\nChrome trace of the last sweep written to {path} (open in about:tracing)");
+    }
 }

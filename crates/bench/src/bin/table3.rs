@@ -68,7 +68,7 @@ fn run_bench(bench: Bench, budget: usize) -> Row {
     };
     let states_of = |r: &rlse_ta::mc::McResult| match r.holds {
         None => "N/A".to_string(),
-        Some(_) => r.states.to_string(),
+        Some(_) => r.states().to_string(),
     };
     Row {
         name,

@@ -1,0 +1,117 @@
+//! Telemetry overhead guard: asserts that attaching a **disabled**
+//! [`Telemetry`] handle to the simulator costs less than 2% on the reused
+//! bitonic_8 workload, relative to no handle at all. The disabled handle is
+//! the default for every engine, so this bounds what the telemetry layer
+//! costs users who never opt in.
+//!
+//! Also exercises the enabled path end-to-end (counters, spans, Chrome
+//! trace) and writes the timeline JSON next to the build artifacts so CI can
+//! upload it.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rlse-bench --bin telemetry_guard [--smoke] [--out DIR]
+//! ```
+//!
+//! `--smoke` runs a single short iteration of each mode (shape check only,
+//! no timing assertion) so CI machines with noisy neighbours don't flake;
+//! the full mode is for local/perf runs and enforces the <2% bound.
+
+use rlse_bench::bench_bitonic;
+use rlse_core::prelude::*;
+use std::time::Instant;
+
+/// Median ns of `reps` timed calls to `f` (after one warmup).
+fn median_ns<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "target".into());
+
+    let reps = if smoke { 5 } else { 400 };
+    let mut sim = Simulation::new(bench_bitonic(8).circuit);
+    sim.run().expect("clean");
+
+    // Mode 1: no handle attached (the seed-kernel baseline).
+    let off_ns = median_ns(
+        || {
+            sim.run().expect("clean");
+        },
+        reps,
+    );
+
+    // Mode 2: disabled handle attached (the default for every engine).
+    let disabled = Telemetry::disabled();
+    sim.set_telemetry(&disabled);
+    let disabled_ns = median_ns(
+        || {
+            sim.run().expect("clean");
+        },
+        reps,
+    );
+
+    // Mode 3: enabled handle — counters, cells, and spans all live.
+    let enabled = Telemetry::new();
+    sim.set_telemetry(&enabled);
+    let enabled_ns = median_ns(
+        || {
+            sim.run().expect("clean");
+        },
+        reps,
+    );
+
+    let disabled_pct = 100.0 * (disabled_ns - off_ns) / off_ns;
+    let enabled_pct = 100.0 * (enabled_ns - off_ns) / off_ns;
+    println!("telemetry overhead on bitonic_8 (reused, {reps} reps):");
+    println!("  off      {off_ns:9.0} ns/run");
+    println!("  disabled {disabled_ns:9.0} ns/run  ({disabled_pct:+.2}%)");
+    println!("  enabled  {enabled_ns:9.0} ns/run  ({enabled_pct:+.2}%)");
+
+    // Shape checks run in both modes: the enabled run must have produced a
+    // consistent report and a parseable-looking trace.
+    let report = enabled.report();
+    assert!(report.counter("sim.runs") >= reps as u64);
+    assert_eq!(
+        report.counter("sim.pulses_pushed"),
+        report.counter("sim.pulses_popped"),
+        "every pushed pulse is popped"
+    );
+    assert!(report.counter("sim.dispatches") > 0);
+    assert!(report.gauge("sim.max_heap_depth") > 0);
+    assert!(!report.cells.is_empty(), "per-cell tallies recorded");
+    let trace = enabled.chrome_trace_json();
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"sim.run\""));
+
+    let timeline_path = format!("{out_dir}/telemetry_timeline.json");
+    std::fs::write(&timeline_path, &trace).expect("write timeline");
+    println!("timeline written to {timeline_path}");
+
+    if smoke {
+        println!("smoke mode: skipping the timing assertion");
+        return;
+    }
+    assert!(
+        disabled_pct < 2.0,
+        "disabled-telemetry overhead {disabled_pct:.2}% exceeds the 2% budget \
+         (off {off_ns:.0} ns vs disabled {disabled_ns:.0} ns)"
+    );
+    println!("PASS: disabled-telemetry overhead {disabled_pct:.2}% < 2%");
+}

@@ -348,6 +348,10 @@ pub struct CompiledCircuit {
     pub(crate) hole_port_syms: Vec<Symbol>,
     /// Total machine input ports — the length of the flat `Θ` array.
     pub(crate) theta_len: usize,
+    /// Total stimulus pulses across every source node.
+    pub(crate) stim_pulses: usize,
+    /// Number of dispatchable nodes (machines and holes; sources excluded).
+    pub(crate) dispatch_nodes: usize,
 }
 
 impl CompiledCircuit {
@@ -371,6 +375,8 @@ impl CompiledCircuit {
         let mut out_start = Vec::with_capacity(n_nodes + 1);
         let mut hole_port_syms = Vec::new();
         let mut theta_len = 0usize;
+        let mut stim_pulses = 0usize;
+        let mut dispatch_nodes = 0usize;
 
         for (i, node) in circuit.nodes.iter().enumerate() {
             let nw = match circuit.node_wire_name_ref(crate::circuit::NodeId(i)) {
@@ -379,11 +385,13 @@ impl CompiledCircuit {
             };
             node_wire.push(nw);
             match &node.kind {
-                NodeKind::Source { .. } => {
+                NodeKind::Source { pulses } => {
+                    stim_pulses += pulses.len();
                     nodes.push(CompiledNode::Source);
                     cell.push(nw);
                 }
                 NodeKind::Machine { spec, overrides } => {
+                    dispatch_nodes += 1;
                     let key = Arc::as_ptr(spec) as usize;
                     let cm = match by_ptr.get(&key) {
                         Some(&cm) => cm,
@@ -415,6 +423,7 @@ impl CompiledCircuit {
                     theta_len += spec.inputs().len();
                 }
                 NodeKind::Hole(hole) => {
+                    dispatch_nodes += 1;
                     let in0 = hole_port_syms.len() as u32;
                     for p in hole.inputs() {
                         hole_port_syms.push(symbols.intern(p));
@@ -455,6 +464,8 @@ impl CompiledCircuit {
             sink,
             hole_port_syms,
             theta_len,
+            stim_pulses,
+            dispatch_nodes,
         }
     }
 
@@ -478,6 +489,15 @@ impl CompiledCircuit {
     /// (last-seen-time) array.
     pub fn theta_len(&self) -> usize {
         self.theta_len
+    }
+
+    /// A rough upper-bound estimate of dispatched batches per run, for
+    /// pre-sizing the trace buffer: every stimulus pulse can reach at most
+    /// every dispatchable node once on a feed-forward circuit. Capped so a
+    /// pathological product never reserves unbounded memory; feedback loops
+    /// can exceed the estimate, in which case the trace simply grows.
+    pub fn event_estimate(&self) -> usize {
+        self.stim_pulses.saturating_mul(self.dispatch_nodes).min(4096)
     }
 
     /// The output wires driven by `node`, as dense wire indices.
@@ -535,6 +555,20 @@ mod tests {
         assert_eq!(cc.machine_count(), 1, "one table for both instances");
         assert_eq!(cc.node_count(), 3);
         assert_eq!(cc.theta_len(), 2, "one theta slot per instance input");
+    }
+
+    #[test]
+    fn event_estimate_scales_with_stimulus_and_nodes() {
+        let m = jtl();
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 20.0, 30.0], "A");
+        let q1 = c.add_machine(&m, &[a]).unwrap()[0];
+        let _q2 = c.add_machine(&m, &[q1]).unwrap();
+        let cc = CompiledCircuit::compile(&c);
+        // 3 stimulus pulses x 2 dispatchable nodes.
+        assert_eq!(cc.event_estimate(), 6);
+        // The cap bounds pathological products.
+        assert!(CompiledCircuit::compile(&c).event_estimate() <= 4096);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   allocation-free.
 //! * [`sweep`] — deterministically-seeded parallel Monte-Carlo sweeps over
 //!   a circuit under variability (the §5.2 / Fig. 13 experiments).
+//! * [`telemetry`] — zero-cost-when-disabled counters, spans, and timeline
+//!   export shared by the simulator, the sweep engine, and (via `rlse-ta`)
+//!   the model checker.
 //! * [`events`] — the events dictionary and §5.2-style dynamic checks.
 //! * [`plot`] — text waveform rendering.
 //! * [`error`] — definition, wiring, and timing-violation errors, with
@@ -63,6 +66,7 @@ pub mod machine;
 pub mod plot;
 pub mod sim;
 pub mod sweep;
+pub mod telemetry;
 pub mod validate;
 pub mod vcd;
 
@@ -77,4 +81,5 @@ pub mod prelude {
     pub use crate::machine::{EdgeDef, Machine};
     pub use crate::sim::{Simulation, TraceEntry, Variability};
     pub use crate::sweep::{OutputStats, Sweep, SweepReport};
+    pub use crate::telemetry::{Telemetry, TelemetryReport};
 }

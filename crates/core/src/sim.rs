@@ -24,6 +24,7 @@ use crate::circuit::{Circuit, NodeKind};
 use crate::compiled::{CompiledCircuit, CompiledNode};
 use crate::error::{Error, HoleError, Time, TimingViolation, ViolationKind};
 use crate::events::Events;
+use crate::telemetry::{CellTally, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BinaryHeap;
@@ -209,6 +210,12 @@ pub struct Simulation {
     fired: Vec<(u32, f64)>,
     present: Vec<bool>,
     var_std: Vec<f64>,
+    // Telemetry: a shared handle (no-op when disabled), the timeline track
+    // this simulation records spans onto, and a per-node tally scratch
+    // buffer that is only ever allocated when the handle is enabled.
+    telemetry: Telemetry,
+    tel_track: u32,
+    tel_cells: Vec<CellTally>,
 }
 
 impl Simulation {
@@ -233,6 +240,9 @@ impl Simulation {
             fired: Vec::new(),
             present: Vec::new(),
             var_std: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            tel_track: 0,
+            tel_cells: Vec::new(),
         }
     }
 
@@ -270,6 +280,29 @@ impl Simulation {
     /// Change or clear the variability model in place.
     pub fn set_variability(&mut self, v: Option<Variability>) {
         self.variability = v;
+    }
+
+    /// Attach a [`Telemetry`] handle: every subsequent [`run`](Self::run)
+    /// flushes its counters, per-cell tallies, and a `sim.run` span into it.
+    /// A [disabled](Telemetry::disabled) handle (the default) keeps the hot
+    /// loop on its no-op path — see the [`telemetry`](crate::telemetry)
+    /// module docs for the cost model.
+    pub fn telemetry(mut self, tel: &Telemetry) -> Self {
+        self.telemetry = tel.clone();
+        self
+    }
+
+    /// Attach or detach the telemetry handle in place (the counterpart of
+    /// [`telemetry`](Self::telemetry) for a simulation already built).
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        self.telemetry = tel.clone();
+    }
+
+    /// Set the timeline track (Chrome-trace lane) this simulation's spans
+    /// are recorded onto. Track 0 is the driving thread; sweep workers use
+    /// their 1-based worker index.
+    pub fn set_telemetry_track(&mut self, track: u32) {
+        self.tel_track = track;
     }
 
     /// The circuit lowered to flat dispatch tables, compiling it now if this
@@ -316,6 +349,14 @@ impl Simulation {
         for evs in &mut self.wire_events {
             evs.clear();
         }
+        if self.trace_enabled {
+            // Pre-size the trace from the compiled circuit's dispatch
+            // estimate so a traced run does not grow the Vec batch by batch.
+            let est = cc.event_estimate();
+            if self.trace.capacity() < est {
+                self.trace.reserve(est);
+            }
+        }
     }
 
     /// Number of pulses currently pending in the heap (0 outside of `run`
@@ -325,8 +366,12 @@ impl Simulation {
     }
 
     /// Record a [`TraceEntry`] for every dispatched batch; retrieve the log
-    /// with [`trace`](Self::trace) after running. Costs one allocation per
-    /// batch, so leave it off for benchmarking.
+    /// with [`trace`](Self::trace) after running. Each entry materializes
+    /// the batch's names as owned `String`s — several heap allocations per
+    /// dispatched batch, not one — so leave tracing off for benchmarking.
+    /// The trace `Vec` itself is pre-sized from the compiled circuit's
+    /// [`event_estimate`](CompiledCircuit::event_estimate), so its growth
+    /// is not part of the per-batch cost on feed-forward circuits.
     pub fn with_trace(mut self) -> Self {
         self.trace_enabled = true;
         self
@@ -362,7 +407,19 @@ impl Simulation {
     /// [`Error::Hole`] if a hole returns the wrong number of outputs.
     pub fn run(&mut self) -> Result<Events, Error> {
         self.circuit.check()?;
+        // Telemetry state is hoisted out of the hot loop: one enabled check
+        // per run, local u64 tallies while running, one flush at the end.
+        let tel_on = self.telemetry.is_enabled();
+        let t_compile = if self.compiled.is_none() {
+            self.telemetry.now()
+        } else {
+            None
+        };
         self.reset();
+        if let Some(t0) = t_compile {
+            self.telemetry.record_span("sim.compile", self.tel_track, t0, 0);
+        }
+        let t_run = self.telemetry.now();
         // Split the struct into disjoint field borrows so the circuit, the
         // compiled tables, the flat runtime state, and the scratch buffers
         // can be used together.
@@ -384,8 +441,21 @@ impl Simulation {
             fired,
             present,
             var_std,
+            telemetry,
+            tel_track,
+            tel_cells,
         } = self;
         let cc = compiled.as_ref().expect("compiled in reset");
+        if tel_on {
+            tel_cells.clear();
+            tel_cells.resize(cc.nodes.len(), CellTally::default());
+        }
+        let mut n_dispatches = 0u64;
+        let mut n_transitions = 0u64;
+        let mut n_pushed = 0u64;
+        let mut n_popped = 0u64;
+        let mut n_wire = 0u64;
+        let mut max_heap = 0usize;
         let until = *until;
         let trace_enabled = *trace_enabled;
         let mut rng = StdRng::seed_from_u64(*seed);
@@ -425,6 +495,10 @@ impl Simulation {
 
         let record_ok = |t: Time, until: Option<Time>| until.is_none_or(|u| t <= u);
 
+        // The whole event loop lives in one labeled block so every exit —
+        // normal completion and the three abort paths — funnels through the
+        // single telemetry flush below.
+        let outcome: Result<(), Error> = 'run: {
         // Seed the heap from stimulus sources.
         for node in circuit.nodes.iter() {
             if let NodeKind::Source { pulses } = &node.kind {
@@ -432,6 +506,9 @@ impl Simulation {
                 for &t in pulses {
                     if record_ok(t, until) {
                         wire_events[wire].push(t);
+                        if tel_on {
+                            n_wire += 1;
+                        }
                     }
                     if let Some((sink, port)) = circuit.wires[wire].sink {
                         heap.push(Pulse {
@@ -441,9 +518,15 @@ impl Simulation {
                             seq,
                         });
                         seq += 1;
+                        if tel_on {
+                            n_pushed += 1;
+                        }
                     }
                 }
             }
+        }
+        if tel_on {
+            max_heap = heap.len();
         }
 
         // Main discrete-event loop.
@@ -464,6 +547,10 @@ impl Simulation {
                 } else {
                     break;
                 }
+            }
+            if tel_on {
+                n_popped += batch.len() as u64;
+                n_dispatches += 1;
             }
             fired.clear();
             match cc.nodes[node] {
@@ -495,7 +582,7 @@ impl Simulation {
                         let sigma = rest.remove(pos);
                         let tr = *m.transition(q, sigma);
                         if t < td {
-                            return Err(violation(
+                            break 'run Err(violation(
                                 cc,
                                 m,
                                 node,
@@ -509,7 +596,7 @@ impl Simulation {
                         for &(cin, dist) in &m.pasts[tr.past.0 as usize..tr.past.1 as usize] {
                             let last = th[cin as usize];
                             if t < last + dist {
-                                return Err(violation(
+                                break 'run Err(violation(
                                     cc,
                                     m,
                                     node,
@@ -537,6 +624,13 @@ impl Simulation {
                     }
                     states[node] = q;
                     tau_done[node] = td;
+                    if tel_on {
+                        n_transitions += batch.len() as u64;
+                        let tc = &mut tel_cells[node];
+                        tc.dispatches += 1;
+                        tc.transitions += batch.len() as u64;
+                        tc.fired += fired.len() as u64;
+                    }
                     if trace_enabled {
                         // Boundary string materialization: the trace records
                         // nominal firing times (pre-variability), exactly as
@@ -574,7 +668,7 @@ impl Simulation {
                     }
                     let outs = hole.call(present, t);
                     if outs.len() != hole.outputs().len() {
-                        return Err(HoleError::ArityMismatch {
+                        break 'run Err(HoleError::ArityMismatch {
                             hole: hole.name().to_string(),
                             expected: hole.outputs().len(),
                             got: outs.len(),
@@ -586,6 +680,11 @@ impl Simulation {
                         if fire {
                             fired.push((port as u32, t + delay));
                         }
+                    }
+                    if tel_on {
+                        let tc = &mut tel_cells[node];
+                        tc.dispatches += 1;
+                        tc.fired += fired.len() as u64;
                     }
                     if trace_enabled {
                         trace.push(TraceEntry {
@@ -638,6 +737,9 @@ impl Simulation {
                 let wire = outs[port as usize] as usize;
                 if record_ok(t_out, until) {
                     wire_events[wire].push(t_out);
+                    if tel_on {
+                        n_wire += 1;
+                    }
                 }
                 let (sink, sport) = cc.sink[wire];
                 if sink != u32::MAX {
@@ -648,9 +750,41 @@ impl Simulation {
                         seq,
                     });
                     seq += 1;
+                    if tel_on {
+                        n_pushed += 1;
+                    }
                 }
             }
+            if tel_on {
+                max_heap = max_heap.max(heap.len());
+            }
         }
+        Ok(())
+        }; // 'run
+
+        if tel_on {
+            telemetry.add_many(&[
+                ("sim.runs", 1),
+                ("sim.dispatches", n_dispatches),
+                ("sim.transitions", n_transitions),
+                ("sim.pulses_pushed", n_pushed),
+                ("sim.pulses_popped", n_popped),
+                ("sim.wire_pulses", n_wire),
+            ]);
+            telemetry.peak("sim.max_heap_depth", max_heap as u64);
+            match &outcome {
+                Err(Error::Timing(_)) => telemetry.add("sim.timing_violations", 1),
+                Err(_) => telemetry.add("sim.error_runs", 1),
+                Ok(()) => {}
+            }
+            for (node, tally) in tel_cells.iter().enumerate() {
+                telemetry.add_cell(cc.symbols.resolve(cc.cell[node]), tally);
+            }
+            if let Some(t0) = t_run {
+                telemetry.record_span("sim.run", *tel_track, t0, n_dispatches);
+            }
+        }
+        outcome?;
 
         for evs in wire_events.iter_mut() {
             evs.sort_by(f64::total_cmp);
@@ -999,6 +1133,106 @@ mod tests {
         sim.set_variability(Some(Variability::Gaussian { std: 0.5 }));
         sim.set_seed(10);
         assert_ne!(sim.run().unwrap(), jittered);
+    }
+
+    #[test]
+    fn telemetry_counts_dispatches_and_cells() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 30.0], "A");
+        let q1 = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        let q2 = c.add_machine(&jtl(5.0), &[q1]).unwrap()[0];
+        c.inspect(q2, "Q");
+        let tel = Telemetry::new();
+        let mut sim = Simulation::new(c).telemetry(&tel);
+        let ev = sim.run().unwrap();
+        let r = tel.report();
+        assert_eq!(r.counter("sim.runs"), 1);
+        // 2 stimulus pulses through 2 JTLs: 4 dispatched batches, each a
+        // single-pulse batch, each taking one transition and firing once.
+        assert_eq!(r.counter("sim.dispatches"), 4);
+        assert_eq!(r.counter("sim.transitions"), 4);
+        assert_eq!(r.counter("sim.pulses_popped"), 4);
+        assert_eq!(r.counter("sim.pulses_pushed"), 4);
+        assert_eq!(r.counter("sim.wire_pulses") as usize, ev.pulse_count_all());
+        assert!(r.gauge("sim.max_heap_depth") >= 1);
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].0, "JTL");
+        assert_eq!(
+            r.cells[0].1,
+            crate::telemetry::CellTally { dispatches: 4, transitions: 4, fired: 4 }
+        );
+        // A second run doubles every additive counter.
+        sim.run().unwrap();
+        let r2 = tel.report();
+        assert_eq!(r2.counter("sim.runs"), 2);
+        assert_eq!(r2.counter("sim.dispatches"), 8);
+    }
+
+    #[test]
+    fn telemetry_flushes_on_abort_paths() {
+        let m = Machine::new(
+            "DUT",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                transition_time: 10.0,
+                ..Default::default()
+            }],
+        )
+        .unwrap();
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 11.0], "A");
+        let q = c.add_machine(&m, &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let tel = Telemetry::new();
+        let mut sim = Simulation::new(c).telemetry(&tel);
+        sim.run().unwrap_err();
+        let r = tel.report();
+        // The counters recorded up to the violation are flushed, not lost.
+        assert_eq!(r.counter("sim.runs"), 1);
+        assert_eq!(r.counter("sim.timing_violations"), 1);
+        assert!(r.counter("sim.dispatches") >= 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_allocates_no_tally_storage() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut sim = Simulation::new(c);
+        sim.run().unwrap();
+        assert!(!sim.telemetry.is_enabled());
+        assert_eq!(
+            sim.tel_cells.capacity(),
+            0,
+            "telemetry-off runs must not allocate tally scratch"
+        );
+        // Same with an explicitly attached disabled handle.
+        let tel = Telemetry::disabled();
+        sim.set_telemetry(&tel);
+        sim.run().unwrap();
+        assert_eq!(sim.tel_cells.capacity(), 0);
+        assert!(tel.report().is_empty());
+    }
+
+    #[test]
+    fn traced_run_presizes_from_event_estimate() {
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 30.0], "A");
+        let q = c.add_machine(&jtl(5.0), &[a]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut sim = Simulation::new(c).with_trace();
+        sim.reset();
+        let est = sim.compiled().event_estimate();
+        assert!(est >= 2);
+        assert!(sim.trace.capacity() >= est);
     }
 
     #[test]

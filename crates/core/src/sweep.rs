@@ -50,6 +50,7 @@ use crate::circuit::Circuit;
 use crate::error::{Error, Time};
 use crate::events::Events;
 use crate::sim::{Simulation, Variability};
+use crate::telemetry::Telemetry;
 
 /// SplitMix64 finalizer: derive the RNG seed of trial `trial` from the
 /// sweep's master seed. A pure function of `(master, trial)`, so the
@@ -188,6 +189,7 @@ pub struct Sweep<'a> {
     master_seed: u64,
     threads: usize,
     until: Option<Time>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Sweep<'_> {
@@ -214,7 +216,19 @@ impl<'a> Sweep<'a> {
             master_seed: 0,
             threads: 0,
             until: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a [`Telemetry`] handle. Every worker's simulation flushes its
+    /// counters into it (summed over trials, so the resulting
+    /// [`TelemetryReport`](crate::telemetry::TelemetryReport) is
+    /// bit-identical at any thread count), workers record per-worker spans
+    /// on 1-based timeline tracks, and the sweep itself adds `sweep.*`
+    /// counters plus a `sweep.run` span on track 0.
+    pub fn telemetry(mut self, tel: &Telemetry) -> Self {
+        self.telemetry = tel.clone();
+        self
     }
 
     /// Set the number of independent trials (default 100).
@@ -316,6 +330,7 @@ impl<'a> Sweep<'a> {
         names.sort();
         drop(probe);
 
+        let t_sweep = self.telemetry.now();
         let threads = self.effective_threads();
         let chunk = (self.trials as usize).div_ceil(threads.max(1)).max(1) as u64;
         let mut records: Vec<TrialOutcome> = Vec::with_capacity(self.trials as usize);
@@ -332,8 +347,19 @@ impl<'a> Sweep<'a> {
                         }
                         let mut sim = Simulation::new((self.build)());
                         sim.set_until(self.until);
+                        // Workers flush into the shared handle; their
+                        // counters are additive over trials, so the merged
+                        // totals cannot depend on the trial→worker split.
+                        let track = w as u32 + 1;
+                        sim.set_telemetry(&self.telemetry);
+                        sim.set_telemetry_track(track);
+                        let t_worker = self.telemetry.now();
                         for trial in lo..hi {
                             out.push(self.run_trial(&mut sim, trial, names));
+                        }
+                        if let Some(t0) = t_worker {
+                            self.telemetry
+                                .record_span("sweep.worker", track, t0, hi - lo);
                         }
                         out
                     })
@@ -389,6 +415,22 @@ impl<'a> Sweep<'a> {
                 }
             })
             .collect();
+
+        if self.telemetry.is_enabled() {
+            // Sweep-level counters come from the serial reduction, so they
+            // are as deterministic as the report itself.
+            self.telemetry.add_many(&[
+                ("sweep.runs", 1),
+                ("sweep.trials", self.trials),
+                ("sweep.ok", ok),
+                ("sweep.check_failures", check_failures),
+                ("sweep.timing_violations", timing),
+                ("sweep.other_errors", other),
+            ]);
+            if let Some(t0) = t_sweep {
+                self.telemetry.record_span("sweep.run", 0, t0, self.trials);
+            }
+        }
 
         SweepReport {
             trials: self.trials,
@@ -520,6 +562,29 @@ mod tests {
         assert_eq!(report.timing_violations, 8);
         assert_eq!(report.ok, 0);
         assert_eq!(report.failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn telemetry_report_is_identical_across_thread_counts() {
+        let run = |threads| {
+            let tel = Telemetry::new();
+            Sweep::over(chain_builder())
+                .variability(|| Variability::Gaussian { std: 0.4 })
+                .trials(64)
+                .master_seed(7)
+                .threads(threads)
+                .telemetry(&tel)
+                .run();
+            tel.report()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.counter("sweep.trials"), 64);
+        assert_eq!(serial.counter("sweep.ok"), 64);
+        assert_eq!(serial.counter("sim.runs"), 64);
+        assert!(serial.counter("sim.dispatches") > 0);
     }
 
     #[test]

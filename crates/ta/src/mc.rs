@@ -61,6 +61,7 @@
 use crate::automaton::{LocId, Sync as EdgeSync, TaNetwork};
 use crate::dbm::{Dbm, MAX_BOUND};
 use crate::translate::Translation;
+use rlse_core::telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -120,6 +121,36 @@ impl McQuery {
     }
 }
 
+/// Structured exploration statistics of one model-checking run. Every field
+/// is a pure function of `(net, query, opts.max_states)` — bit-identical at
+/// any thread count — so these are the numbers flushed into a
+/// [`Telemetry`] handle and compared in determinism tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Number of distinct (location vector, zone) states accepted into the
+    /// store, including states later evicted by a subsuming zone.
+    pub states: usize,
+    /// Peak number of zones simultaneously live in the passed/waiting store
+    /// (sampled at level boundaries) — the checker's memory high-water mark
+    /// in states.
+    pub peak_store: usize,
+    /// BFS levels explored (the zone graph's maximal BFS depth reached).
+    pub levels: u32,
+    /// Successor candidates generated by the expand phase.
+    pub candidates: u64,
+    /// Candidates dropped because a stored zone already included them.
+    pub subsumed: u64,
+    /// Stored zones evicted by a larger accepted candidate.
+    pub evicted: u64,
+    /// Same-level accepted entries killed before expansion (the eviction
+    /// caught them between accept and the next frontier).
+    pub killed: u64,
+    /// Store shards holding at least one live zone when the run ended.
+    pub occupied_shards: usize,
+    /// Live zones in the fullest shard when the run ended.
+    pub max_shard_live: usize,
+}
+
 /// The outcome of a model-checking run.
 #[derive(Debug, Clone)]
 pub struct McResult {
@@ -127,9 +158,6 @@ pub struct McResult {
     /// if it fails, `None` if a state/time budget was exhausted first (the
     /// paper's `∞` rows) or the model was refused (see [`McResult::diagnostic`]).
     pub holds: Option<bool>,
-    /// Number of distinct (location vector, zone) states accepted into the
-    /// store, including states later evicted by a subsuming zone.
-    pub states: usize,
     /// Wall-clock verification time in seconds.
     pub time_secs: f64,
     /// Human-readable description of the first violation found, if any.
@@ -137,14 +165,25 @@ pub struct McResult {
     /// For a failed property: the action sequence from the initial state to
     /// the violating state (UPPAAL-style counterexample trace).
     pub trace: Option<Vec<String>>,
-    /// Peak number of zones simultaneously live in the passed/waiting store
-    /// (sampled at level boundaries) — the checker's memory high-water mark
-    /// in states.
-    pub peak_store: usize,
     /// Qualifies unusual verdicts: a vacuous pass (empty initial zone), a
     /// refused model (unencodable bounds), or which budget was exhausted.
     /// `None` for an ordinary verdict.
     pub diagnostic: Option<String>,
+    /// Structured exploration statistics (states, peak store, subsumption
+    /// counters, shard occupancy).
+    pub stats: McStats,
+}
+
+impl McResult {
+    /// States accepted into the store (shorthand for `stats.states`).
+    pub fn states(&self) -> usize {
+        self.stats.states
+    }
+
+    /// Peak live-zone store size (shorthand for `stats.peak_store`).
+    pub fn peak_store(&self) -> usize {
+        self.stats.peak_store
+    }
 }
 
 /// Configuration for [`check`].
@@ -249,19 +288,30 @@ struct LocalAcc {
     violation: Option<String>,
 }
 
+/// One shard's output for one level: the accepted zones plus the tallies
+/// of candidates dropped by subsumption, stored zones evicted, and
+/// same-level accepts killed before expansion (see [`McStats`]).
+#[derive(Default)]
+struct ShardOut {
+    accs: Vec<LocalAcc>,
+    subsumed: u64,
+    evicted: u64,
+    killed: u64,
+}
+
 /// Run `f(0..units)` across a deterministic scoped thread pool, returning
 /// the per-unit results **in unit order** regardless of which thread ran
 /// which unit. `threads <= 1` (or a single unit) runs inline.
-fn run_units<T, F>(threads: usize, units: usize, f: F) -> Vec<Vec<T>>
+fn run_units<T, F>(threads: usize, units: usize, f: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> Vec<T> + std::marker::Sync,
+    F: Fn(usize) -> T + std::marker::Sync,
 {
     if threads <= 1 || units <= 1 {
         return (0..units).map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Vec<T>>> = (0..units).map(|_| Mutex::new(Vec::new())).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..units).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(units) {
             scope.spawn(|| loop {
@@ -270,13 +320,17 @@ where
                     break;
                 }
                 let out = f(u);
-                *slots[u].lock().expect("unit slot poisoned") = out;
+                *slots[u].lock().expect("unit slot poisoned") = Some(out);
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("unit slot poisoned"))
+        .map(|m| {
+            m.into_inner()
+                .expect("unit slot poisoned")
+                .expect("every unit index is claimed exactly once")
+        })
         .collect()
 }
 
@@ -621,9 +675,87 @@ fn trace_to(
     steps
 }
 
+/// Final store occupancy, for [`McStats`] and the budget diagnostics.
+struct StoreOccupancy {
+    live: usize,
+    occupied: usize,
+    min: usize,
+    max: usize,
+}
+
+impl StoreOccupancy {
+    fn mean(&self) -> usize {
+        self.live.checked_div(self.occupied).unwrap_or(0)
+    }
+}
+
+fn store_occupancy(shards: &mut [Mutex<Shard>]) -> StoreOccupancy {
+    let (mut live, mut occupied, mut min, mut max) = (0usize, 0usize, usize::MAX, 0usize);
+    for s in shards.iter_mut() {
+        let l = s.get_mut().expect("shard poisoned").live;
+        if l > 0 {
+            live += l;
+            occupied += 1;
+            min = min.min(l);
+            max = max.max(l);
+        }
+    }
+    StoreOccupancy {
+        live,
+        occupied,
+        min: if occupied == 0 { 0 } else { min },
+        max,
+    }
+}
+
 /// Model-check `query` over `net` by deterministic parallel zone-graph
 /// exploration (see the module docs for the engine's phase structure).
 pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
+    check_with_telemetry(net, query, opts, None)
+}
+
+/// Like [`check`], additionally flushing into a [`Telemetry`] handle: the
+/// deterministic `mc.*` counters and store peaks from [`McStats`], plus
+/// per-level `mc.expand`/`mc.insert`/`mc.merge` spans and one `mc.check`
+/// span for the whole run on timeline track 0.
+pub fn check_with_telemetry(
+    net: &TaNetwork,
+    query: &McQuery,
+    opts: McOptions,
+    tel: Option<&Telemetry>,
+) -> McResult {
+    let tel = tel.filter(|t| t.is_enabled());
+    let t0 = tel.and_then(Telemetry::now);
+    let r = check_inner(net, query, opts, tel);
+    if let Some(t) = tel {
+        t.add_many(&[
+            ("mc.runs", 1),
+            ("mc.states", r.stats.states as u64),
+            ("mc.levels", u64::from(r.stats.levels)),
+            ("mc.candidates", r.stats.candidates),
+            ("mc.subsumed", r.stats.subsumed),
+            ("mc.evicted", r.stats.evicted),
+            ("mc.killed", r.stats.killed),
+        ]);
+        if r.holds == Some(false) {
+            t.add("mc.violations", 1);
+        }
+        t.peak("mc.peak_store", r.stats.peak_store as u64);
+        t.peak("mc.occupied_shards", r.stats.occupied_shards as u64);
+        t.peak("mc.max_shard_live", r.stats.max_shard_live as u64);
+        if let Some(started) = t0 {
+            t.record_span("mc.check", 0, started, r.stats.states as u64);
+        }
+    }
+    r
+}
+
+fn check_inner(
+    net: &TaNetwork,
+    query: &McQuery,
+    opts: McOptions,
+    tel: Option<&Telemetry>,
+) -> McResult {
     let start = Instant::now();
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -636,16 +768,15 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
     if let Some((ai, c)) = net.find_unencodable_bound(MAX_BOUND as i64) {
         return McResult {
             holds: None,
-            states: 0,
             time_secs: start.elapsed().as_secs_f64(),
             violation: None,
             trace: None,
-            peak_store: 0,
             diagnostic: Some(format!(
                 "clock bound '{c}' in automaton '{}' exceeds the encodable range ±{MAX_BOUND}; \
                  rescale the model (no verdict)",
                 net.automata[ai].name
             )),
+            stats: McStats::default(),
         };
     }
     // Make sure the global clock stays concrete up to the latest expected
@@ -661,15 +792,14 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
     if extra.abs() > MAX_BOUND as i64 {
         return McResult {
             holds: None,
-            states: 0,
             time_secs: start.elapsed().as_secs_f64(),
             violation: None,
             trace: None,
-            peak_store: 0,
             diagnostic: Some(format!(
                 "expected output instant {extra} exceeds the encodable range ±{MAX_BOUND}; \
                  rescale the model (no verdict)"
             )),
+            stats: McStats::default(),
         };
     }
 
@@ -721,23 +851,25 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
     let Some(z0) = engine.close(&init_locs, Dbm::zero(net.clock_count())) else {
         return McResult {
             holds: Some(true),
-            states: 0,
             time_secs: start.elapsed().as_secs_f64(),
             violation: None,
             trace: None,
-            peak_store: 0,
             diagnostic: Some(
                 "vacuous: the initial zone is empty (conflicting invariants at the initial \
                  locations); every safety property holds trivially"
                     .to_string(),
             ),
+            stats: McStats::default(),
         };
     };
     let z0 = Arc::new(z0);
 
     let mut shards: Vec<Mutex<Shard>> = (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect();
     let mut arena: Vec<ArenaEntry> = Vec::new();
-    let mut peak_store = 1usize;
+    let mut stats = McStats {
+        peak_store: 1,
+        ..McStats::default()
+    };
 
     let s0 = shard_of(&init_locs);
     {
@@ -762,14 +894,17 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
         ghi,
     });
     if let Some(v) = violation(&init_locs, &z0) {
+        let occ = store_occupancy(&mut shards);
+        stats.states = 1;
+        stats.occupied_shards = occ.occupied;
+        stats.max_shard_live = occ.max;
         return McResult {
             holds: Some(false),
-            states: 1,
             time_secs: start.elapsed().as_secs_f64(),
             violation: Some(v),
             trace: Some(trace_to(net, &shards, &arena, 0)),
-            peak_store,
             diagnostic: None,
+            stats,
         };
     }
 
@@ -784,19 +919,34 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
     while !frontier.is_empty() {
         level += 1;
         if arena.len() >= opts.max_states {
+            let occ = store_occupancy(&mut shards);
+            stats.states = arena.len();
+            stats.levels = level;
             return McResult {
                 holds: None,
-                states: arena.len(),
                 time_secs: start.elapsed().as_secs_f64(),
                 violation: None,
                 trace: None,
-                peak_store,
-                diagnostic: Some(format!("state budget ({}) exhausted", opts.max_states)),
+                diagnostic: Some(format!(
+                    "state budget ({}) exhausted after {:.1} s at level {}: {} zones live \
+                     across {}/{} shards (per-shard min {}, mean {:.1}, max {})",
+                    opts.max_states,
+                    start.elapsed().as_secs_f64(),
+                    level,
+                    occ.live,
+                    occ.occupied,
+                    SHARDS,
+                    occ.min,
+                    occ.mean(),
+                    occ.max
+                )),
+                stats,
             };
         }
 
         // Phase A: expand the frontier in parallel units; flatten in unit
         // order so the candidate order is deterministic.
+        let t_expand = tel.and_then(|t| t.now());
         let unit_size = frontier
             .len()
             .div_ceil((threads * 4).max(1))
@@ -819,21 +969,40 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
             out
         });
         if aborted.load(Ordering::Relaxed) {
+            let occ = store_occupancy(&mut shards);
+            stats.states = arena.len();
+            stats.levels = level;
             return McResult {
                 holds: None,
-                states: arena.len(),
                 time_secs: start.elapsed().as_secs_f64(),
                 violation: None,
                 trace: None,
-                peak_store,
-                diagnostic: Some(format!("time budget ({}s) exhausted", opts.max_seconds)),
+                diagnostic: Some(format!(
+                    "time budget ({}s) exhausted after {:.1} s at level {}: {} zones live \
+                     across {}/{} shards (per-shard min {}, mean {:.1}, max {})",
+                    opts.max_seconds,
+                    start.elapsed().as_secs_f64(),
+                    level,
+                    occ.live,
+                    occ.occupied,
+                    SHARDS,
+                    occ.min,
+                    occ.mean(),
+                    occ.max
+                )),
+                stats,
             };
         }
+        if let (Some(t), Some(t0)) = (tel, t_expand) {
+            t.record_span("mc.expand", 0, t0, frontier.len() as u64);
+        }
         let cands: Vec<Cand> = cand_lists.into_iter().flatten().collect();
+        stats.candidates += cands.len() as u64;
 
         // Phase B: partition candidates by shard; process each shard's
         // candidates in global candidate order (subsumption is per-location
         // vector, hence shard-local, so this is scheduling-independent).
+        let t_insert = tel.and_then(|t| t.now());
         let mut shard_cands: Vec<Vec<u32>> = vec![Vec::new(); SHARDS];
         for (i, c) in cands.iter().enumerate() {
             shard_cands[c.shard as usize].push(i as u32);
@@ -845,7 +1014,7 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
             let s = active[u] as usize;
             let mut guard = shards[s].lock().expect("shard poisoned");
             let sh = &mut *guard;
-            let mut accs: Vec<LocalAcc> = Vec::new();
+            let mut out = ShardOut::default();
             for &ci in &shard_cands[s] {
                 let cand = &cands[ci as usize];
                 let local = match sh.intern.get(&cand.locs) {
@@ -860,6 +1029,7 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
                 };
                 let bucket = &mut sh.buckets[local as usize];
                 if bucket.iter().any(|b| b.zone.includes(&cand.zone)) {
+                    out.subsumed += 1;
                     continue;
                 }
                 let before = bucket.len();
@@ -868,34 +1038,43 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
                     if evicted && b.level == level {
                         // Accepted earlier this level but not yet expanded:
                         // kill it so it never reaches the next frontier.
-                        accs[b.lidx as usize].alive = false;
+                        out.accs[b.lidx as usize].alive = false;
+                        out.killed += 1;
                     }
                     !evicted
                 });
+                out.evicted += (before - bucket.len()) as u64;
                 sh.live -= before - bucket.len();
-                let lidx = accs.len() as u32;
+                let lidx = out.accs.len() as u32;
                 bucket.push(BucketZone {
                     zone: cand.zone.clone(),
                     level,
                     lidx,
                 });
                 sh.live += 1;
-                accs.push(LocalAcc {
+                out.accs.push(LocalAcc {
                     cand: ci,
                     local,
                     alive: true,
                     violation: violation(&cand.locs, &cand.zone),
                 });
             }
-            accs
+            out
         });
+        if let (Some(t), Some(t0)) = (tel, t_insert) {
+            t.record_span("mc.insert", 0, t0, cands.len() as u64);
+        }
 
         // Phase C: sequential merge in candidate order — assign arena ids,
         // pick the minimum-index violation, build the next frontier.
+        let t_merge = tel.and_then(|t| t.now());
         let mut all: Vec<(u32, LocalAcc)> = Vec::new();
-        for (u, accs) in acc_lists.into_iter().enumerate() {
+        for (u, sh_out) in acc_lists.into_iter().enumerate() {
             let s = active[u];
-            for a in accs {
+            stats.subsumed += sh_out.subsumed;
+            stats.evicted += sh_out.evicted;
+            stats.killed += sh_out.killed;
+            for a in sh_out.accs {
                 all.push((s, a));
             }
         }
@@ -927,34 +1106,38 @@ pub fn check(net: &TaNetwork, query: &McQuery, opts: McOptions) -> McResult {
                 });
             }
         }
-        let live_now: usize = shards
-            .iter_mut()
-            .map(|s| s.get_mut().expect("shard poisoned").live)
-            .sum();
-        peak_store = peak_store.max(live_now);
+        let occ = store_occupancy(&mut shards);
+        stats.peak_store = stats.peak_store.max(occ.live);
+        stats.occupied_shards = stats.occupied_shards.max(occ.occupied);
+        stats.max_shard_live = stats.max_shard_live.max(occ.max);
+        if let (Some(t), Some(t0)) = (tel, t_merge) {
+            t.record_span("mc.merge", 0, t0, arena.len() as u64);
+        }
 
         if let Some((id, v)) = best_violation {
+            stats.states = arena.len();
+            stats.levels = level;
             return McResult {
                 holds: Some(false),
-                states: arena.len(),
                 time_secs: start.elapsed().as_secs_f64(),
                 violation: Some(v),
                 trace: Some(trace_to(net, &shards, &arena, id)),
-                peak_store,
                 diagnostic: None,
+                stats,
             };
         }
         frontier = next_frontier;
     }
 
+    stats.states = arena.len();
+    stats.levels = level;
     McResult {
         holds: Some(true),
-        states: arena.len(),
         time_secs: start.elapsed().as_secs_f64(),
         violation: None,
         trace: None,
-        peak_store,
         diagnostic: None,
+        stats,
     }
 }
 
@@ -973,8 +1156,8 @@ mod tests {
         let q1 = McQuery::query1(&tr, &[("q", vec![15.7, 25.7])]);
         let r = check(&tr.net, &q1, McOptions::default());
         assert_eq!(r.holds, Some(true), "{:?}", r.violation);
-        assert!(r.states > 0);
-        assert!(r.peak_store > 0 && r.peak_store <= r.states);
+        assert!(r.states() > 0);
+        assert!(r.peak_store() > 0 && r.peak_store() <= r.states());
     }
 
     #[test]
@@ -1069,7 +1252,39 @@ mod tests {
             },
         );
         assert_eq!(r.holds, None);
-        assert!(r.diagnostic.unwrap().contains("state budget"));
+        let diag = r.diagnostic.unwrap();
+        assert!(diag.contains("state budget"), "{diag}");
+        // The diagnostic reports elapsed wall-clock and store occupancy.
+        assert!(diag.contains(" s at level "), "{diag}");
+        assert!(diag.contains("zones live"), "{diag}");
+        assert!(diag.contains("shards"), "{diag}");
+    }
+
+    #[test]
+    fn telemetry_report_is_identical_across_thread_counts() {
+        let tr = translate_machine(
+            &defs::and_elem(),
+            &[("a", vec![20.0]), ("b", vec![30.0]), ("clk", vec![50.0])],
+            10,
+        )
+        .unwrap();
+        let q2 = McQuery::query2(&tr);
+        let report_at = |threads: usize| {
+            let tel = Telemetry::new();
+            let opts = McOptions { threads, ..Default::default() };
+            let r = check_with_telemetry(&tr.net, &q2, opts, Some(&tel));
+            assert_eq!(r.holds, Some(true), "{:?}", r.violation);
+            tel.report()
+        };
+        let seq = report_at(1);
+        let par = report_at(4);
+        assert_eq!(seq, par);
+        assert_eq!(seq.to_json(), par.to_json());
+        assert_eq!(seq.counter("mc.runs"), 1);
+        assert!(seq.counter("mc.states") > 0);
+        // Every stored state except the initial one was once a candidate.
+        assert!(seq.counter("mc.candidates") + 1 >= seq.counter("mc.states"));
+        assert!(seq.gauge("mc.peak_store") > 0);
     }
 
     #[test]
@@ -1087,8 +1302,7 @@ mod tests {
             let seq = check(&tr.net, &query, McOptions { threads: 1, ..Default::default() });
             let par = check(&tr.net, &query, McOptions { threads: 4, ..Default::default() });
             assert_eq!(seq.holds, par.holds);
-            assert_eq!(seq.states, par.states);
-            assert_eq!(seq.peak_store, par.peak_store);
+            assert_eq!(seq.stats, par.stats);
             assert_eq!(seq.violation, par.violation);
             assert_eq!(seq.trace, par.trace);
         }
@@ -1119,7 +1333,7 @@ mod tests {
         let net = one_loc_net(vec![Constraint::new(ClockId(0), Rel::Ge, 5)]);
         let r = check(&net, &McQuery::NoErrorState(vec![]), McOptions::default());
         assert_eq!(r.holds, Some(true));
-        assert_eq!(r.states, 0);
+        assert_eq!(r.states(), 0);
         assert!(r.diagnostic.unwrap().contains("vacuous"));
     }
 

@@ -24,10 +24,10 @@ fn query1_and_query2_hold_for_min_max() {
 
     let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
     assert_eq!(q2.holds, Some(true), "{:?}", q2.violation);
-    assert!(q2.states > 10);
+    assert!(q2.states() > 10);
     // The store never holds more zones than there are explored states, and
     // a completed pass records a nonzero peak.
-    assert!(q2.peak_store > 0 && q2.peak_store <= q2.states);
+    assert!(q2.peak_store() > 0 && q2.peak_store() <= q2.states());
     assert!(q2.diagnostic.is_none(), "{:?}", q2.diagnostic);
 
     let expected = [
@@ -42,7 +42,10 @@ fn query1_and_query2_hold_for_min_max() {
     assert_eq!(q1.holds, Some(true), "{:?}", q1.violation);
     println!(
         "min-max: query1 {} states in {:.3}s, query2 {} states in {:.3}s",
-        q1.states, q1.time_secs, q2.states, q2.time_secs
+        q1.states(),
+        q1.time_secs,
+        q2.states(),
+        q2.time_secs
     );
 }
 

@@ -1,5 +1,7 @@
-//! Debugging workflows: the dispatch trace log, the static linter, and VCD
-//! export for external waveform viewers.
+//! Debugging workflows: the dispatch trace log, the static linter, VCD
+//! export for external waveform viewers, and the telemetry layer (run
+//! counters, per-cell tallies, and a Chrome `trace_event` timeline for
+//! `about:tracing`/Perfetto).
 //!
 //! Run with `cargo run --example debugging`.
 
@@ -22,8 +24,9 @@ fn main() -> Result<(), rlse::core::Error> {
     println!("--- lints ---");
     print!("{}", analyze(&circuit));
 
-    // 2. Simulate with the dispatch trace enabled.
-    let mut sim = Simulation::new(circuit).with_trace();
+    // 2. Simulate with the dispatch trace and a telemetry handle enabled.
+    let tel = Telemetry::new();
+    let mut sim = Simulation::new(circuit).with_trace().telemetry(&tel);
     let events = sim.run()?;
     println!("\n--- dispatch trace ---");
     for entry in sim.trace() {
@@ -39,5 +42,27 @@ fn main() -> Result<(), rlse::core::Error> {
     std::fs::create_dir_all("target").ok();
     std::fs::write("target/min_max.vcd", &vcd).expect("write vcd");
     println!("\nwrote target/min_max.vcd ({} bytes)", vcd.len());
+
+    // 4. The telemetry report: what did that run actually do? Counters are
+    // deterministic (they never include wall-clock), so they make good
+    // regression anchors.
+    let report = tel.report();
+    println!("\n--- telemetry ---");
+    print!("{report}");
+    assert_eq!(report.counter("sim.runs"), 1);
+    assert_eq!(
+        report.counter("sim.wire_pulses"),
+        events.pulse_count_all() as u64
+    );
+    assert!(report.cells.iter().any(|(name, _)| name == "C_INV"));
+
+    // 5. And the wall-clock side: a Chrome trace_event timeline of the
+    // compile/run spans, viewable in about:tracing or https://ui.perfetto.dev.
+    let trace = tel.chrome_trace_json();
+    std::fs::write("target/min_max_timeline.json", &trace).expect("write timeline");
+    println!(
+        "\nwrote target/min_max_timeline.json ({} bytes) — open in about:tracing",
+        trace.len()
+    );
     Ok(())
 }

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q2 = check(&tr.net, &McQuery::query2(&tr), McOptions::default());
     println!(
         "Query 2 (no error state reachable): holds={:?}, {} states, {:.3}s",
-        q2.holds, q2.states, q2.time_secs
+        q2.holds, q2.states(), q2.time_secs
     );
     let q1 = check(
         &tr.net,
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "Query 1 (q fires only at 59.2 ps):  holds={:?}, {} states, {:.3}s",
-        q1.holds, q1.states, q1.time_secs
+        q1.holds, q1.states(), q1.time_secs
     );
     assert_eq!(q1.holds, Some(true));
     assert_eq!(q2.holds, Some(true));
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q1 = check(&tr.net, &McQuery::query1(&tr, &expected), McOptions::default());
     println!(
         "\nmin-max Query 1: holds={:?}, {} states, {:.3}s",
-        q1.holds, q1.states, q1.time_secs
+        q1.holds, q1.states(), q1.time_secs
     );
     assert_eq!(q1.holds, Some(true));
 

@@ -123,9 +123,8 @@ fn parallel_and_sequential_checks_agree_on_every_cell() {
                 },
             );
             assert_eq!(seq.holds, par.holds, "{name}");
-            assert_eq!(seq.states, par.states, "{name}");
-            assert_eq!(seq.peak_store, par.peak_store, "{name}");
-            assert_eq!(seq.violation, par.violation, "{name}");
+            assert_eq!(seq.stats, par.stats, "{name}");
+                        assert_eq!(seq.violation, par.violation, "{name}");
         }
     }
 }
