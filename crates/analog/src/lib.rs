@@ -29,6 +29,7 @@
 
 pub mod cells;
 pub mod engine;
+mod solver;
 pub mod synth;
 
 /// Commonly used items, for glob import.

@@ -1,0 +1,92 @@
+//! Activity gating: telemetry accounting and randomized agreement with the
+//! naive reference engine.
+
+use proptest::prelude::*;
+use rlse_analog::prelude::*;
+use rlse_core::telemetry::Telemetry;
+
+/// Build a JTL chain of `len` cells driven by `times`, probing the far end.
+fn jtl_chain(len: usize, times: &[f64]) -> AnalogSim {
+    let mut sim = AnalogSim::new();
+    let cells: Vec<_> = (0..len).map(|_| sim.add_cell(jtl_cell())).collect();
+    for w in cells.windows(2) {
+        sim.connect((w[0], 0), (w[1], 0));
+    }
+    sim.stimulate(cells[0], 0, times);
+    sim.probe(*cells.last().unwrap(), 0, "OUT");
+    sim
+}
+
+#[test]
+fn telemetry_counters_account_for_every_cell_step() {
+    let tel = Telemetry::new();
+    let mut sim = jtl_chain(5, &[20.0, 60.0]).telemetry(&tel);
+    let ev = sim.run(120.0);
+    assert_eq!(ev.pulses["OUT"].len(), 2);
+
+    let report = tel.report();
+    let steps = report.counter("analog.steps");
+    let cell_steps = report.counter("analog.cell_steps");
+    let solves = report.counter("analog.solves");
+    let skipped = report.counter("analog.solves_skipped");
+    assert_eq!(steps, ev.steps as u64);
+    assert_eq!(cell_steps, steps * 5, "5 cells × steps");
+    // Every cell-step is either solved or skipped by gating — no third state.
+    assert_eq!(solves + skipped, cell_steps);
+    // The chain is idle for most of the 120 ps window, so gating must have
+    // frozen a majority of cell-steps.
+    assert!(
+        skipped > cell_steps / 2,
+        "gating skipped only {skipped} of {cell_steps} cell-steps"
+    );
+    // Newton takes at least one iteration per solve, and the chord cache
+    // must be serving most iterations without a refactorization.
+    let iters = report.counter("analog.newton_iters");
+    let refacts = report.counter("analog.refactorizations");
+    let avoided = report.counter("analog.refactor_avoided");
+    assert!(iters >= solves);
+    assert_eq!(refacts + avoided, iters);
+    assert!(avoided > refacts, "LU cache barely reused: {refacts} refactorizations");
+    // Each of the 2 input pulses traverses 4 inter-cell hops and is
+    // recorded once at the probe.
+    assert_eq!(report.counter("analog.pulses_routed"), 8);
+    assert_eq!(report.counter("analog.pulses_recorded"), 2);
+    assert!(report.gauge("analog.peak_active_cells") >= 1);
+}
+
+#[test]
+fn disabled_telemetry_is_the_default_and_counts_nothing() {
+    let mut sim = jtl_chain(2, &[20.0]);
+    let ev = sim.run(60.0);
+    assert_eq!(ev.pulses["OUT"].len(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Gating may never drop, duplicate, or reorder pulses: an arbitrary
+    /// JTL chain driven by arbitrary (deduplicated) pulse times produces
+    /// exactly the reference engine's output.
+    #[test]
+    fn random_jtl_chains_agree_with_reference(
+        len in 1usize..6,
+        raw_times in proptest::collection::vec(15u32..80, 1..5),
+    ) {
+        // Sort, dedup, and space the integer picks out to ≥ 15 ps so pulses
+        // stay distinct SFQ events (the reference engine has the same
+        // requirement).
+        let mut raw_times = raw_times;
+        raw_times.sort_unstable();
+        raw_times.dedup();
+        let times: Vec<f64> = raw_times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| t as f64 + 15.0 * i as f64)
+            .collect();
+        let mut sim = jtl_chain(len, &times);
+        let golden = sim.run_reference(200.0);
+        let gated = sim.run(200.0);
+        prop_assert_eq!(&gated.pulses, &golden.pulses);
+        prop_assert_eq!(gated.pulses["OUT"].len(), times.len());
+    }
+}

@@ -31,6 +31,7 @@
 //! whole `run()` call, including the per-run `Events` materialization at the
 //! boundary; the interesting signal is the per-event marginal cost.
 
+use rlse_analog::synth::from_circuit;
 use rlse_bench::{
     bench_adder_sync, bench_bitonic, bench_c, bench_c_inv, bench_min_max, expected_outputs,
     simulate, Bench,
@@ -257,6 +258,55 @@ fn measure_overhead() -> Overhead {
     }
 }
 
+/// One Table-2 design measured on both analog engines: the naive per-step
+/// reference (the "before" of the event-gating work) and the event-gated
+/// engine (the "after"), plus the gating counters from one instrumented run.
+struct AnalogRow {
+    name: &'static str,
+    jjs: usize,
+    steps: usize,
+    reference_median_ns: f64,
+    gated_median_ns: f64,
+    report: TelemetryReport,
+}
+
+fn measure_analog() -> Vec<AnalogRow> {
+    [
+        ("c_element", bench_c(), 450.0),
+        ("inv_c", bench_c_inv(), 450.0),
+        ("min_max", bench_min_max(), 450.0),
+        ("bitonic_8", bench_bitonic(8), 300.0),
+    ]
+    .into_iter()
+    .map(|(name, bench, t_end)| {
+        let tel = Telemetry::new();
+        let mut sim = from_circuit(&bench.circuit)
+            .expect("Table 2 designs use only analog-modelled cells")
+            .telemetry(&tel);
+        let gated_ev = sim.run(t_end);
+        let reference_ev = sim.run_reference(t_end);
+        assert_eq!(
+            gated_ev.pulses, reference_ev.pulses,
+            "{name}: gated engine diverged from the reference pulse times"
+        );
+        let report = tel.report();
+        // Time the engines without instrumentation attached.
+        let disabled = Telemetry::disabled();
+        sim.set_telemetry(&disabled);
+        let gated_median_ns = time_median(|| drop(sim.run(t_end)), 200.0, 5);
+        let reference_median_ns = time_median(|| drop(sim.run_reference(t_end)), 400.0, 3);
+        AnalogRow {
+            name,
+            jjs: gated_ev.jjs,
+            steps: gated_ev.steps,
+            reference_median_ns,
+            gated_median_ns,
+            report,
+        }
+    })
+    .collect()
+}
+
 fn main() {
     let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
 
@@ -374,6 +424,7 @@ fn main() {
     .collect();
 
     let overhead = measure_overhead();
+    let analog_rows = measure_analog();
 
     // Hand-rolled JSON (the workspace deliberately has no serde dependency).
     let mut out = String::new();
@@ -403,6 +454,36 @@ fn main() {
             r.reused_ns / ev,
             r.reused_allocs,
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Analog engines: the naive per-step reference is the "before", the
+    // event-gated engine the "after"; both produce identical pulse times
+    // (asserted in `measure_analog`).
+    out.push_str("  \"analog\": [\n");
+    for (i, r) in analog_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"jjs\": {}, \"steps\": {}, \
+             \"reference_median_ns\": {:.0}, \"gated_median_ns\": {:.0}, \
+             \"speedup\": {:.2}, \"cell_steps\": {}, \"solves\": {}, \
+             \"solves_skipped\": {}, \"newton_iters\": {}, \
+             \"refactorizations\": {}, \"refactor_avoided\": {}, \
+             \"pulses_routed\": {}, \"peak_active_cells\": {}}}{}\n",
+            r.name,
+            r.jjs,
+            r.steps,
+            r.reference_median_ns,
+            r.gated_median_ns,
+            r.reference_median_ns / r.gated_median_ns.max(1.0),
+            r.report.counter("analog.cell_steps"),
+            r.report.counter("analog.solves"),
+            r.report.counter("analog.solves_skipped"),
+            r.report.counter("analog.newton_iters"),
+            r.report.counter("analog.refactorizations"),
+            r.report.counter("analog.refactor_avoided"),
+            r.report.counter("analog.pulses_routed"),
+            r.report.gauge("analog.peak_active_cells"),
+            if i + 1 == analog_rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
