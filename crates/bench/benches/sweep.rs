@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rlse_core::prelude::*;
-use rlse_core::sweep::trial_seed;
+use rlse_core::sweep::{trial_seed, BatchSweep};
 use rlse_designs::ripple_adder_with_inputs;
 use std::time::Instant;
 
@@ -52,12 +52,39 @@ fn run_sweep(trials: u64, threads: usize) -> SweepReport {
         .run()
 }
 
+fn run_batch(trials: u64, threads: usize, width: usize) -> SweepReport {
+    BatchSweep::over(build)
+        .variability(|| Variability::Gaussian { std: SIGMA })
+        .trials(trials)
+        .master_seed(SEED)
+        .threads(threads)
+        .batch_width(width)
+        .run()
+}
+
 fn monte_carlo(c: &mut Criterion) {
     let mut group = c.benchmark_group("sweep_ripple_adder_1000");
     group.sample_size(10);
     group.bench_function("serial_rebuild", |b| b.iter(|| serial_rebuild(TRIALS)));
     group.bench_function("sweep_1_thread", |b| b.iter(|| run_sweep(TRIALS, 1)));
     group.bench_function("sweep_all_threads", |b| b.iter(|| run_sweep(TRIALS, 0)));
+    group.bench_function("batch_1_thread_w64", |b| b.iter(|| run_batch(TRIALS, 1, 64)));
+    group.bench_function("batch_all_threads_w64", |b| {
+        b.iter(|| run_batch(TRIALS, 0, 64))
+    });
+    group.finish();
+}
+
+/// Batch width scan at one thread: how wide the lane blocks should be
+/// before cache pressure eats the amortization win.
+fn batch_width_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_width_ripple_adder_1000");
+    group.sample_size(10);
+    for width in [1usize, 8, 16, 64, 256] {
+        group.bench_function(format!("w{width}"), |b| {
+            b.iter(|| run_batch(TRIALS, 1, width))
+        });
+    }
     group.finish();
 }
 
@@ -68,18 +95,28 @@ fn speedup_summary(_c: &mut Criterion) {
     let t1 = Instant::now();
     let report = run_sweep(TRIALS, 0);
     let parallel = t1.elapsed().as_secs_f64();
+    let t2 = Instant::now();
+    let batch = run_batch(TRIALS, 0, 64);
+    let batch_s = t2.elapsed().as_secs_f64();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "speedup summary: serial rebuild {baseline:.3}s vs parallel sweep {parallel:.3}s \
-         => {:.2}x on {cores} cores (ok: baseline {baseline_ok}, sweep {})",
+         vs batch kernel {batch_s:.3}s => sweep {:.2}x, batch {:.2}x on {cores} cores \
+         (ok: baseline {baseline_ok}, sweep {}, batch {})",
         baseline / parallel.max(1e-12),
+        baseline / batch_s.max(1e-12),
         report.ok,
+        batch.ok,
     );
     assert_eq!(
         baseline_ok, report.ok,
         "sweep and baseline must agree on trial outcomes"
     );
+    assert_eq!(
+        report, batch,
+        "batch kernel and per-trial sweep must produce identical reports"
+    );
 }
 
-criterion_group!(benches, monte_carlo, speedup_summary);
+criterion_group!(benches, monte_carlo, batch_width_scan, speedup_summary);
 criterion_main!(benches);

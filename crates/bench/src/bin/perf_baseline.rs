@@ -37,7 +37,7 @@ use rlse_bench::{
     simulate, Bench,
 };
 use rlse_core::prelude::*;
-use rlse_core::sweep::Sweep;
+use rlse_core::sweep::{BatchSweep, Sweep};
 use rlse_designs::ripple_adder_with_inputs;
 use rlse_ta::mc::{check, check_with_telemetry, McOptions, McQuery};
 use rlse_ta::translate::translate_circuit;
@@ -211,6 +211,93 @@ fn measure_sim<F: Fn() -> Bench>(name: &'static str, build: F) -> SimRow {
     }
 }
 
+/// One workload measured on both Monte-Carlo engines at high trial count:
+/// the per-trial-worker scalar sweep (the "before") and the batch
+/// kernel (the "after"), both on all cores. The two engines are proven
+/// bit-identical by `tests/sweep_batch_differential.rs`; this row prices
+/// the structure-of-arrays win (compile-once, observed-only recording, no
+/// per-trial allocation).
+struct BatchRow {
+    name: &'static str,
+    trials: u64,
+    threads: usize,
+    batch_width: usize,
+    scalar_ns_per_trial: f64,
+    batch_ns_per_trial: f64,
+    blocks: u64,
+    dispatches: u64,
+    wire_pulses: u64,
+}
+
+impl BatchRow {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns_per_trial / self.batch_ns_per_trial.max(1e-9)
+    }
+}
+
+fn measure_batch_sweep<F>(name: &'static str, build: F, trials: u64) -> BatchRow
+where
+    F: Fn() -> Circuit + Send + Sync + Copy,
+{
+    const SIGMA: f64 = 0.2;
+    const SEED: u64 = 42;
+    const WIDTH: usize = 64;
+    // One instrumented batch run supplies the per-block counters and the
+    // outcome tallies both engines must agree on (checked cheaply here via
+    // the ok count; the differential test suite proves full bit-identity).
+    let tel = Telemetry::new();
+    let batch_ok = BatchSweep::over(build)
+        .variability(|| Variability::Gaussian { std: SIGMA })
+        .trials(trials)
+        .master_seed(SEED)
+        .batch_width(WIDTH)
+        .telemetry(&tel)
+        .run()
+        .ok;
+    let report = tel.report();
+    let scalar_ok = Sweep::over(build)
+        .variability(|| Variability::Gaussian { std: SIGMA })
+        .trials(trials)
+        .master_seed(SEED)
+        .run()
+        .ok;
+    assert_eq!(batch_ok, scalar_ok, "{name}: engines disagree on outcomes");
+    let scalar_ns = time_median(
+        || {
+            Sweep::over(build)
+                .variability(|| Variability::Gaussian { std: SIGMA })
+                .trials(trials)
+                .master_seed(SEED)
+                .run();
+        },
+        600.0,
+        3,
+    );
+    let batch_ns = time_median(
+        || {
+            BatchSweep::over(build)
+                .variability(|| Variability::Gaussian { std: SIGMA })
+                .trials(trials)
+                .master_seed(SEED)
+                .batch_width(WIDTH)
+                .run();
+        },
+        600.0,
+        3,
+    );
+    BatchRow {
+        name,
+        trials,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        batch_width: WIDTH,
+        scalar_ns_per_trial: scalar_ns / trials as f64,
+        batch_ns_per_trial: batch_ns / trials as f64,
+        blocks: report.counter("sweep_batch.blocks"),
+        dispatches: report.counter("sweep_batch.dispatches"),
+        wire_pulses: report.counter("sweep_batch.wire_pulses"),
+    }
+}
+
 /// Telemetry overhead on the reused bitonic_8 workload: median run time
 /// with no handle attached, with a disabled handle, and with an enabled
 /// handle. The first two must be indistinguishable (the disabled handle is
@@ -363,6 +450,19 @@ fn main() {
     let sweep_ns_per_trial = sweep_ns / TRIALS as f64;
     let sweep_ns_per_event = sweep_ns_per_trial / adder_events.max(1) as f64;
 
+    // Batch sweep: per-trial-worker engine vs the batch kernel on
+    // the same high-trial-count Monte-Carlo workloads (both on all cores).
+    let build_adder8 = || {
+        let mut c = Circuit::new();
+        ripple_adder_with_inputs(&mut c, 8, 173, 99, false).expect("valid bench");
+        c
+    };
+    let batch_rows = [
+        measure_batch_sweep("ripple_adder_4bit", build_adder, 100_000),
+        measure_batch_sweep("ripple_adder_8bit", build_adder8, 100_000),
+        measure_batch_sweep("bitonic_8", || bench_bitonic(8).circuit, 100_000),
+    ];
+
     // Verification: PyLSE→TA translation of the 8-input bitonic sorter and
     // Query-2 model checking of the And cell (from benches/verification.rs).
     let bitonic8 = bench_bitonic(8).circuit;
@@ -498,6 +598,27 @@ fn main() {
         sweep_report.counter("sweep.check_failures"),
         sweep_report.counter("sweep.timing_violations"),
     ));
+    out.push_str("  \"sweep_batch\": [\n");
+    for (i, r) in batch_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"trials\": {}, \"threads\": {}, \
+             \"batch_width\": {}, \"scalar_ns_per_trial\": {:.1}, \
+             \"batch_ns_per_trial\": {:.1}, \"speedup\": {:.2}, \
+             \"blocks\": {}, \"dispatches\": {}, \"wire_pulses\": {}}}{}\n",
+            r.name,
+            r.trials,
+            r.threads,
+            r.batch_width,
+            r.scalar_ns_per_trial,
+            r.batch_ns_per_trial,
+            r.speedup(),
+            r.blocks,
+            r.dispatches,
+            r.wire_pulses,
+            if i + 1 == batch_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"verification\": {{\"translate_bitonic_8_median_ns\": {translate_ns:.0}, \
          \"model_check_query2_and_median_ns\": {mc_ns:.0},\n"

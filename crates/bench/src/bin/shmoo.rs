@@ -1,0 +1,78 @@
+//! Shmoo-map harness: 2-D pass/fail margin maps (jitter σ × stimulus
+//! time-scale) for every Table-3 design, produced by the adaptive margin
+//! mapper on top of the structure-of-arrays batch-sweep kernel.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rlse-bench --bin shmoo [--smoke] [design...]
+//! ```
+//!
+//! With no design arguments all six Table-3 designs are mapped. `--smoke`
+//! shrinks the grid and trial count to a few seconds of work for CI.
+//!
+//! Each map is printed in the deterministic text format of
+//! [`ShmooMap::render`] (the same bytes the golden-map test pins), followed
+//! by a one-line summary of the per-row margin boundaries and how many
+//! cells the adaptive bisection actually measured.
+
+use rlse_designs::{shmoo_design_names, shmoo_map, ShmooOptions};
+
+fn main() {
+    let mut smoke = false;
+    let mut designs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            designs.push(arg);
+        }
+    }
+    if designs.is_empty() {
+        designs = shmoo_design_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let (sigmas, scales, opts) = if smoke {
+        let sigmas: Vec<f64> = vec![0.0, 1.0, 2.0];
+        let scales: Vec<f64> = (0..8).map(|i| 0.05 + 0.25 * i as f64).collect();
+        let opts = ShmooOptions {
+            trials: 16,
+            ..ShmooOptions::default()
+        };
+        (sigmas, scales, opts)
+    } else {
+        let sigmas: Vec<f64> = (0..7).map(|i| 0.5 * i as f64).collect();
+        let scales: Vec<f64> = (0..32).map(|i| 0.05 + 0.0625 * i as f64).collect();
+        let opts = ShmooOptions {
+            trials: 400,
+            ..ShmooOptions::default()
+        };
+        (sigmas, scales, opts)
+    };
+
+    for design in &designs {
+        let t0 = std::time::Instant::now();
+        let map = shmoo_map(design, &sigmas, &scales, &opts);
+        let elapsed = t0.elapsed().as_secs_f64();
+        print!("{}", map.render());
+        let margins: Vec<String> = sigmas
+            .iter()
+            .enumerate()
+            .map(|(row, sigma)| match map.margin_scale(row) {
+                Some(s) => format!("sigma {sigma} -> scale {s}"),
+                None => format!("sigma {sigma} -> no margin"),
+            })
+            .collect();
+        println!("margins: {}", margins.join(", "));
+        println!(
+            "evaluated {} of {} cells ({} sweeps of {} trials) in {elapsed:.2}s\n",
+            map.evaluated,
+            map.cells.len(),
+            map.evaluated,
+            opts.trials,
+        );
+    }
+}

@@ -303,6 +303,20 @@ impl CompiledMachine {
     }
 }
 
+/// One stimulus pulse, pre-resolved to its wire and reading sink so a
+/// kernel can seed its pulse heap without touching the [`Circuit`]. Listed
+/// in the scalar simulator's seeding order: source nodes in circuit order,
+/// then pulses in declaration order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledStim {
+    /// Pulse time.
+    pub(crate) time: f64,
+    /// The source node's output wire.
+    pub(crate) wire: u32,
+    /// The wire's reading `(node, port)`, or `(u32::MAX, 0)` if unread.
+    pub(crate) sink: (u32, u32),
+}
+
 /// Per-node compiled shape: what kind of node it is plus the indices the
 /// event loop needs to dispatch into it without touching the [`Circuit`].
 #[derive(Debug, Clone, Copy)]
@@ -350,6 +364,8 @@ pub struct CompiledCircuit {
     pub(crate) theta_len: usize,
     /// Total stimulus pulses across every source node.
     pub(crate) stim_pulses: usize,
+    /// Flat stimulus schedule in scalar seeding order (see [`CompiledStim`]).
+    pub(crate) stim: Vec<CompiledStim>,
     /// Number of dispatchable nodes (machines and holes; sources excluded).
     pub(crate) dispatch_nodes: usize,
 }
@@ -377,6 +393,7 @@ impl CompiledCircuit {
         let mut theta_len = 0usize;
         let mut stim_pulses = 0usize;
         let mut dispatch_nodes = 0usize;
+        let mut stim: Vec<CompiledStim> = Vec::new();
 
         for (i, node) in circuit.nodes.iter().enumerate() {
             let nw = match circuit.node_wire_name_ref(crate::circuit::NodeId(i)) {
@@ -387,6 +404,16 @@ impl CompiledCircuit {
             match &node.kind {
                 NodeKind::Source { pulses } => {
                     stim_pulses += pulses.len();
+                    let wire = node.out_wires[0];
+                    let sink = match circuit.wires[wire].sink {
+                        Some((n, p)) => (n.0 as u32, p as u32),
+                        None => (u32::MAX, 0),
+                    };
+                    stim.extend(pulses.iter().map(|&time| CompiledStim {
+                        time,
+                        wire: wire as u32,
+                        sink,
+                    }));
                     nodes.push(CompiledNode::Source);
                     cell.push(nw);
                 }
@@ -465,6 +492,7 @@ impl CompiledCircuit {
             hole_port_syms,
             theta_len,
             stim_pulses,
+            stim,
             dispatch_nodes,
         }
     }
@@ -569,6 +597,25 @@ mod tests {
         assert_eq!(cc.event_estimate(), 6);
         // The cap bounds pathological products.
         assert!(CompiledCircuit::compile(&c).event_estimate() <= 4096);
+    }
+
+    #[test]
+    fn stim_schedule_mirrors_scalar_seeding_order() {
+        let m = jtl();
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0, 30.0], "A");
+        let b = c.inp_at(&[20.0], "B");
+        let q = c.add_machine(&m, &[a]).unwrap()[0];
+        let _ = c.add_machine(&m, &[b]).unwrap();
+        c.inspect(q, "Q");
+        let cc = CompiledCircuit::compile(&c);
+        // Node order then pulse order — not time order.
+        let times: Vec<f64> = cc.stim.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![10.0, 30.0, 20.0]);
+        assert_eq!(cc.stim.len(), cc.stim_pulses);
+        // Every stim pulse resolves its reading sink.
+        assert_eq!(cc.stim[0].sink, (2, 0));
+        assert_eq!(cc.stim[2].sink, (3, 0));
     }
 
     #[test]

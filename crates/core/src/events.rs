@@ -27,6 +27,29 @@ impl Events {
         Events { named, all }
     }
 
+    /// Pre-build an events dictionary with one empty entry per observed
+    /// wire, for the batch sweep kernel's per-lane check calls. `names`
+    /// must be sorted ascending, so the `BTreeMap` iterates in exactly
+    /// that order — the contract [`refill_named`](Self::refill_named)
+    /// relies on. Only observed wires are present (anonymous internal
+    /// wires are not recorded by the batch kernel).
+    pub(crate) fn preallocated(names: &[String]) -> Self {
+        Events {
+            named: names.iter().map(|n| (n.clone(), Vec::new())).collect(),
+            all: BTreeMap::new(),
+        }
+    }
+
+    /// Replace every named entry's pulse list in place, in sorted-name
+    /// order, reusing the map and the per-entry allocations. `columns`
+    /// must yield exactly one slice per named wire.
+    pub(crate) fn refill_named<'t>(&mut self, mut columns: impl Iterator<Item = &'t [Time]>) {
+        for v in self.named.values_mut() {
+            v.clear();
+            v.extend_from_slice(columns.next().expect("one column per named wire"));
+        }
+    }
+
     /// Build an events map directly (useful in tests and when importing
     /// externally produced traces).
     pub fn from_map(map: BTreeMap<String, Vec<Time>>) -> Self {

@@ -69,6 +69,32 @@ impl std::fmt::Debug for Variability {
     }
 }
 
+/// Resolve a variability model to the per-node jitter sigma the kernels
+/// cache: `NaN` means "no jitter for this node" — an absent [`PerCellType`]
+/// (Variability::PerCellType) entry (which draws no RNG sample, matching
+/// the interpreted kernel), or an exact σ = 0. The σ = 0 case must
+/// reproduce the nominal run **bit for bit**, and applying a `0·sample`
+/// term would not: the delay round-trips through `t + (fire − t)`, which is
+/// not an f64 identity. `0.0` marks a [`Custom`](Variability::Custom)
+/// model, which always calls the user closure. Shared by the scalar
+/// simulator and the batch sweep kernel so both resolve identically.
+pub(crate) fn resolve_sigma(v: &Variability, cell: &str) -> f64 {
+    match v {
+        Variability::Gaussian { std } => {
+            if *std == 0.0 {
+                f64::NAN
+            } else {
+                *std
+            }
+        }
+        Variability::PerCellType(map) => match map.get(cell).copied() {
+            Some(s) if s != 0.0 => s,
+            _ => f64::NAN,
+        },
+        Variability::Custom(_) => 0.0,
+    }
+}
+
 /// Standard-normal sampler using the Box–Muller transform, keeping the sine
 /// half of each generated pair as a spare for the next call — halving the
 /// `ln`/`sqrt`/trig work per jittered delay.
@@ -77,12 +103,12 @@ impl std::fmt::Debug for Variability {
 /// thread-local or global state, so the jitter stream for a given seed is
 /// identical no matter which thread runs the trial.
 #[derive(Debug, Default)]
-struct BoxMuller {
+pub(crate) struct BoxMuller {
     spare: Option<f64>,
 }
 
 impl BoxMuller {
-    fn sample(&mut self, rng: &mut StdRng) -> f64 {
+    pub(crate) fn sample(&mut self, rng: &mut StdRng) -> f64 {
         if let Some(s) = self.spare.take() {
             return s;
         }
@@ -464,10 +490,10 @@ impl Simulation {
 
         // Pre-resolve variability to a per-node sigma so the hot loop never
         // touches cell-name strings: NaN means "no jitter for this node"
-        // (variability off for it, exempt instance, hole, or an absent
-        // PerCellType entry — the latter draws no RNG sample, matching the
-        // interpreted kernel). Custom models get a 0.0 marker and call the
-        // user closure with the interned cell name.
+        // (variability off for it, exempt instance, hole, σ = 0, or an
+        // absent PerCellType entry). Custom models get a 0.0 marker and
+        // call the user closure with the interned cell name. See
+        // [`resolve_sigma`] for the σ = 0 bit-identity rationale.
         let var_active = variability.is_some();
         var_std.clear();
         if var_active {
@@ -477,14 +503,10 @@ impl Simulation {
                     if *exempt {
                         continue;
                     }
-                    var_std[i] = match variability.as_ref().expect("active") {
-                        Variability::Gaussian { std } => *std,
-                        Variability::PerCellType(map) => map
-                            .get(cc.symbols.resolve(cc.cell[i]))
-                            .copied()
-                            .unwrap_or(f64::NAN),
-                        Variability::Custom(_) => 0.0,
-                    };
+                    var_std[i] = resolve_sigma(
+                        variability.as_ref().expect("active"),
+                        cc.symbols.resolve(cc.cell[i]),
+                    );
                 }
             }
         }
@@ -932,6 +954,56 @@ mod tests {
         assert_ne!(ev1.times("Q"), &[15.0]);
         // Jitter is small: within 5 sigma of nominal.
         assert!((ev1.times("Q")[0] - 15.0).abs() < 2.5);
+    }
+
+    #[test]
+    fn zero_sigma_gaussian_is_bitwise_identical_to_nominal() {
+        // σ = 0 must not merely be "close to" the nominal run — the delays
+        // must round-trip untouched. (Applying a 0·sample jitter term would
+        // re-derive each firing time as t + (fire − t), which is not an f64
+        // identity at every time scale.)
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[0.1, 10.3, 1000.7], "A");
+            let q1 = c.add_machine(&jtl(5.3), &[a]).unwrap()[0];
+            let q2 = c.add_machine(&jtl(0.2), &[q1]).unwrap()[0];
+            c.inspect(q2, "Q");
+            c
+        };
+        let nominal = Simulation::new(build()).run().unwrap();
+        let zero = Simulation::new(build())
+            .variability(Variability::Gaussian { std: 0.0 })
+            .seed(99)
+            .run()
+            .unwrap();
+        let t_n = nominal.times("Q");
+        let t_z = zero.times("Q");
+        assert_eq!(t_n.len(), t_z.len());
+        for (a, b) in t_n.iter().zip(t_z) {
+            assert_eq!(a.to_bits(), b.to_bits(), "σ=0 must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn zero_sigma_per_cell_entry_is_bitwise_identical_to_nominal() {
+        let mut map = std::collections::HashMap::new();
+        map.insert("JTL".to_string(), 0.0);
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[0.1, 10.3], "A");
+            let q = c.add_machine(&jtl(5.3), &[a]).unwrap()[0];
+            c.inspect(q, "Q");
+            c
+        };
+        let nominal = Simulation::new(build()).run().unwrap();
+        let zero = Simulation::new(build())
+            .variability(Variability::PerCellType(map))
+            .seed(7)
+            .run()
+            .unwrap();
+        for (a, b) in nominal.times("Q").iter().zip(zero.times("Q")) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -52,6 +52,10 @@ use crate::events::Events;
 use crate::sim::{Simulation, Variability};
 use crate::telemetry::Telemetry;
 
+pub mod batch;
+
+pub use batch::BatchSweep;
+
 /// SplitMix64 finalizer: derive the RNG seed of trial `trial` from the
 /// sweep's master seed. A pure function of `(master, trial)`, so the
 /// assignment of trials to threads cannot perturb any trial's jitter stream.
@@ -173,6 +177,130 @@ enum TrialOutcome {
     Timing,
     /// Aborted by any other error.
     Other,
+}
+
+impl TrialOutcome {
+    fn verdict(&self) -> TrialVerdict {
+        match self {
+            TrialOutcome::Done { check_ok: true, .. } => TrialVerdict::Ok,
+            TrialOutcome::Done { check_ok: false, .. } => TrialVerdict::CheckFailed,
+            TrialOutcome::Timing => TrialVerdict::Timing,
+            TrialOutcome::Other => TrialVerdict::Other,
+        }
+    }
+}
+
+/// The pass/fail classification of one trial, as exposed by
+/// [`Sweep::run_detailed`] and [`BatchSweep::run_detailed`](batch::BatchSweep::run_detailed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialVerdict {
+    /// Clean simulation, check passed (or no check installed).
+    Ok,
+    /// Clean simulation, check failed.
+    CheckFailed,
+    /// Aborted by a timing violation.
+    Timing,
+    /// Aborted by any other simulation error.
+    Other,
+}
+
+/// One trial's full result: its verdict and, for clean trials, every pulse
+/// time on every observed output (aligned with [`SweepDetails::names`];
+/// empty for aborted trials, whose events are discarded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialDetail {
+    /// The trial index (0-based, the same index [`trial_seed`] consumes).
+    pub trial: u64,
+    /// How the trial ended.
+    pub verdict: TrialVerdict,
+    /// Per-output pulse times, one list per name in
+    /// [`SweepDetails::names`] order. Empty for aborted trials.
+    pub outputs: Vec<Vec<Time>>,
+}
+
+/// Per-trial results of a sweep (see [`Sweep::run_detailed`]): the
+/// differential-testing view, where every verdict and pulse time is exposed
+/// instead of aggregated. Comparable with `==`; equal inputs produce
+/// bit-identical details regardless of engine, thread count, or batch
+/// width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepDetails {
+    /// Observed output names, sorted ascending.
+    pub names: Vec<String>,
+    /// One entry per trial, in trial order.
+    pub trials: Vec<TrialDetail>,
+}
+
+/// The sorted observed-wire name list shared by every trial of a sweep
+/// (sorted ascending, which matches the `Events` BTreeMap iteration order).
+fn observed_names(probe: &Circuit) -> Vec<String> {
+    let mut names: Vec<String> = (0..probe.wire_count())
+        .map(|i| probe.wire_at(i))
+        .filter(|w| probe.wire_observed(*w))
+        .map(|w| probe.wire_name(w).to_string())
+        .collect();
+    names.sort();
+    names
+}
+
+/// Serial, trial-ordered reduction of per-trial outcomes into a
+/// [`SweepReport`]. Shared by the scalar and batch engines: both feed it
+/// outcomes in trial order, so the floating-point accumulation order — and
+/// therefore the report — is bitwise-equal whenever the outcomes are.
+fn reduce(names: Vec<String>, trials: u64, records: &[TrialOutcome]) -> SweepReport {
+    let mut accs: Vec<OutAcc> = vec![OutAcc::empty(); names.len()];
+    let (mut ok, mut check_failures, mut timing, mut other) = (0u64, 0u64, 0u64, 0u64);
+    for rec in records {
+        match rec {
+            TrialOutcome::Done {
+                per_output,
+                check_ok,
+            } => {
+                if *check_ok {
+                    ok += 1;
+                } else {
+                    check_failures += 1;
+                }
+                for (acc, one) in accs.iter_mut().zip(per_output) {
+                    acc.fold(one);
+                }
+            }
+            TrialOutcome::Timing => timing += 1,
+            TrialOutcome::Other => other += 1,
+        }
+    }
+
+    let outputs = names
+        .into_iter()
+        .zip(accs)
+        .map(|(name, a)| {
+            let n = a.count as f64;
+            let (mean, std, min, max) = if a.count == 0 {
+                (0.0, 0.0, 0.0, 0.0)
+            } else {
+                let mean = a.sum / n;
+                let var = (a.sumsq / n - mean * mean).max(0.0);
+                (mean, var.sqrt(), a.min, a.max)
+            };
+            OutputStats {
+                name,
+                pulses: a.count,
+                mean,
+                std,
+                min,
+                max,
+            }
+        })
+        .collect();
+
+    SweepReport {
+        trials,
+        ok,
+        check_failures,
+        timing_violations: timing,
+        other_errors: other,
+        outputs,
+    }
 }
 
 /// The boxed per-trial acceptance predicate installed by [`Sweep::check`].
@@ -322,12 +450,7 @@ impl<'a> Sweep<'a> {
         // matches the Events BTreeMap order) shared by every trial.
         let probe = (self.build)();
         probe.check().expect("sweep circuit builder must be valid");
-        let mut names: Vec<String> = (0..probe.wire_count())
-            .map(|i| probe.wire_at(i))
-            .filter(|w| probe.wire_observed(*w))
-            .map(|w| probe.wire_name(w).to_string())
-            .collect();
-        names.sort();
+        let names = observed_names(&probe);
         drop(probe);
 
         let t_sweep = self.telemetry.now();
@@ -371,50 +494,7 @@ impl<'a> Sweep<'a> {
         });
 
         // Serial, trial-ordered reduction.
-        let mut accs: Vec<OutAcc> = vec![OutAcc::empty(); names.len()];
-        let (mut ok, mut check_failures, mut timing, mut other) = (0u64, 0u64, 0u64, 0u64);
-        for rec in &records {
-            match rec {
-                TrialOutcome::Done {
-                    per_output,
-                    check_ok,
-                } => {
-                    if *check_ok {
-                        ok += 1;
-                    } else {
-                        check_failures += 1;
-                    }
-                    for (acc, one) in accs.iter_mut().zip(per_output) {
-                        acc.fold(one);
-                    }
-                }
-                TrialOutcome::Timing => timing += 1,
-                TrialOutcome::Other => other += 1,
-            }
-        }
-
-        let outputs = names
-            .into_iter()
-            .zip(accs)
-            .map(|(name, a)| {
-                let n = a.count as f64;
-                let (mean, std, min, max) = if a.count == 0 {
-                    (0.0, 0.0, 0.0, 0.0)
-                } else {
-                    let mean = a.sum / n;
-                    let var = (a.sumsq / n - mean * mean).max(0.0);
-                    (mean, var.sqrt(), a.min, a.max)
-                };
-                OutputStats {
-                    name,
-                    pulses: a.count,
-                    mean,
-                    std,
-                    min,
-                    max,
-                }
-            })
-            .collect();
+        let report = reduce(names, self.trials, &records);
 
         if self.telemetry.is_enabled() {
             // Sweep-level counters come from the serial reduction, so they
@@ -422,24 +502,70 @@ impl<'a> Sweep<'a> {
             self.telemetry.add_many(&[
                 ("sweep.runs", 1),
                 ("sweep.trials", self.trials),
-                ("sweep.ok", ok),
-                ("sweep.check_failures", check_failures),
-                ("sweep.timing_violations", timing),
-                ("sweep.other_errors", other),
+                ("sweep.ok", report.ok),
+                ("sweep.check_failures", report.check_failures),
+                ("sweep.timing_violations", report.timing_violations),
+                ("sweep.other_errors", report.other_errors),
             ]);
             if let Some(t0) = t_sweep {
                 self.telemetry.record_span("sweep.run", 0, t0, self.trials);
             }
         }
 
-        SweepReport {
-            trials: self.trials,
-            ok,
-            check_failures,
-            timing_violations: timing,
-            other_errors: other,
-            outputs,
+        report
+    }
+
+    /// Run every trial and return its individual verdict and output pulse
+    /// times instead of the aggregate — the reference view the batch
+    /// kernel's differential tests compare against.
+    ///
+    /// Per-trial results are pure functions of `(sweep, trial)` — the
+    /// determinism property [`run`](Self::run) parallelizes over — so this
+    /// runs serially on the calling thread; thread count cannot change the
+    /// outcome, only [`run`]'s wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit builder produces an ill-formed circuit, as
+    /// [`run`](Self::run) does.
+    pub fn run_detailed(&self) -> SweepDetails {
+        let probe = (self.build)();
+        probe.check().expect("sweep circuit builder must be valid");
+        let names = observed_names(&probe);
+        drop(probe);
+
+        let mut sim = Simulation::new((self.build)());
+        sim.set_until(self.until);
+        let mut trials = Vec::with_capacity(self.trials as usize);
+        for trial in 0..self.trials {
+            sim.set_seed(trial_seed(self.master_seed, trial));
+            if let Some(v) = &self.variability {
+                sim.set_variability(Some(v()));
+            }
+            let (verdict, outputs) = match sim.run() {
+                Ok(events) => {
+                    let outputs: Vec<Vec<Time>> =
+                        names.iter().map(|n| events.times(n).to_vec()).collect();
+                    let ok = self.check.as_ref().is_none_or(|c| c(&events));
+                    (
+                        if ok {
+                            TrialVerdict::Ok
+                        } else {
+                            TrialVerdict::CheckFailed
+                        },
+                        outputs,
+                    )
+                }
+                Err(Error::Timing(_)) => (TrialVerdict::Timing, Vec::new()),
+                Err(_) => (TrialVerdict::Other, Vec::new()),
+            };
+            trials.push(TrialDetail {
+                trial,
+                verdict,
+                outputs,
+            });
         }
+        SweepDetails { names, trials }
     }
 }
 

@@ -491,6 +491,18 @@ impl TelemetryReport {
             .map_or(0, |(_, v)| *v)
     }
 
+    /// All counters whose name starts with `prefix`, in sorted-name order —
+    /// the view one subsystem's counters present (e.g.
+    /// `counters_with_prefix("sweep_batch.")` for the batch kernel's
+    /// per-block execution counters). Deterministic for equal reports.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect()
+    }
+
     /// The gauge `name`, or 0 if never recorded.
     pub fn gauge(&self, name: &str) -> u64 {
         self.peaks
@@ -599,6 +611,22 @@ mod tests {
         assert_eq!(r.gauge("p"), 7);
         tel.reset();
         assert!(tel.report().is_empty());
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_one_subsystem() {
+        let tel = Telemetry::new();
+        tel.add("sweep_batch.blocks", 4);
+        tel.add("sweep_batch.dispatches", 100);
+        tel.add("sweep.trials", 64);
+        tel.add("sim.runs", 64);
+        let r = tel.report();
+        let batch = r.counters_with_prefix("sweep_batch.");
+        assert_eq!(
+            batch,
+            vec![("sweep_batch.blocks", 4), ("sweep_batch.dispatches", 100)]
+        );
+        assert!(r.counters_with_prefix("analog.").is_empty());
     }
 
     #[test]

@@ -46,7 +46,11 @@ pub mod xsfq_adder;
 pub use adder::full_adder_sync;
 pub use decision_tree::{decision_tree, decision_tree_with_inputs, Tree};
 pub use dual_rail::{dr_and, dr_fork, dr_input, dr_inspect, dr_not, dr_or, dr_xor};
-pub use margins::{decision_tree_margin, ripple_adder_margin, MarginAnalysis, MarginPoint};
+pub use margins::{
+    decision_tree_margin, design_spec, find_first_pass, find_first_pass_uniform,
+    ripple_adder_margin, shmoo_design_names, shmoo_map, Boundary, CellState, MarginAnalysis,
+    MarginPoint, ShmooMap, ShmooOptions,
+};
 pub use registers::{ripple_counter, shift_register};
 pub use ring::ring_oscillator;
 pub use ripple_adder::{ripple_adder, ripple_adder_with_inputs};

@@ -16,7 +16,7 @@
 
 use rlse::designs::{
     decision_tree_with_inputs, dr_and, dr_input, dr_inspect, dr_xor, ripple_adder_with_inputs,
-    Tree,
+    shmoo_map, ShmooOptions, Tree,
 };
 use rlse::designs::xsfq_adder::full_adder_xsfq_with_inputs;
 use rlse::prelude::*;
@@ -100,6 +100,43 @@ fn golden_xsfq_adder() {
     let mut c = Circuit::new();
     full_adder_xsfq_with_inputs(&mut c, true, false, true).unwrap();
     assert_golden("xsfq_adder", &render_trace(c));
+}
+
+#[test]
+fn golden_minmax_shmoo_map() {
+    // A small fixed-seed margin map for the min-max pair, pinned byte for
+    // byte: every cell verdict is a deterministic function of the map's
+    // master seed and the cell's grid index, so this render must never
+    // drift — not across thread counts, batch widths, or adaptive vs
+    // uniform evaluation order (the per-cell seeds are shared).
+    let sigmas = [0.0, 1.0, 2.0];
+    let scales: Vec<f64> = (0..8).map(|i| 0.05 + 0.25 * i as f64).collect();
+    let opts = ShmooOptions {
+        trials: 16,
+        ..ShmooOptions::default()
+    };
+    let adaptive = shmoo_map("min_max", &sigmas, &scales, &opts);
+    assert_golden("minmax_shmoo", &adaptive.render());
+    // The uniform (exhaustive) map must agree on every verdict; only the
+    // measured/inferred provenance and the adaptive flag may differ.
+    let uniform = shmoo_map(
+        "min_max",
+        &sigmas,
+        &scales,
+        &ShmooOptions {
+            adaptive: false,
+            ..opts
+        },
+    );
+    for row in 0..sigmas.len() {
+        for col in 0..scales.len() {
+            assert_eq!(
+                adaptive.cell(row, col).passes(),
+                uniform.cell(row, col).passes(),
+                "verdict mismatch at row {row} col {col}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -382,3 +382,87 @@ proptest! {
         prop_assert_eq!(base, jittered);
     }
 }
+
+// ---------------------------------------------------- adaptive margin search
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// On any monotone pass/fail oracle (fail below some threshold k, pass
+    /// at and above it — including the all-pass and all-fail extremes), the
+    /// adaptive bisection sampler must find *exactly* the boundary the
+    /// exhaustive uniform scan finds, while spending at most
+    /// `2 + ceil(log2 n)` oracle evaluations.
+    #[test]
+    fn adaptive_boundary_matches_uniform_on_monotone_oracles(
+        n in 0usize..200,
+        k in 0usize..220,
+    ) {
+        use rlse::designs::{find_first_pass, find_first_pass_uniform};
+        // Threshold oracle: index i passes iff i >= k. k >= n means the
+        // whole row fails; k == 0 means it all passes.
+        let mut adaptive_evals = 0usize;
+        let adaptive = find_first_pass(n, |i| {
+            adaptive_evals += 1;
+            i >= k
+        });
+        let uniform = find_first_pass_uniform(n, |i| i >= k);
+        prop_assert_eq!(adaptive, uniform, "n={} k={}", n, k);
+        // Bisection budget: two endpoint probes plus the halving steps.
+        let budget = 2 + (n.max(1) as f64).log2().ceil() as usize;
+        prop_assert!(
+            adaptive_evals <= budget,
+            "adaptive sampler spent {} evaluations on n={} (budget {})",
+            adaptive_evals, n, budget
+        );
+    }
+
+    /// Consistency on *arbitrary* (not necessarily monotone) oracles: the
+    /// boundary the adaptive sampler reports is always a genuinely passing
+    /// index whose predecessor genuinely fails (or index 0) — it never
+    /// claims a margin beyond a point it has itself seen fail.
+    #[test]
+    fn adaptive_boundary_never_passes_beyond_a_failure(
+        raw in proptest::collection::vec(0u8..2, 0..64),
+    ) {
+        use rlse::designs::{find_first_pass, Boundary};
+        let bits: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+        let n = bits.len();
+        match find_first_pass(n, |i| bits[i]) {
+            Boundary::At(i) => {
+                prop_assert!(i < n);
+                prop_assert!(bits[i], "reported boundary {} does not pass", i);
+                if i > 0 {
+                    prop_assert!(
+                        !bits[i - 1],
+                        "boundary {} is not a fail->pass edge", i
+                    );
+                }
+            }
+            Boundary::AllFail => {
+                // All-fail is only claimed when the endpoints both fail
+                // (the sampler probes index 0 and index n-1 first).
+                if n > 0 {
+                    prop_assert!(!bits[0]);
+                    prop_assert!(!bits[n - 1]);
+                }
+            }
+        }
+    }
+
+    /// The uniform scan is the ground truth the adaptive sampler is judged
+    /// against; pin down its own contract: it reports the *first* passing
+    /// index, full stop.
+    #[test]
+    fn uniform_scan_reports_first_pass(
+        raw in proptest::collection::vec(0u8..2, 0..64),
+    ) {
+        use rlse::designs::{find_first_pass_uniform, Boundary};
+        let bits: Vec<bool> = raw.iter().map(|&b| b == 1).collect();
+        let expect = match bits.iter().position(|&b| b) {
+            Some(i) => Boundary::At(i),
+            None => Boundary::AllFail,
+        };
+        prop_assert_eq!(find_first_pass_uniform(bits.len(), |i| bits[i]), expect);
+    }
+}

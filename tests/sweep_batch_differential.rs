@@ -1,0 +1,256 @@
+//! Differential test harness: the structure-of-arrays batch-sweep kernel
+//! must be **bit-identical** to the per-trial-worker scalar sweep — not
+//! statistically close, equal.
+//!
+//! For every Table-3 design, the same Monte-Carlo study (Gaussian jitter at
+//! a σ hot enough to make some trials fail their functional check) is run
+//! through both engines via `run_detailed`, and every per-trial verdict and
+//! every output pulse time must match exactly, across thread counts
+//! {1, 4, 8} and batch widths {1, 7, 64}. The aggregated `SweepReport`s
+//! must also be bitwise-equal, since both engines feed the same serial
+//! reduction in trial order.
+//!
+//! The harness drives the exact circuits the shmoo maps sweep
+//! ([`rlse::designs::design_spec`]), at a scale/σ point chosen per design
+//! so the verdict set is *mixed* — a guard asserts at least one passing and
+//! one non-passing trial, so agreement is never vacuous.
+
+use rlse::core::sweep::{BatchSweep, Sweep, SweepDetails, TrialVerdict};
+use rlse::designs::{design_spec, shmoo_design_names, shmoo_map, ShmooOptions};
+use rlse::prelude::*;
+
+const TRIALS: u64 = 48;
+const SEED: u64 = 0xD1FF;
+const THREADS: [usize; 3] = [1, 4, 8];
+const WIDTHS: [usize; 3] = [1, 7, 64];
+
+/// A (scale, σ) operating point per design, tuned so that `TRIALS` trials
+/// at `SEED` produce a mix of passing and non-passing verdicts: close
+/// enough to the margin boundary that jitter flips some trials.
+fn hot_point(design: &str) -> (f64, f64) {
+    match design {
+        "min_max" => (0.25, 5.0),
+        "race_tree" => (0.15, 3.0),
+        "adder_sync" => (0.25, 5.0),
+        // The clockless xSFQ adder has no race to lose, so it only breaks
+        // under jitter comparable to the cell hold times themselves.
+        "adder_xsfq" => (3.0, 5.0),
+        "bitonic_4" => (1.0, 5.0),
+        "bitonic_8" => (0.8, 1.0),
+        other => panic!("no hot point for design '{other}'"),
+    }
+}
+
+fn scalar_details(design: &str) -> SweepDetails {
+    let (build, check) = design_spec(design);
+    let (scale, sigma) = hot_point(design);
+    Sweep::over(move || build(scale))
+        .variability(move || Variability::Gaussian { std: sigma })
+        .check(check)
+        .trials(TRIALS)
+        .master_seed(SEED)
+        .threads(1)
+        .run_detailed()
+}
+
+fn batch_details(design: &str, threads: usize, width: usize) -> SweepDetails {
+    let (build, check) = design_spec(design);
+    let (scale, sigma) = hot_point(design);
+    BatchSweep::over(move || build(scale))
+        .variability(move || Variability::Gaussian { std: sigma })
+        .check(check)
+        .trials(TRIALS)
+        .master_seed(SEED)
+        .threads(threads)
+        .batch_width(width)
+        .run_detailed()
+}
+
+/// The core differential assertion for one design: scalar reference vs the
+/// batch kernel at every (threads × width) combination, per-trial details
+/// and aggregate reports both.
+fn assert_engines_identical(design: &str) {
+    let reference = scalar_details(design);
+
+    // Vacuity guard: the operating point must produce mixed verdicts, or
+    // the equality below proves nothing about verdict classification.
+    let passing = reference
+        .trials
+        .iter()
+        .filter(|t| t.verdict == TrialVerdict::Ok)
+        .count();
+    assert!(
+        passing > 0 && passing < TRIALS as usize,
+        "{design}: operating point not hot ({passing}/{TRIALS} trials pass) — \
+         the differential comparison would be vacuous"
+    );
+    // And the details must carry actual pulse data for clean trials.
+    assert!(
+        reference
+            .trials
+            .iter()
+            .any(|t| t.outputs.iter().any(|o| !o.is_empty())),
+        "{design}: no output pulses recorded in any trial"
+    );
+
+    let (build, check) = design_spec(design);
+    let (scale, sigma) = hot_point(design);
+    for threads in THREADS {
+        for width in WIDTHS {
+            let batch = batch_details(design, threads, width);
+            assert_eq!(
+                reference, batch,
+                "{design}: batch kernel diverged from scalar sweep at \
+                 threads={threads} width={width}"
+            );
+            // Aggregate reports reduce in trial order on both engines, so
+            // they must be bitwise-equal too.
+            let scalar_report = Sweep::over(move || build(scale))
+                .variability(move || Variability::Gaussian { std: sigma })
+                .check(check)
+                .trials(TRIALS)
+                .master_seed(SEED)
+                .threads(threads)
+                .run();
+            let batch_report = BatchSweep::over(move || build(scale))
+                .variability(move || Variability::Gaussian { std: sigma })
+                .check(check)
+                .trials(TRIALS)
+                .master_seed(SEED)
+                .threads(threads)
+                .batch_width(width)
+                .run();
+            assert_eq!(
+                scalar_report, batch_report,
+                "{design}: aggregate reports diverged at threads={threads} width={width}"
+            );
+        }
+    }
+}
+
+#[test]
+fn min_max_batch_matches_scalar() {
+    assert_engines_identical("min_max");
+}
+
+#[test]
+fn race_tree_batch_matches_scalar() {
+    assert_engines_identical("race_tree");
+}
+
+#[test]
+fn adder_sync_batch_matches_scalar() {
+    assert_engines_identical("adder_sync");
+}
+
+#[test]
+fn adder_xsfq_batch_matches_scalar() {
+    assert_engines_identical("adder_xsfq");
+}
+
+#[test]
+fn bitonic_4_batch_matches_scalar() {
+    assert_engines_identical("bitonic_4");
+}
+
+#[test]
+fn bitonic_8_batch_matches_scalar() {
+    assert_engines_identical("bitonic_8");
+}
+
+#[test]
+fn design_list_is_covered() {
+    // If a new design joins the shmoo set, it must also join this harness.
+    let covered = [
+        "min_max",
+        "race_tree",
+        "adder_sync",
+        "adder_xsfq",
+        "bitonic_4",
+        "bitonic_8",
+    ];
+    assert_eq!(shmoo_design_names(), &covered);
+}
+
+// ------------------------------------------------------------ edge cases
+
+/// `trials == 0` is an empty study, not a panic: both engines return an
+/// empty report with every counter at zero.
+#[test]
+fn zero_trials_is_empty_report_not_panic() {
+    let (build, check) = design_spec("min_max");
+    let scalar = Sweep::over(move || build(1.0))
+        .check(check)
+        .trials(0)
+        .run();
+    let batch = BatchSweep::over(move || build(1.0))
+        .check(check)
+        .trials(0)
+        .batch_width(16)
+        .run();
+    for report in [&scalar, &batch] {
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.check_failures, 0);
+        assert_eq!(report.timing_violations, 0);
+        assert_eq!(report.other_errors, 0);
+    }
+    assert_eq!(scalar, batch);
+    let details = BatchSweep::over(move || build(1.0))
+        .trials(0)
+        .run_detailed();
+    assert!(details.trials.is_empty());
+}
+
+/// An empty parameter grid is an empty map, not a panic: no sigmas means
+/// no rows, no scales means rows of zero width, and in both cases zero
+/// sweeps are evaluated.
+#[test]
+fn empty_parameter_grid_is_empty_map_not_panic() {
+    let opts = ShmooOptions {
+        trials: 4,
+        ..ShmooOptions::default()
+    };
+    let no_rows = shmoo_map("min_max", &[], &[0.5, 1.0], &opts);
+    assert!(no_rows.cells.is_empty());
+    assert_eq!(no_rows.evaluated, 0);
+
+    let no_cols = shmoo_map("min_max", &[0.0, 1.0], &[], &opts);
+    assert!(no_cols.cells.is_empty());
+    assert_eq!(no_cols.evaluated, 0);
+    assert_eq!(no_cols.margin_scale(0), None);
+
+    let nothing = shmoo_map("min_max", &[], &[], &opts);
+    assert!(nothing.cells.is_empty());
+    // Rendering an empty map is well-defined, too.
+    assert!(nothing.render().starts_with("shmoo design=min_max"));
+}
+
+/// Gaussian σ = 0 must be *identical* to running with no variability at
+/// all: the jitter path samples a zero-width distribution, so every delay
+/// equals its nominal value and the pulse times match bit for bit.
+#[test]
+fn sigma_zero_equals_nominal_run() {
+    for design in shmoo_design_names() {
+        let (build, check) = design_spec(design);
+        let jittered = BatchSweep::over(move || build(1.0))
+            .variability(|| Variability::Gaussian { std: 0.0 })
+            .check(check)
+            .trials(8)
+            .master_seed(123)
+            .run_detailed();
+        let nominal = BatchSweep::over(move || build(1.0))
+            .check(check)
+            .trials(8)
+            .master_seed(123)
+            .run_detailed();
+        assert_eq!(
+            jittered, nominal,
+            "{design}: σ=0 jitter must be indistinguishable from the nominal run"
+        );
+        // And with zero-width jitter every trial is the same trial.
+        for t in &jittered.trials[1..] {
+            assert_eq!(t.outputs, jittered.trials[0].outputs);
+        }
+    }
+}
