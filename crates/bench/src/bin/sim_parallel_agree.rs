@@ -1,0 +1,42 @@
+//! CI smoke check: the conservative-parallel event loop must be
+//! bit-identical to the scalar kernel on a scaled design at several worker
+//! counts.
+//!
+//! Runs the 32-input bitonic wave workload scalar once, then partitioned at
+//! 2, 4, and 8 workers, and asserts every observed pulse time agrees
+//! bitwise. Exits non-zero (panics) on any divergence.
+
+use rlse_bench::bench_bitonic_waves;
+use rlse_core::prelude::*;
+
+fn main() {
+    let mut sim = Simulation::new(bench_bitonic_waves(32, 8).circuit);
+    let scalar = sim.run().expect("scalar run is clean");
+    println!(
+        "scalar: {} pulses across {} observed wires",
+        scalar.pulse_count_all(),
+        scalar.names().count()
+    );
+    for threads in [2usize, 4, 8] {
+        let mut par = ParallelSim::new(bench_bitonic_waves(32, 8).circuit).threads(threads);
+        let ev = par.run().expect("partitioned run is clean");
+        assert!(
+            par.last_run_parallel(),
+            "{threads} workers: expected the partitioned path"
+        );
+        assert_eq!(ev, scalar, "{threads} workers: events diverged from scalar");
+        for name in scalar.names() {
+            let (a, b) = (scalar.times(name), ev.times(name));
+            assert_eq!(a.len(), b.len(), "{threads} workers: pulse count on {name}");
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{threads} workers: pulse time on {name} not bitwise equal"
+                );
+            }
+        }
+        println!("{threads} workers: bit-identical");
+    }
+    println!("sim_parallel_agree: OK");
+}

@@ -82,12 +82,11 @@ pub fn bench_min_max() -> Bench {
     }
 }
 
-/// Stimulus times used for the n-input bitonic sorters (distinct, ≥10 ps
-/// apart, scrambled order).
+/// Stimulus times used for the n-input bitonic sorters (distinct, scrambled
+/// order, rank-gap scaled past n = 8 — identical to the old flat 10 ps ramp
+/// for the paper's n ≤ 8 designs).
 pub fn bitonic_times(n: usize) -> Vec<f64> {
-    (0..n)
-        .map(|i| 15.0 + 10.0 * ((i * 7 + 3) % n) as f64)
-        .collect()
+    rlse_designs::bitonic_stimulus(n, 15.0)
 }
 
 /// An n-input bitonic sorter bench (the paper evaluates n = 4 and n = 8).
@@ -98,13 +97,50 @@ pub fn bench_bitonic(n: usize) -> Bench {
         name: match n {
             4 => "Bitonic Sort 4",
             8 => "Bitonic Sort 8",
+            16 => "Bitonic Sort 16",
+            32 => "Bitonic Sort 32",
+            64 => "Bitonic Sort 64",
             _ => "Bitonic Sort",
         },
-        size: match n {
-            4 => 6,
-            8 => 24,
-            _ => n * 3,
+        size: rlse_designs::bitonic_schedule(n).iter().map(Vec::len).sum(),
+        circuit: c,
+    }
+}
+
+/// A scaled bitonic workload: the `n`-input sorter driven by `waves`
+/// successive scrambled pulse waves (see
+/// [`rlse_designs::bitonic_wave_stimulus`]) — the single-simulation
+/// workload the conservative-parallel event loop is benchmarked on.
+pub fn bench_bitonic_waves(n: usize, waves: usize) -> Bench {
+    let mut c = Circuit::new();
+    rlse_designs::bitonic_sorter_with_waves(&mut c, n, waves).expect("fresh wires");
+    Bench {
+        name: match n {
+            16 => "Bitonic Waves 16",
+            32 => "Bitonic Waves 32",
+            64 => "Bitonic Waves 64",
+            _ => "Bitonic Waves",
         },
+        size: rlse_designs::bitonic_schedule(n).iter().map(Vec::len).sum(),
+        circuit: c,
+    }
+}
+
+/// A scaled clockless-adder workload: a `bits`-wide dual-rail ripple adder
+/// computing the worst-case full-length carry chain `(2^bits − 1) + 1`.
+pub fn bench_wide_adder_xsfq(bits: usize) -> Bench {
+    let mut c = Circuit::new();
+    let a = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    rlse_designs::ripple_adder_xsfq_with_inputs(&mut c, bits, a, 1, false)
+        .expect("fresh wires");
+    Bench {
+        name: match bits {
+            16 => "xSFQ Adder 16",
+            32 => "xSFQ Adder 32",
+            64 => "xSFQ Adder 64",
+            _ => "xSFQ Adder",
+        },
+        size: 14 * bits,
         circuit: c,
     }
 }

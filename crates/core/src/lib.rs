@@ -11,7 +11,9 @@
 //! * [`functional`] — behavioral "holes" mixing software models into pulse
 //!   circuits.
 //! * [`sim`] — the discrete-event simulator, with optional firing-delay
-//!   variability.
+//!   variability, and [`sim::parallel`] — the conservative-parallel epoch
+//!   loop that runs one large simulation across cores, bit-identical to the
+//!   scalar kernel.
 //! * [`compiled`] — the one-time lowering of a circuit into flat dispatch
 //!   tables and interned names that makes the simulator's hot loop
 //!   allocation-free.
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::events::Events;
     pub use crate::functional::Hole;
     pub use crate::machine::{EdgeDef, Machine};
+    pub use crate::sim::parallel::ParallelSim;
     pub use crate::sim::{Simulation, TraceEntry, Variability};
     pub use crate::sweep::{OutputStats, Sweep, SweepReport};
     pub use crate::telemetry::{Telemetry, TelemetryReport};

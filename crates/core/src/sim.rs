@@ -29,6 +29,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BinaryHeap;
 
+pub mod parallel;
+
 /// Per-firing propagation-delay variability (paper §5.2).
 ///
 /// With variability enabled, every individual propagation delay that occurs
@@ -375,10 +377,17 @@ impl Simulation {
         for evs in &mut self.wire_events {
             evs.clear();
         }
+        // Pre-size the pulse heap from the same dispatch estimate the trace
+        // uses: the heap's peak depth is bounded by pending stimulus plus
+        // in-flight fan-out, both covered by `event_estimate`, so the hot
+        // loop never pays a sift-and-reallocate mid-run.
+        let est = cc.event_estimate();
+        if self.heap.capacity() < est {
+            self.heap.reserve(est);
+        }
         if self.trace_enabled {
             // Pre-size the trace from the compiled circuit's dispatch
             // estimate so a traced run does not grow the Vec batch by batch.
-            let est = cc.event_estimate();
             if self.trace.capacity() < est {
                 self.trace.reserve(est);
             }

@@ -1,0 +1,1212 @@
+//! Conservative-parallel discrete-event loop for a *single* simulation
+//! (ROADMAP item 5: scaling one run past the paper's Table-3 sizes).
+//!
+//! [`ParallelSim`] partitions a [`CompiledCircuit`]'s dispatch graph into
+//! regions, gives each region its own pulse heap and worker thread, and runs
+//! Chandy–Misra-style **epochs**: every worker drains its local heap up to a
+//! conservative horizon derived from the other regions' pending times plus
+//! the minimum firing delay along every cross-region path, then exchanges
+//! cross-partition pulses at a barrier. The result is **bit-identical to the
+//! scalar kernel at any thread count** — same [`Events`], same trace, same
+//! error on a timing violation — because no ordering decision ever consults
+//! wall-clock time or thread identity.
+//!
+//! ## Why determinism is cheap here
+//!
+//! The parallel path requires every firing delay in the circuit to be
+//! strictly positive (it needs them positive anyway for a non-degenerate
+//! lookahead). Under that precondition no pulse can be created *at* the
+//! timestamp currently being dispatched, so the scalar kernel's dispatch
+//! order is exactly ascending `(time, node)` — the heap's FIFO `seq`
+//! tie-break never decides *which batch* runs next, only the input order
+//! *within* a batch. That input order equals the creation order of the
+//! batch's pulses, which is itself the lexicographic order of a purely local
+//! provenance key: `(creator time, creator node, firing index)`, with
+//! stimulus pulses first in compiled-stimulus order. Each region keys its
+//! heap on `(time, node, provenance)` and reproduces the scalar batch order
+//! with no global sequence counter at all.
+//!
+//! ## The horizon
+//!
+//! Let `L(s, r)` be the minimum firing delay over every wire that crosses
+//! from region `s` into region `r`, `D` its all-pairs shortest-path closure
+//! over the region digraph, and `C(r) = min_s (D(r,s) + D(s,r))` the
+//! shortest cycle through `r`. With `T_s` the earliest pending time in
+//! region `s` at the epoch barrier, region `r` may safely dispatch every
+//! batch strictly below
+//!
+//! ```text
+//! bound(r) = min( min_{s≠r} (T_s + D(s, r)),  T_r + C(r) )
+//! ```
+//!
+//! Any pulse that could still arrive from outside either descends from a
+//! pending event in some other region `s` (arriving no earlier than
+//! `T_s + D(s, r)`) or from `r`'s own pending work leaving and coming back
+//! (no earlier than `T_r + C(r)`). The region holding the global minimum
+//! always has `T_r < bound(r)` because every delay is positive, so each
+//! epoch makes progress and the loop cannot deadlock. Feed-forward circuits
+//! have `C(r) = ∞` and pay nothing for the cycle term.
+//!
+//! ## Fallbacks
+//!
+//! Circuits the parallel loop cannot run bit-identically fall back to the
+//! scalar kernel (counted under `par.fallback_scalar`): holes (stateful user
+//! closures need `&mut Circuit`), variability (one global RNG stream in
+//! dispatch order), any firing delay ≤ 0, fewer than two usable regions or
+//! threads. A timing violation aborts the epoch loop and reruns on the
+//! scalar kernel (`par.violation_rerun`) so the diagnostic — and the partial
+//! trace — are bitwise exactly the scalar ones; until the first violating
+//! dispatch both kernels are identical, so the rerun always re-detects it.
+
+use super::{Simulation, TraceEntry};
+use crate::compiled::{CompiledCircuit, CompiledNode};
+use crate::error::Error;
+use crate::events::Events;
+use crate::telemetry::Telemetry;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Cross edges cheaper than this (ps) are absorbed into the growing region
+/// even past its size target: comparator lanes are stitched from ~2 ps JTL
+/// balance edges, and cutting one would collapse the region's lookahead to
+/// that 2 ps. Cell-to-cell edges (≳ 5 ps) remain fair game for the cut.
+const LANE_BIAS: f64 = 5.0;
+
+/// A pending pulse in a region's local heap, keyed for a min-heap on
+/// `(time, node, provenance)` where provenance is `(src_time, src_node,
+/// src_fired)` — the creation order the scalar kernel's `seq` would have
+/// assigned (see the module docs). Stimulus pulses carry
+/// `src_time = -∞, src_node = compiled stimulus index`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RPulse {
+    time: f64,
+    node: u32,
+    port: u32,
+    src_time: f64,
+    src_node: u32,
+    src_fired: u32,
+}
+
+impl Eq for RPulse {}
+impl Ord for RPulse {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed for a min-heap.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.node.cmp(&self.node))
+            .then(other.src_time.total_cmp(&self.src_time))
+            .then(other.src_node.cmp(&self.src_node))
+            .then(other.src_fired.cmp(&self.src_fired))
+    }
+}
+impl PartialOrd for RPulse {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A sense-reversing barrier that spins briefly and then yields — the yield
+/// path matters on machines with fewer cores than workers, where a pure spin
+/// would serialize every epoch behind the scheduler quantum.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier { n, count: AtomicUsize::new(0), sense: AtomicBool::new(false) }
+    }
+
+    /// `local` is the caller's thread-local sense, initially `false`. The
+    /// release/acquire chain through `count`'s RMWs and the `sense` flip
+    /// makes every write sequenced before any arrival visible to every
+    /// thread after it returns — which is what lets the pending-time slots
+    /// use relaxed loads and stores.
+    fn wait(&self, local: &mut bool) {
+        let target = !*local;
+        *local = target;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != target {
+                spins = spins.wrapping_add(1);
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The partition and lookahead tables, computed once per (circuit, region
+/// count) and reused across runs.
+struct Plan {
+    /// The region count this plan was built for (cache key).
+    want: usize,
+    n_regions: usize,
+    /// Region index per compiled node (sources join their sink's region).
+    region_of: Vec<u32>,
+    /// `n_regions²` all-pairs shortest-path lookahead `D(s, r)`.
+    dist: Vec<f64>,
+    /// Per-region shortest cycle `C(r)` (∞ on feed-forward circuits).
+    cycle: Vec<f64>,
+    /// Per wire: region of its sink node, `u32::MAX` for unread wires.
+    wire_dst_region: Vec<u32>,
+    /// Smallest cross-region edge lookahead (diagnostic; ∞ if no cross edge).
+    min_lookahead: f64,
+}
+
+/// State shared by every region worker for one run.
+struct Shared<'a> {
+    cc: &'a CompiledCircuit,
+    nr: usize,
+    dist: &'a [f64],
+    cycle: &'a [f64],
+    wire_dst_region: &'a [u32],
+    until: Option<f64>,
+    trace_enabled: bool,
+    /// Per-region earliest pending time, published as `f64::to_bits`.
+    slots: Vec<AtomicU64>,
+    /// Per-region inboxes for cross-partition pulses, drained at barrier B.
+    mail: Vec<Mutex<Vec<RPulse>>>,
+    /// Set by a worker that hit a timing violation; checked uniformly at the
+    /// top of the next epoch so every worker exits together.
+    abort: AtomicBool,
+    barrier: SpinBarrier,
+}
+
+/// One region's private runtime: a full-size copy of the flat machine state
+/// (only this region's nodes are ever touched — regions partition the
+/// dispatch nodes, so the copies are disjoint by construction), the local
+/// heap, per-wire event lists (each wire is written by exactly one region:
+/// its driver's), and the outboxes staged for the next barrier.
+struct RegionRun {
+    id: usize,
+    heap: BinaryHeap<RPulse>,
+    states: Vec<u32>,
+    tau_done: Vec<f64>,
+    theta: Vec<f64>,
+    wire_events: Vec<Vec<f64>>,
+    staged: Vec<Vec<RPulse>>,
+    trace: Vec<(f64, u32, TraceEntry)>,
+    batch: Vec<u32>,
+    rest: Vec<u32>,
+    fired: Vec<(u32, f64)>,
+    // Deterministic counters: the epoch schedule depends only on the
+    // partition and the event times, never on wall-clock, so these agree
+    // run-to-run and thread-count-to-thread-count.
+    epochs: u64,
+    dispatches: u64,
+    transitions: u64,
+    cross: u64,
+    stalls: u64,
+    n_wire: u64,
+    heap_peak: usize,
+    violated: bool,
+}
+
+impl RegionRun {
+    fn new(id: usize, cc: &CompiledCircuit, n_wires: usize, n_regions: usize) -> Self {
+        RegionRun {
+            id,
+            heap: BinaryHeap::new(),
+            states: cc
+                .nodes
+                .iter()
+                .map(|n| match n {
+                    CompiledNode::Machine { cm, .. } => cc.machines[*cm as usize].start,
+                    _ => 0,
+                })
+                .collect(),
+            tau_done: vec![0.0; cc.nodes.len()],
+            theta: vec![f64::NEG_INFINITY; cc.theta_len],
+            wire_events: vec![Vec::new(); n_wires],
+            staged: vec![Vec::new(); n_regions],
+            trace: Vec::new(),
+            batch: Vec::new(),
+            rest: Vec::new(),
+            fired: Vec::new(),
+            epochs: 0,
+            dispatches: 0,
+            transitions: 0,
+            cross: 0,
+            stalls: 0,
+            n_wire: 0,
+            heap_peak: 0,
+            violated: false,
+        }
+    }
+
+    /// Drain the local heap strictly below `bound`, mirroring the scalar
+    /// kernel's batch-gather + priority dispatch exactly. Returns early with
+    /// `violated` set on a timing violation (the diagnostic is produced by
+    /// the scalar rerun).
+    fn drain(&mut self, bound: f64, sh: &Shared<'_>) {
+        let cc = sh.cc;
+        while let Some(&first) = self.heap.peek() {
+            if first.time >= bound {
+                break;
+            }
+            self.heap.pop();
+            let node = first.node as usize;
+            let t = first.time;
+            // getSimPulses: every same-(time, node) pulse is already in this
+            // heap (positive delays + the horizon guarantee), in creation
+            // order by the provenance key.
+            self.batch.clear();
+            self.batch.push(first.port);
+            while let Some(p) = self.heap.peek() {
+                if p.time == t && p.node == first.node {
+                    self.batch.push(self.heap.pop().expect("peeked").port);
+                } else {
+                    break;
+                }
+            }
+            self.dispatches += 1;
+            self.fired.clear();
+            let CompiledNode::Machine { cm, theta_off, .. } = cc.nodes[node] else {
+                unreachable!("parallel regions dispatch only machine nodes")
+            };
+            let m = &cc.machines[cm as usize];
+            let th = &mut self.theta[theta_off as usize..theta_off as usize + m.n_inputs as usize];
+            let mut q = self.states[node];
+            let state_before = q;
+            let mut td = self.tau_done[node];
+            self.rest.clear();
+            self.rest.extend_from_slice(&self.batch);
+            while !self.rest.is_empty() {
+                let mut pos = 0usize;
+                let mut best = (m.transition(q, self.rest[0]).priority, self.rest[0]);
+                for (i, &p) in self.rest.iter().enumerate().skip(1) {
+                    let key = (m.transition(q, p).priority, p);
+                    if key < best {
+                        pos = i;
+                        best = key;
+                    }
+                }
+                let sigma = self.rest.remove(pos);
+                let tr = *m.transition(q, sigma);
+                if t < td {
+                    self.violated = true;
+                    return;
+                }
+                for &(cin, dist) in &m.pasts[tr.past.0 as usize..tr.past.1 as usize] {
+                    if t < th[cin as usize] + dist {
+                        self.violated = true;
+                        return;
+                    }
+                }
+                q = tr.dst;
+                td = t + tr.tau_tran;
+                th[sigma as usize] = t;
+                for &(o, d) in &m.firings[tr.fire.0 as usize..tr.fire.1 as usize] {
+                    self.fired.push((o, t + d));
+                }
+            }
+            self.states[node] = q;
+            self.tau_done[node] = td;
+            self.transitions += self.batch.len() as u64;
+            if sh.trace_enabled {
+                self.trace.push((
+                    t,
+                    first.node,
+                    TraceEntry {
+                        time: t,
+                        node_wire: cc.symbols.resolve(cc.node_wire[node]).to_string(),
+                        cell: cc.symbols.resolve(m.name).to_string(),
+                        inputs: self
+                            .batch
+                            .iter()
+                            .map(|&p| cc.symbols.resolve(m.inputs[p as usize]).to_string())
+                            .collect(),
+                        state_before: cc
+                            .symbols
+                            .resolve(m.states[state_before as usize])
+                            .to_string(),
+                        state_after: cc.symbols.resolve(m.states[q as usize]).to_string(),
+                        fired: self
+                            .fired
+                            .iter()
+                            .map(|&(o, ft)| {
+                                (cc.symbols.resolve(m.outputs[o as usize]).to_string(), ft)
+                            })
+                            .collect(),
+                    },
+                ));
+            }
+            // Deliver. Pulses past the target time are dropped outright —
+            // the scalar kernel parks them in the heap unprocessed, which is
+            // observably identical.
+            let outs = cc.node_out_wires(node);
+            let fired = std::mem::take(&mut self.fired);
+            for (idx, &(port, t_out)) in fired.iter().enumerate() {
+                if sh.until.is_some_and(|u| t_out > u) {
+                    continue;
+                }
+                let wire = outs[port as usize] as usize;
+                self.wire_events[wire].push(t_out);
+                self.n_wire += 1;
+                let (sink, sport) = cc.sink[wire];
+                if sink != u32::MAX {
+                    let rp = RPulse {
+                        time: t_out,
+                        node: sink,
+                        port: sport,
+                        src_time: t,
+                        src_node: first.node,
+                        src_fired: idx as u32,
+                    };
+                    let dst = sh.wire_dst_region[wire] as usize;
+                    if dst == self.id {
+                        self.heap.push(rp);
+                        self.heap_peak = self.heap_peak.max(self.heap.len());
+                    } else {
+                        self.staged[dst].push(rp);
+                    }
+                }
+            }
+            self.fired = fired;
+        }
+    }
+}
+
+/// One region's epoch loop. Two barriers per epoch: publish pending times →
+/// **A** → everyone computes identical bounds and exit decisions from the
+/// same slot snapshot → drain → deposit cross pulses → **B** → merge inbox.
+fn worker(mut rr: RegionRun, sh: &Shared<'_>) -> RegionRun {
+    let r = rr.id;
+    let nr = sh.nr;
+    let mut sense = false;
+    loop {
+        // Sample the abort flag *before* barrier A: it is only ever written
+        // inside a drain (strictly between A and B), so in this window the
+        // value is stable and every worker reads the same one. Reading it
+        // after A instead would race with the current epoch's drains and
+        // let workers disagree on the exit, stranding some at barrier B.
+        let abort = sh.abort.load(Ordering::Relaxed);
+        let t_next = rr.heap.peek().map_or(f64::INFINITY, |p| p.time);
+        sh.slots[r].store(t_next.to_bits(), Ordering::Relaxed);
+        sh.barrier.wait(&mut sense);
+        let mut global_min = f64::INFINITY;
+        let mut bound = t_next + sh.cycle[r];
+        for (s, slot) in sh.slots.iter().enumerate() {
+            let ts = f64::from_bits(slot.load(Ordering::Relaxed));
+            if ts < global_min {
+                global_min = ts;
+            }
+            if s != r {
+                let b = ts + sh.dist[s * nr + r];
+                if b < bound {
+                    bound = b;
+                }
+            }
+        }
+        // Uniform exit decisions: every worker sees the same slots and the
+        // same pre-A abort sample here, so all of them leave in the same
+        // epoch and no barrier is left short.
+        if abort || global_min == f64::INFINITY {
+            break;
+        }
+        if sh.until.is_some_and(|u| global_min > u) {
+            break;
+        }
+        rr.epochs += 1;
+        let before = rr.dispatches;
+        rr.drain(bound, sh);
+        if rr.violated {
+            sh.abort.store(true, Ordering::Relaxed);
+        }
+        if t_next.is_finite() && rr.dispatches == before {
+            // Had pending work but the horizon blocked all of it.
+            rr.stalls += 1;
+        }
+        for dst in 0..nr {
+            if dst != r && !rr.staged[dst].is_empty() {
+                rr.cross += rr.staged[dst].len() as u64;
+                sh.mail[dst].lock().expect("mailbox poisoned").append(&mut rr.staged[dst]);
+            }
+        }
+        sh.barrier.wait(&mut sense);
+        {
+            let mut mail = sh.mail[r].lock().expect("mailbox poisoned");
+            for p in mail.drain(..) {
+                rr.heap.push(p);
+            }
+        }
+        rr.heap_peak = rr.heap_peak.max(rr.heap.len());
+    }
+    rr
+}
+
+/// Internal marker: the epoch loop aborted on a timing violation and the
+/// caller must rerun on the scalar kernel for the bitwise-exact diagnostic.
+struct Aborted;
+
+/// A [`Simulation`] wrapper that runs eligible circuits on the
+/// conservative-parallel epoch loop and everything else on the scalar
+/// kernel, with results guaranteed bit-identical either way.
+///
+/// ```
+/// use rlse_core::prelude::*;
+/// use rlse_core::machine::{EdgeDef, Machine};
+///
+/// # fn main() -> Result<(), rlse_core::Error> {
+/// let jtl = Machine::new("JTL", &["a"], &["q"], 5.0, 2, &[EdgeDef {
+///     src: "idle", trigger: "a", dst: "idle", firing: "q", ..EdgeDef::default()
+/// }])?;
+/// let mut c = Circuit::new();
+/// let a = c.inp_at(&[10.0, 20.0], "A");
+/// let q1 = c.add_machine(&jtl, &[a])?[0];
+/// let q2 = c.add_machine(&jtl, &[q1])?[0];
+/// c.inspect(q2, "Q");
+/// let events = ParallelSim::new(c).threads(4).run()?;
+/// assert_eq!(events.times("Q"), &[20.0, 30.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ParallelSim {
+    sim: Simulation,
+    /// Requested worker count; 0 = one per available core.
+    threads: usize,
+    plan: Option<Plan>,
+    trace: Vec<TraceEntry>,
+    last_parallel: bool,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("want", &self.want)
+            .field("n_regions", &self.n_regions)
+            .field("min_lookahead", &self.min_lookahead)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelSim {
+    /// Create a parallel simulation over `circuit` with no target time and
+    /// an automatic thread count (one worker per available core).
+    pub fn new(circuit: crate::circuit::Circuit) -> Self {
+        ParallelSim {
+            sim: Simulation::new(circuit),
+            threads: 0,
+            plan: None,
+            trace: Vec::new(),
+            last_parallel: false,
+        }
+    }
+
+    /// Wrap an already-configured [`Simulation`] (keeping its target time,
+    /// trace flag, telemetry handle, and compiled tables).
+    pub fn from_simulation(sim: Simulation) -> Self {
+        ParallelSim { sim, threads: 0, plan: None, trace: Vec::new(), last_parallel: false }
+    }
+
+    /// Set the worker count. `0` (the default) uses one worker per available
+    /// core; `1` always runs the scalar kernel. The circuit is split into at
+    /// most this many regions, so results are identical at every setting.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.set_threads(n);
+        self
+    }
+
+    /// Change the worker count in place (see [`threads`](Self::threads)).
+    pub fn set_threads(&mut self, n: usize) {
+        if self.threads != n {
+            self.threads = n;
+            self.plan = None;
+        }
+    }
+
+    /// Simulate only until the given time (required for feedback loops).
+    pub fn until(mut self, t: f64) -> Self {
+        self.sim.until = Some(t);
+        self
+    }
+
+    /// Enable firing-delay variability. Variability needs the scalar
+    /// kernel's single RNG stream, so every run falls back to it.
+    pub fn variability(mut self, v: super::Variability) -> Self {
+        self.sim.variability = Some(v);
+        self
+    }
+
+    /// Seed the variability RNG (only meaningful with variability set).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// Record a [`TraceEntry`] per dispatched batch, exactly as the scalar
+    /// kernel orders them; retrieve with [`trace`](Self::trace).
+    pub fn with_trace(mut self) -> Self {
+        self.sim.trace_enabled = true;
+        self
+    }
+
+    /// Attach a [`Telemetry`] handle. Parallel runs flush `par.*` counters
+    /// (epochs, horizon stalls, cross-partition pulses, per-region occupancy
+    /// peaks) alongside the scalar kernel's `sim.*` set on fallback runs.
+    pub fn telemetry(mut self, tel: &Telemetry) -> Self {
+        self.sim.telemetry = tel.clone();
+        self
+    }
+
+    /// The dispatch log of the most recent run, if tracing was enabled.
+    pub fn trace(&self) -> &[TraceEntry] {
+        if self.last_parallel {
+            &self.trace
+        } else {
+            self.sim.trace()
+        }
+    }
+
+    /// Borrow the circuit under simulation.
+    pub fn circuit(&self) -> &crate::circuit::Circuit {
+        self.sim.circuit()
+    }
+
+    /// Take the circuit back out.
+    pub fn into_circuit(self) -> crate::circuit::Circuit {
+        self.sim.into_circuit()
+    }
+
+    /// Whether the most recent [`run`](Self::run) took the partitioned path
+    /// (false after a fallback or a violation rerun).
+    pub fn last_run_parallel(&self) -> bool {
+        self.last_parallel
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Why this run must take the scalar kernel, if it must.
+    fn scalar_reason(&mut self, threads: usize) -> Option<&'static str> {
+        if threads < 2 {
+            return Some("threads < 2");
+        }
+        if self.sim.variability.is_some() {
+            return Some("variability needs the scalar RNG stream");
+        }
+        let cc = self.sim.compiled();
+        if cc.nodes.iter().any(|n| matches!(n, CompiledNode::Hole { .. })) {
+            return Some("holes need &mut circuit");
+        }
+        if cc.dispatch_nodes < 2 {
+            return Some("fewer than two dispatch nodes");
+        }
+        if cc.machines.iter().any(|m| m.min_firing_delay() <= 0.0) {
+            return Some("non-positive firing delay");
+        }
+        None
+    }
+
+    /// Run to completion, on the partitioned loop when eligible, and return
+    /// the events observed on every named wire — bit-identical to
+    /// [`Simulation::run`] in every case.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Simulation::run`]'s: timing violations rerun on the scalar
+    /// kernel so the diagnostic is the scalar one, byte for byte.
+    pub fn run(&mut self) -> Result<Events, Error> {
+        self.last_parallel = false;
+        self.sim.circuit.check()?;
+        let threads = self.resolved_threads();
+        if self.scalar_reason(threads).is_some() {
+            self.sim.telemetry.add("par.fallback_scalar", 1);
+            return self.sim.run();
+        }
+        let want = threads.min(self.sim.compiled().dispatch_nodes);
+        if self.plan.as_ref().is_none_or(|p| p.want != want) {
+            self.plan = Some(build_plan(self.sim.compiled(), want));
+        }
+        if self.plan.as_ref().expect("plan built").n_regions < 2 {
+            self.sim.telemetry.add("par.fallback_scalar", 1);
+            return self.sim.run();
+        }
+        match run_partitioned(&mut self.sim, self.plan.as_ref().expect("plan built")) {
+            Ok((events, trace)) => {
+                self.trace = trace;
+                self.last_parallel = true;
+                Ok(events)
+            }
+            Err(Aborted) => {
+                self.sim.telemetry.add("par.violation_rerun", 1);
+                self.sim.run()
+            }
+        }
+    }
+}
+
+/// Partition the dispatch graph into at most `want` regions by deterministic
+/// BFS growth over the undirected wire adjacency (lowest-index seed first,
+/// neighbors in ascending node order), then close the lookahead tables over
+/// the resulting region digraph. The growth absorbs sub-[`LANE_BIAS`] edges
+/// past the size target (up to 1.5×) so comparator lanes stay whole — a
+/// cheap min-cut bias that keeps cross-region lookahead at cell scale.
+fn build_plan(cc: &CompiledCircuit, want: usize) -> Plan {
+    let n = cc.nodes.len();
+    let is_machine = |i: usize| matches!(cc.nodes[i], CompiledNode::Machine { .. });
+    let dispatch: Vec<u32> =
+        (0..n).filter(|&i| is_machine(i)).map(|i| i as u32).collect();
+    let min_out: Vec<Vec<f64>> = cc.machines.iter().map(|m| m.min_out_delays()).collect();
+
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    for &u in &dispatch {
+        let CompiledNode::Machine { cm, .. } = cc.nodes[u as usize] else { unreachable!() };
+        for (port, &w) in cc.node_out_wires(u as usize).iter().enumerate() {
+            let (v, _) = cc.sink[w as usize];
+            if v != u32::MAX && v != u && is_machine(v as usize) {
+                let wt = min_out[cm as usize][port];
+                adj[u as usize].push((v, wt));
+                adj[v as usize].push((u, wt));
+            }
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
+    let mut region_of = vec![u32::MAX; n];
+    let target = dispatch.len().div_ceil(want);
+    let cap = target + target.div_ceil(2);
+    let mut cur: u32 = 0;
+    let mut size = 0usize;
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for &seed in &dispatch {
+        if region_of[seed as usize] != u32::MAX {
+            continue;
+        }
+        let is_last = (cur as usize) + 1 >= want;
+        region_of[seed as usize] = cur;
+        size += 1;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            if !is_last && size >= cap {
+                break;
+            }
+            for &(v, wt) in &adj[u as usize] {
+                if region_of[v as usize] != u32::MAX {
+                    continue;
+                }
+                if is_last || size < target || (wt < LANE_BIAS && size < cap) {
+                    region_of[v as usize] = cur;
+                    size += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        queue.clear();
+        if (cur as usize) + 1 < want && size >= target {
+            cur += 1;
+            size = 0;
+        }
+    }
+    let n_regions = dispatch
+        .iter()
+        .map(|&d| region_of[d as usize] as usize + 1)
+        .max()
+        .unwrap_or(1);
+
+    // Sources join their sink's region so their stimulus seeds locally;
+    // sources driving unread wires are bookkept by region 0.
+    for i in 0..n {
+        if region_of[i] == u32::MAX {
+            let mut r = 0;
+            if let Some(&w) = cc.node_out_wires(i).first() {
+                let (s, _) = cc.sink[w as usize];
+                if s != u32::MAX && region_of[s as usize] != u32::MAX {
+                    r = region_of[s as usize];
+                }
+            }
+            region_of[i] = r;
+        }
+    }
+
+    // Cross-edge lookahead and its shortest-path closure.
+    let nr = n_regions;
+    let mut dist = vec![f64::INFINITY; nr * nr];
+    for r in 0..nr {
+        dist[r * nr + r] = 0.0;
+    }
+    let mut min_cross = f64::INFINITY;
+    for &u in &dispatch {
+        let CompiledNode::Machine { cm, .. } = cc.nodes[u as usize] else { unreachable!() };
+        let ru = region_of[u as usize] as usize;
+        for (port, &w) in cc.node_out_wires(u as usize).iter().enumerate() {
+            let (v, _) = cc.sink[w as usize];
+            if v == u32::MAX {
+                continue;
+            }
+            let rv = region_of[v as usize] as usize;
+            if rv == ru {
+                continue;
+            }
+            let wt = min_out[cm as usize][port];
+            if wt < dist[ru * nr + rv] {
+                dist[ru * nr + rv] = wt;
+            }
+            min_cross = min_cross.min(wt);
+        }
+    }
+    for k in 0..nr {
+        for i in 0..nr {
+            let dik = dist[i * nr + k];
+            if dik == f64::INFINITY {
+                continue;
+            }
+            for j in 0..nr {
+                let alt = dik + dist[k * nr + j];
+                if alt < dist[i * nr + j] {
+                    dist[i * nr + j] = alt;
+                }
+            }
+        }
+    }
+    let cycle: Vec<f64> = (0..nr)
+        .map(|r| {
+            (0..nr)
+                .filter(|&s| s != r)
+                .map(|s| dist[r * nr + s] + dist[s * nr + r])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    let wire_dst_region = cc
+        .sink
+        .iter()
+        .map(|&(s, _)| if s == u32::MAX { u32::MAX } else { region_of[s as usize] })
+        .collect();
+
+    Plan { want, n_regions, region_of, dist, cycle, wire_dst_region, min_lookahead: min_cross }
+}
+
+/// The partitioned run proper: seed per-region heaps from the compiled
+/// stimulus schedule, run the epoch loop on scoped threads, and merge the
+/// per-region wire events and trace entries back into scalar order (both
+/// merges sort by keys that are unique or totally ordered, so the result is
+/// independent of region interleaving).
+fn run_partitioned(
+    sim: &mut Simulation,
+    plan: &Plan,
+) -> Result<(Events, Vec<TraceEntry>), Aborted> {
+    let tel = sim.telemetry.clone();
+    let tel_on = tel.is_enabled();
+    let t_run = tel.now();
+    let cc = sim.compiled.as_ref().expect("compiled before planning");
+    let circuit = &sim.circuit;
+    let until = sim.until;
+    let trace_enabled = sim.trace_enabled;
+    let nr = plan.n_regions;
+    let n_wires = circuit.wires.len();
+
+    let mut regions: Vec<RegionRun> =
+        (0..nr).map(|r| RegionRun::new(r, cc, n_wires, nr)).collect();
+    for (i, st) in cc.stim.iter().enumerate() {
+        let owner = if st.sink.0 == u32::MAX {
+            0
+        } else {
+            plan.region_of[st.sink.0 as usize] as usize
+        };
+        let rr = &mut regions[owner];
+        if until.is_none_or(|u| st.time <= u) {
+            rr.wire_events[st.wire as usize].push(st.time);
+            rr.n_wire += 1;
+            if st.sink.0 != u32::MAX {
+                rr.heap.push(RPulse {
+                    time: st.time,
+                    node: st.sink.0,
+                    port: st.sink.1,
+                    src_time: f64::NEG_INFINITY,
+                    src_node: i as u32,
+                    src_fired: 0,
+                });
+            }
+        }
+    }
+    for rr in &mut regions {
+        rr.heap_peak = rr.heap.len();
+    }
+
+    let shared = Shared {
+        cc,
+        nr,
+        dist: &plan.dist,
+        cycle: &plan.cycle,
+        wire_dst_region: &plan.wire_dst_region,
+        until,
+        trace_enabled,
+        slots: (0..nr).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect(),
+        mail: (0..nr).map(|_| Mutex::new(Vec::new())).collect(),
+        abort: AtomicBool::new(false),
+        barrier: SpinBarrier::new(nr),
+    };
+    let sh = &shared;
+    let mut regions: Vec<RegionRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = regions
+            .into_iter()
+            .map(|rr| scope.spawn(move || worker(rr, sh)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("region worker panicked"))
+            .collect()
+    });
+
+    if regions.iter().any(|r| r.violated) {
+        return Err(Aborted);
+    }
+
+    if tel_on {
+        let disp_max = regions.iter().map(|r| r.dispatches).max().unwrap_or(0);
+        let disp_min = regions.iter().map(|r| r.dispatches).min().unwrap_or(0);
+        tel.add_many(&[
+            ("par.runs", 1),
+            ("par.epochs", regions[0].epochs),
+            ("par.dispatches", regions.iter().map(|r| r.dispatches).sum()),
+            ("par.transitions", regions.iter().map(|r| r.transitions).sum()),
+            ("par.cross_pulses", regions.iter().map(|r| r.cross).sum()),
+            ("par.horizon_stalls", regions.iter().map(|r| r.stalls).sum()),
+            ("par.wire_pulses", regions.iter().map(|r| r.n_wire).sum()),
+        ]);
+        tel.peak("par.regions", nr as u64);
+        tel.peak("par.region_dispatch_peak", disp_max);
+        tel.peak("par.region_dispatch_imbalance", disp_max - disp_min);
+        tel.peak(
+            "par.local_heap_peak",
+            regions.iter().map(|r| r.heap_peak).max().unwrap_or(0) as u64,
+        );
+        if let Some(t0) = t_run {
+            tel.record_span(
+                "sim.par_run",
+                sim.tel_track,
+                t0,
+                regions.iter().map(|r| r.dispatches).sum(),
+            );
+        }
+    }
+
+    // Each wire is written by exactly one region, so this is a move plus a
+    // scalar-identical total-order sort.
+    let mut wires: Vec<Vec<f64>> = vec![Vec::new(); n_wires];
+    for rr in regions.iter_mut() {
+        for (w, evs) in rr.wire_events.iter_mut().enumerate() {
+            if !evs.is_empty() {
+                if wires[w].is_empty() {
+                    wires[w] = std::mem::take(evs);
+                } else {
+                    wires[w].append(evs);
+                }
+            }
+        }
+    }
+    for evs in wires.iter_mut() {
+        evs.sort_by(f64::total_cmp);
+    }
+
+    let trace = if trace_enabled {
+        // Batch keys (time, node) are unique across the whole run, so the
+        // sort reproduces the scalar dispatch order exactly.
+        let mut entries: Vec<(f64, u32, TraceEntry)> =
+            regions.iter_mut().flat_map(|r| r.trace.drain(..)).collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        entries.into_iter().map(|(_, _, e)| e).collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok((Events::from_wires(circuit, &wires), trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::machine::{EdgeDef, Machine};
+    use crate::sim::Variability;
+    use std::sync::Arc;
+
+    fn jtl(delay: f64) -> Arc<Machine> {
+        Machine::new(
+            "JTL",
+            &["a"],
+            &["q"],
+            delay,
+            2,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                ..Default::default()
+            }],
+        )
+        .unwrap()
+    }
+
+    fn merger() -> Arc<Machine> {
+        Machine::new(
+            "M",
+            &["a", "b"],
+            &["q"],
+            6.3,
+            5,
+            &[
+                EdgeDef { src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default() },
+                EdgeDef { src: "idle", trigger: "b", dst: "idle", firing: "q", ..Default::default() },
+            ],
+        )
+        .unwrap()
+    }
+
+    fn splitter() -> Arc<Machine> {
+        Machine::new(
+            "S",
+            &["a"],
+            &["l", "r"],
+            4.3,
+            2,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "l,r",
+                ..Default::default()
+            }],
+        )
+        .unwrap()
+    }
+
+    /// A chain of n JTLs fed by several pulses.
+    fn chain(n: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let mut w = c.inp_at(&[10.0, 30.0, 55.5], "A");
+        for i in 0..n {
+            w = c.add_machine(&jtl(2.0 + i as f64 * 0.5), &[w]).unwrap()[0];
+        }
+        c.inspect(w, "Q");
+        c
+    }
+
+    fn assert_same_events(a: &Events, b: &Events) {
+        assert_eq!(a, b);
+        for ((na, ta), (nb, tb)) in a.iter_all().zip(b.iter_all()) {
+            assert_eq!(na, nb);
+            assert_eq!(ta.len(), tb.len());
+            for (x, y) in ta.iter().zip(tb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "wire {na} diverges bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_node_with_bounded_regions() {
+        let mut sim = Simulation::new(chain(12));
+        let cc = sim.compiled();
+        let plan = build_plan(cc, 4);
+        assert!(plan.n_regions >= 2 && plan.n_regions <= 4);
+        assert!(plan.region_of.iter().all(|&r| (r as usize) < plan.n_regions));
+        assert!(plan.min_lookahead > 0.0);
+        // Chain of 12: contiguous blocks, every region non-empty.
+        for r in 0..plan.n_regions {
+            assert!(plan.region_of.iter().any(|&x| x as usize == r));
+        }
+    }
+
+    #[test]
+    fn chain_matches_scalar_at_every_thread_count() {
+        let scalar = Simulation::new(chain(10)).run().unwrap();
+        for threads in [2, 3, 4, 8, 16] {
+            let mut par = ParallelSim::new(chain(10)).threads(threads);
+            let ev = par.run().unwrap();
+            assert!(par.last_run_parallel(), "threads={threads} should partition");
+            assert_same_events(&scalar, &ev);
+        }
+    }
+
+    #[test]
+    fn simultaneous_fan_in_batches_identically() {
+        // Two splitters feed one merger so simultaneous pulses cross regions
+        // and must arrive in the scalar batch order.
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0, 40.0], "A");
+            let b = c.inp_at(&[10.0, 40.0], "B");
+            let sa = c.add_machine(&splitter(), &[a]).unwrap();
+            let sb = c.add_machine(&splitter(), &[b]).unwrap();
+            let m1 = c.add_machine(&merger(), &[sa[0], sb[0]]).unwrap()[0];
+            let m2 = c.add_machine(&merger(), &[sa[1], sb[1]]).unwrap()[0];
+            let q = c.add_machine(&merger(), &[m1, m2]).unwrap()[0];
+            c.inspect(q, "Q");
+            c
+        };
+        let mut ssim = Simulation::new(build()).with_trace();
+        let scalar = ssim.run().unwrap();
+        for threads in [2, 4, 8] {
+            let mut par = ParallelSim::new(build()).threads(threads).with_trace();
+            let ev = par.run().unwrap();
+            assert!(par.last_run_parallel());
+            assert_same_events(&scalar, &ev);
+            assert_eq!(ssim.trace(), par.trace(), "trace diverges at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn feedback_loop_cycle_bound_matches_scalar() {
+        // src -> merger -> splitter -> (out, feedback jtl -> merger.b): the
+        // region graph is cyclic, exercising the T_r + C(r) term.
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0], "A");
+            let fb = c.loopback_wire();
+            let m = c.add_machine(&merger(), &[a, fb]).unwrap()[0];
+            let s = c.add_machine(&splitter(), &[m]).unwrap();
+            let j = c.add_machine(&jtl(7.0), &[s[1]]).unwrap()[0];
+            c.close_loop(j, fb).unwrap();
+            c.inspect(s[0], "Q");
+            c
+        };
+        let scalar = Simulation::new(build()).until(300.0).run().unwrap();
+        assert!(scalar.times("Q").len() > 3, "oscillator should ring");
+        for threads in [2, 3, 4] {
+            let mut par = ParallelSim::new(build()).until(300.0).threads(threads);
+            let ev = par.run().unwrap();
+            assert_same_events(&scalar, &ev);
+        }
+    }
+
+    #[test]
+    fn until_cutoff_matches_scalar() {
+        let scalar = Simulation::new(chain(6)).until(40.0).run().unwrap();
+        let mut par = ParallelSim::new(chain(6)).until(40.0).threads(4);
+        assert_same_events(&scalar, &par.run().unwrap());
+        assert!(par.last_run_parallel());
+    }
+
+    #[test]
+    fn violation_reruns_scalar_for_identical_diagnostic() {
+        let tight = Machine::new(
+            "DUT",
+            &["a"],
+            &["q"],
+            1.0,
+            1,
+            &[EdgeDef {
+                src: "idle",
+                trigger: "a",
+                dst: "idle",
+                firing: "q",
+                transition_time: 10.0,
+                ..Default::default()
+            }],
+        )
+        .unwrap();
+        let build = |tight: &Arc<Machine>| {
+            // The 6 ps stage is above LANE_BIAS so the cut actually happens
+            // and the violation fires on the partitioned path.
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0, 11.0], "A");
+            let j = c.add_machine(&jtl(6.0), &[a]).unwrap()[0];
+            let q = c.add_machine(tight, &[j]).unwrap()[0];
+            c.inspect(q, "Q");
+            c
+        };
+        let scalar_err = format!("{:?}", Simulation::new(build(&tight)).run().unwrap_err());
+        let tel = Telemetry::new();
+        let mut par = ParallelSim::new(build(&tight)).threads(2).telemetry(&tel);
+        let par_err = format!("{:?}", par.run().unwrap_err());
+        assert_eq!(scalar_err, par_err);
+        assert!(!par.last_run_parallel());
+        assert_eq!(tel.report().counter("par.violation_rerun"), 1);
+    }
+
+    #[test]
+    fn ineligible_circuits_fall_back_with_counter() {
+        let tel = Telemetry::new();
+        // threads = 1
+        let mut p1 = ParallelSim::new(chain(4)).threads(1).telemetry(&tel);
+        p1.run().unwrap();
+        assert!(!p1.last_run_parallel());
+        assert_eq!(tel.report().counter("par.fallback_scalar"), 1);
+        // variability
+        let mut p2 = ParallelSim::new(chain(4))
+            .threads(4)
+            .variability(Variability::Gaussian { std: 0.1 })
+            .seed(7)
+            .telemetry(&tel);
+        p2.run().unwrap();
+        assert!(!p2.last_run_parallel());
+        assert_eq!(tel.report().counter("par.fallback_scalar"), 2);
+        // hole
+        use crate::functional::Hole;
+        let mut c = Circuit::new();
+        let a = c.inp_at(&[10.0], "A");
+        let h = Hole::new("h", 1.0, &["a"], &["q"], |_, _| vec![true]);
+        let hq = c.add_hole(h, &[a]).unwrap()[0];
+        let q = c.add_machine(&jtl(2.0), &[hq]).unwrap()[0];
+        c.inspect(q, "Q");
+        let mut p3 = ParallelSim::from_simulation(Simulation::new(c).telemetry(&tel)).threads(4);
+        p3.run().unwrap();
+        assert!(!p3.last_run_parallel());
+        assert_eq!(tel.report().counter("par.fallback_scalar"), 3);
+    }
+
+    #[test]
+    fn variability_fallback_matches_scalar_jitter_stream() {
+        let scalar = Simulation::new(chain(5))
+            .variability(Variability::Gaussian { std: 0.3 })
+            .seed(11)
+            .run()
+            .unwrap();
+        let mut par = ParallelSim::new(chain(5))
+            .threads(8)
+            .variability(Variability::Gaussian { std: 0.3 })
+            .seed(11);
+        assert_same_events(&scalar, &par.run().unwrap());
+    }
+
+    #[test]
+    fn telemetry_counters_are_deterministic_and_account_dispatches() {
+        let run_once = || {
+            let tel = Telemetry::new();
+            let mut par = ParallelSim::new(chain(10)).threads(4).telemetry(&tel);
+            par.run().unwrap();
+            assert!(par.last_run_parallel());
+            tel.report()
+        };
+        let r1 = run_once();
+        let r2 = run_once();
+        assert_eq!(r1, r2, "par.* counters must not depend on scheduling");
+        // 3 pulses through 10 JTLs = 30 dispatches, exactly the scalar count.
+        assert_eq!(r1.counter("par.dispatches"), 30);
+        assert_eq!(r1.counter("par.runs"), 1);
+        assert!(r1.counter("par.epochs") >= 1);
+        assert!(r1.gauge("par.regions") >= 2);
+        assert!(r1.counter("par.cross_pulses") >= 1);
+    }
+
+    #[test]
+    fn reused_parallel_sim_reproduces_runs() {
+        let mut par = ParallelSim::new(chain(8)).threads(4).with_trace();
+        let ev1 = par.run().unwrap();
+        let tr1 = par.trace().to_vec();
+        let ev2 = par.run().unwrap();
+        assert_same_events(&ev1, &ev2);
+        assert_eq!(tr1, par.trace());
+    }
+}

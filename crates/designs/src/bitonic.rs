@@ -65,6 +65,96 @@ pub fn bitonic_delay(n: usize) -> f64 {
     bitonic_depth(n) as f64 * MIN_MAX_DELAY
 }
 
+/// Separation (ps) between adjacent stimulus ranks for an `n`-input sorter.
+///
+/// The paper's n ≤ 8 designs use a flat 10 ps; deeper networks accumulate
+/// skew across more comparator stages, so past n = 8 the gap stretches by
+/// `√(depth(n) / depth(8))` — enough headroom that the scaled sorters keep
+/// the same relative margin the 8-input one has.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two `>= 2`.
+pub fn bitonic_rank_gap(n: usize) -> f64 {
+    let stretch = (bitonic_depth(n) as f64 / bitonic_depth(8) as f64).sqrt();
+    10.0 * stretch.max(1.0)
+}
+
+/// Scrambled rank-order stimulus for an `n`-input sorter: input `k` pulses
+/// once at `base + rank_gap(n) · ((7k + 3) mod n)`. The multiplier 7 is
+/// coprime to every power of two, so all `n` ranks are hit exactly once.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two `>= 2`.
+pub fn bitonic_stimulus(n: usize, base: f64) -> Vec<f64> {
+    let gap = bitonic_rank_gap(n);
+    (0..n).map(|k| base + gap * ((k * 7 + 3) % n) as f64).collect()
+}
+
+/// Minimum safe spacing between successive stimulus waves through an
+/// `n`-input sorter. Every input-to-output path has the same delay, so the
+/// skew between lines at any stage never exceeds the stimulus spread
+/// `rank_gap · (n − 1)`; one wave is fully clear of every comparator before
+/// the next arrives as long as waves are at least that far apart plus a
+/// C-element settling margin.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two `>= 2`.
+pub fn bitonic_wave_period(n: usize) -> f64 {
+    bitonic_rank_gap(n) * (n - 1) as f64 + 100.0
+}
+
+/// Multi-wave stimulus: `waves` pulse trains through the sorter, each a
+/// freshly scrambled ramp (`(7k + 3 + w) mod n`) offset by
+/// [`bitonic_wave_period`]. Returns one ascending pulse-time vector per
+/// input line.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two `>= 2`.
+pub fn bitonic_wave_stimulus(n: usize, waves: usize, base: f64) -> Vec<Vec<f64>> {
+    let gap = bitonic_rank_gap(n);
+    let period = bitonic_wave_period(n);
+    (0..n)
+        .map(|k| {
+            (0..waves)
+                .map(|w| base + period * w as f64 + gap * ((k * 7 + 3 + w) % n) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+/// Build an `n`-input sorter driven by `waves` successive pulse waves
+/// (see [`bitonic_wave_stimulus`]), with named inputs `i0..` and observed
+/// outputs `o0..`.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two `>= 2`.
+pub fn bitonic_sorter_with_waves(
+    circ: &mut Circuit,
+    n: usize,
+    waves: usize,
+) -> Result<Vec<Wire>, Error> {
+    let stim = bitonic_wave_stimulus(n, waves, 15.0);
+    let inputs: Vec<Wire> = stim
+        .iter()
+        .enumerate()
+        .map(|(k, ts)| circ.inp_at(ts, &format!("i{k}")))
+        .collect();
+    let outs = bitonic_sorter(circ, &inputs)?;
+    for (k, w) in outs.iter().enumerate() {
+        circ.inspect(*w, &format!("o{k}"));
+    }
+    Ok(outs)
+}
+
 /// Build a bitonic sorter over the given input wires; returns the output
 /// wires `o0..o(n-1)`, on which pulses appear in arrival-time order
 /// (earliest on `o0`).
@@ -186,6 +276,41 @@ mod tests {
         let delay = bitonic_delay(4); // 3 × 25
         for (k, t) in [20.0, 40.0, 60.0, 90.0].iter().enumerate() {
             assert_eq!(ev.times(&format!("o{k}")), &[t + delay], "o{k}");
+        }
+    }
+
+    #[test]
+    fn rank_gap_is_flat_through_eight_and_stretches_beyond() {
+        assert_eq!(bitonic_rank_gap(2), 10.0);
+        assert_eq!(bitonic_rank_gap(4), 10.0);
+        assert_eq!(bitonic_rank_gap(8), 10.0);
+        assert!((bitonic_rank_gap(16) - 10.0 * (10.0f64 / 6.0).sqrt()).abs() < 1e-12);
+        assert!(bitonic_rank_gap(32) > bitonic_rank_gap(16));
+        assert!(bitonic_rank_gap(64) > bitonic_rank_gap(32));
+    }
+
+    #[test]
+    fn wave_stimulus_sorts_every_wave_in_rank_order() {
+        let n = 16;
+        let waves = 3;
+        let mut circ = Circuit::new();
+        bitonic_sorter_with_waves(&mut circ, n, waves).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        let stim = bitonic_wave_stimulus(n, waves, 15.0);
+        let delay = bitonic_delay(n);
+        for w in 0..waves {
+            let mut wave: Vec<f64> = (0..n).map(|k| stim[k][w]).collect();
+            wave.sort_by(f64::total_cmp);
+            for (k, t) in wave.iter().enumerate() {
+                let got = ev.times(&format!("o{k}"));
+                assert_eq!(got.len(), waves, "o{k}");
+                assert!(
+                    (got[w] - (t + delay)).abs() < 1e-9,
+                    "o{k} wave {w}: got {} want {}",
+                    got[w],
+                    t + delay
+                );
+            }
         }
     }
 

@@ -54,8 +54,14 @@ pub use margins::{
 pub use registers::{ripple_counter, shift_register};
 pub use ring::ring_oscillator;
 pub use ripple_adder::{ripple_adder, ripple_adder_with_inputs};
-pub use bitonic::{bitonic_delay, bitonic_schedule, bitonic_sorter, bitonic_sorter_with_inputs};
+pub use bitonic::{
+    bitonic_delay, bitonic_rank_gap, bitonic_schedule, bitonic_sorter,
+    bitonic_sorter_with_inputs, bitonic_sorter_with_waves, bitonic_stimulus,
+    bitonic_wave_period, bitonic_wave_stimulus,
+};
 pub use memory::{memory_bench, memory_hole, MemOp};
 pub use minmax::{min_max, MIN_MAX_DELAY};
 pub use race_tree::{race_tree, race_tree_with_inputs, Thresholds};
-pub use xsfq_adder::{full_adder_xsfq, DualRail};
+pub use xsfq_adder::{
+    full_adder_xsfq, ripple_adder_xsfq, ripple_adder_xsfq_with_inputs, DualRail,
+};

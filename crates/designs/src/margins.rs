@@ -352,6 +352,8 @@ pub fn shmoo_design_names() -> &'static [&'static str] {
         "adder_xsfq",
         "bitonic_4",
         "bitonic_8",
+        "bitonic_16",
+        "bitonic_32",
     ]
 }
 
@@ -380,6 +382,8 @@ pub fn design_spec(name: &str) -> (ScaledBuild, OutputCheck) {
         "adder_xsfq" => (build_adder_xsfq, check_adder_xsfq),
         "bitonic_4" => (build_bitonic_4, check_bitonic_4),
         "bitonic_8" => (build_bitonic_8, check_bitonic_8),
+        "bitonic_16" => (build_bitonic_16, check_bitonic_16),
+        "bitonic_32" => (build_bitonic_32, check_bitonic_32),
         other => panic!("unknown shmoo design '{other}' (expected one of {:?})", shmoo_design_names()),
     }
 }
@@ -470,13 +474,16 @@ fn check_adder_xsfq(ev: &Events) -> bool {
         && ev.times("COUT_F").is_empty()
 }
 
-/// Bitonic sorter stimulus: input `k` pulses at `20 + 10·s·((7k+3) mod n)`
-/// — a permuted ramp with `10·s` ps between adjacent ranks (distinct for
-/// every `k` since gcd(7, n) = 1), so tight scales leave the comparators
-/// no timing headroom to rank-order the pulses.
+/// Bitonic sorter stimulus: input `k` pulses at
+/// `20 + rank_gap(n)·s·((7k+3) mod n)` — a permuted ramp with
+/// `rank_gap(n)·s` ps between adjacent ranks (distinct for every `k` since
+/// gcd(7, n) = 1; the gap is a flat 10 ps through n = 8 and depth-stretched
+/// beyond, see [`crate::bitonic::bitonic_rank_gap`]), so tight scales leave
+/// the comparators no timing headroom to rank-order the pulses.
 fn build_bitonic(n: usize, s: f64) -> Circuit {
+    let gap = crate::bitonic::bitonic_rank_gap(n);
     let times: Vec<f64> = (0..n)
-        .map(|k| 20.0 + 10.0 * s * ((k * 7 + 3) % n) as f64)
+        .map(|k| 20.0 + gap * s * ((k * 7 + 3) % n) as f64)
         .collect();
     let mut c = Circuit::new();
     bitonic_sorter_with_inputs(&mut c, &times).expect("valid bitonic bench");
@@ -506,6 +513,18 @@ fn build_bitonic_8(s: f64) -> Circuit {
 }
 fn check_bitonic_8(ev: &Events) -> bool {
     check_bitonic(8, ev)
+}
+fn build_bitonic_16(s: f64) -> Circuit {
+    build_bitonic(16, s)
+}
+fn check_bitonic_16(ev: &Events) -> bool {
+    check_bitonic(16, ev)
+}
+fn build_bitonic_32(s: f64) -> Circuit {
+    build_bitonic(32, s)
+}
+fn check_bitonic_32(ev: &Events) -> bool {
+    check_bitonic(32, ev)
 }
 
 /// Sweep a design across the (σ, time-scale) grid and classify every cell.

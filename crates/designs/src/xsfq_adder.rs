@@ -139,6 +139,47 @@ pub fn ripple_adder_xsfq(
     Ok((sums, carry))
 }
 
+/// Build a complete `bits`-wide clockless adder circuit computing
+/// `a + b + cin`, with per-bit dual-rail inputs (`A{i}`, `B{i}`, `CIN`,
+/// staggered 7 ps per bit position) and observed outputs `S{i}_T/F` and
+/// `COUT_T/F`. The carry chain self-times, so any width works without a
+/// clock tree — this is the scaled composition the parallel-simulation
+/// benches drive.
+///
+/// # Errors
+///
+/// Fails on a fanout violation.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or exceeds 64.
+pub fn ripple_adder_xsfq_with_inputs(
+    circ: &mut Circuit,
+    bits: usize,
+    a: u64,
+    b: u64,
+    cin: bool,
+) -> Result<(), Error> {
+    assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+    use crate::dual_rail::{dr_input, dr_inspect};
+    let mk = |circ: &mut Circuit, v: u64, t0: f64, name: &str| -> Vec<DualRail> {
+        (0..bits)
+            .map(|i| {
+                dr_input(circ, v >> i & 1 != 0, t0 + 7.0 * i as f64, &format!("{name}{i}"))
+            })
+            .collect()
+    };
+    let a = mk(circ, a, 20.0, "A");
+    let b = mk(circ, b, 23.5, "B");
+    let cin_w = dr_input(circ, cin, 34.0, "CIN");
+    let (sums, cout) = ripple_adder_xsfq(circ, &a, &b, cin_w)?;
+    for (i, s) in sums.iter().enumerate() {
+        dr_inspect(circ, *s, &format!("S{i}"));
+    }
+    dr_inspect(circ, cout, "COUT");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +247,22 @@ mod tests {
             }
             assert_eq!(got, x + y + cin as u64, "{x}+{y}+{cin}");
         }
+    }
+
+    #[test]
+    fn wide_adder_ripples_worst_case_carry() {
+        // a = 2^16 − 1 plus b = 1: the carry ripples the full width and the
+        // sum is exactly 2^16 (only the carry-out's true rail fires).
+        let bits = 16;
+        let mut circ = Circuit::new();
+        ripple_adder_xsfq_with_inputs(&mut circ, bits, (1u64 << bits) - 1, 1, false).unwrap();
+        let ev = Simulation::new(circ).run().unwrap();
+        for i in 0..bits {
+            assert_eq!(ev.times(&format!("S{i}_T")).len(), 0, "S{i}_T");
+            assert_eq!(ev.times(&format!("S{i}_F")).len(), 1, "S{i}_F");
+        }
+        assert_eq!(ev.times("COUT_T").len(), 1);
+        assert!(ev.times("COUT_F").is_empty());
     }
 
     #[test]

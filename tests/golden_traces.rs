@@ -15,8 +15,8 @@
 //! ```
 
 use rlse::designs::{
-    decision_tree_with_inputs, dr_and, dr_input, dr_inspect, dr_xor, ripple_adder_with_inputs,
-    shmoo_map, ShmooOptions, Tree,
+    bitonic_sorter_with_inputs, bitonic_stimulus, decision_tree_with_inputs, dr_and, dr_input,
+    dr_inspect, dr_xor, ripple_adder_with_inputs, shmoo_map, ShmooOptions, Tree,
 };
 use rlse::designs::xsfq_adder::full_adder_xsfq_with_inputs;
 use rlse::prelude::*;
@@ -100,6 +100,17 @@ fn golden_xsfq_adder() {
     let mut c = Circuit::new();
     full_adder_xsfq_with_inputs(&mut c, true, false, true).unwrap();
     assert_golden("xsfq_adder", &render_trace(c));
+}
+
+#[test]
+fn golden_bitonic_16() {
+    // The scaled 16-input sorter under the depth-stretched rank-gap
+    // stimulus. This golden doubles as the parallel event loop's reference:
+    // `tests/sim_parallel_differential.rs` renders the partitioned trace
+    // and compares it to this same file byte for byte.
+    let mut c = Circuit::new();
+    bitonic_sorter_with_inputs(&mut c, &bitonic_stimulus(16, 15.0)).unwrap();
+    assert_golden("bitonic_16", &render_trace(c));
 }
 
 #[test]

@@ -1,0 +1,116 @@
+//! Differential proof that the conservative-parallel event loop is
+//! bit-identical to the scalar kernel: every Table-3 design plus the scaled
+//! 16- and 32-input bitonic sorters, each run scalar once and partitioned
+//! at 1, 2, 4, and 8 workers.
+//!
+//! Three layers of agreement are checked per (design, thread count):
+//!
+//! 1. the `Events` dictionaries compare equal;
+//! 2. every observed pulse time is equal **bitwise** (`f64::to_bits`);
+//! 3. the full dispatched-batch traces render to identical strings.
+//!
+//! A final test renders the partitioned bitonic-16 trace and compares it
+//! byte for byte against the same golden file the scalar kernel is pinned
+//! to (`tests/golden/bitonic_16.txt`).
+
+use rlse::designs::{bitonic_stimulus, bitonic_sorter_with_inputs, design_spec};
+use rlse::prelude::*;
+use std::fmt::Write as _;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The six Table-3 designs plus the scaled sorters, at nominal timing.
+const DESIGNS: [&str; 8] = [
+    "min_max",
+    "race_tree",
+    "adder_sync",
+    "adder_xsfq",
+    "bitonic_4",
+    "bitonic_8",
+    "bitonic_16",
+    "bitonic_32",
+];
+
+fn render(trace: &[TraceEntry]) -> String {
+    let mut out = String::new();
+    for entry in trace {
+        writeln!(out, "{entry}").expect("string write");
+    }
+    out
+}
+
+fn assert_bitwise_equal(design: &str, threads: usize, scalar: &Events, par: &Events) {
+    assert_eq!(par, scalar, "{design} at {threads} workers: events diverged");
+    for name in scalar.names() {
+        let (a, b) = (scalar.times(name), par.times(name));
+        assert_eq!(a.len(), b.len(), "{design}/{name} at {threads} workers: count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{design}/{name} at {threads} workers: time not bitwise equal"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_runs_are_bit_identical_across_designs_and_thread_counts() {
+    for design in DESIGNS {
+        let (build, _check) = design_spec(design);
+        let mut scalar_sim = Simulation::new(build(1.0)).with_trace();
+        let scalar_ev = scalar_sim.run().expect("scalar run is clean");
+        let scalar_trace = render(scalar_sim.trace());
+        for threads in THREADS {
+            let mut par = ParallelSim::new(build(1.0)).threads(threads).with_trace();
+            let par_ev = par.run().expect("partitioned run is clean");
+            assert_bitwise_equal(design, threads, &scalar_ev, &par_ev);
+            assert_eq!(
+                render(par.trace()),
+                scalar_trace,
+                "{design} at {threads} workers: trace diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_runs_take_the_parallel_path_on_scaled_designs() {
+    // The scaled sorters have plenty of dispatch nodes, so at 2+ workers
+    // the partitioned path (not a fallback) must be what produced the
+    // bit-identical results above.
+    for design in ["bitonic_16", "bitonic_32"] {
+        let (build, _check) = design_spec(design);
+        for threads in [2usize, 4, 8] {
+            let mut par = ParallelSim::new(build(1.0)).threads(threads);
+            par.run().expect("partitioned run is clean");
+            assert!(
+                par.last_run_parallel(),
+                "{design} at {threads} workers: expected the partitioned path"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_bitonic_16_trace_matches_the_scalar_golden_file() {
+    let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/bitonic_16.txt");
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_traces",
+            golden.display()
+        )
+    });
+    for threads in [2usize, 4, 8] {
+        let mut c = Circuit::new();
+        bitonic_sorter_with_inputs(&mut c, &bitonic_stimulus(16, 15.0)).unwrap();
+        let mut par = ParallelSim::new(c).threads(threads).with_trace();
+        par.run().expect("partitioned run is clean");
+        assert!(par.last_run_parallel(), "{threads} workers: expected the partitioned path");
+        assert!(
+            render(par.trace()) == expected,
+            "{threads} workers: partitioned trace diverged from the scalar golden bytes"
+        );
+    }
+}

@@ -37,6 +37,8 @@ fn hot_point(design: &str) -> (f64, f64) {
         "adder_xsfq" => (3.0, 5.0),
         "bitonic_4" => (1.0, 5.0),
         "bitonic_8" => (0.8, 1.0),
+        "bitonic_16" => (0.8, 1.0),
+        "bitonic_32" => (0.8, 1.0),
         other => panic!("no hot point for design '{other}'"),
     }
 }
@@ -159,6 +161,16 @@ fn bitonic_8_batch_matches_scalar() {
 }
 
 #[test]
+fn bitonic_16_batch_matches_scalar() {
+    assert_engines_identical("bitonic_16");
+}
+
+#[test]
+fn bitonic_32_batch_matches_scalar() {
+    assert_engines_identical("bitonic_32");
+}
+
+#[test]
 fn design_list_is_covered() {
     // If a new design joins the shmoo set, it must also join this harness.
     let covered = [
@@ -168,6 +180,8 @@ fn design_list_is_covered() {
         "adder_xsfq",
         "bitonic_4",
         "bitonic_8",
+        "bitonic_16",
+        "bitonic_32",
     ];
     assert_eq!(shmoo_design_names(), &covered);
 }
