@@ -35,6 +35,8 @@ pub mod synth;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cells::{c_cell, c_inv_cell, jtl_cell, merger_cell, netlist_for, splitter_cell};
-    pub use crate::engine::{AnalogEvents, AnalogSim, CellNetlist, Component, Decision, PulseShape};
+    pub use crate::engine::{
+        AnalogEvents, AnalogSim, CellNetlist, Component, Decision, PulseShape, TemplateBank,
+    };
     pub use crate::synth::from_circuit;
 }

@@ -1,0 +1,70 @@
+//! Criterion benches for the netlist-IR service path: what one IR-bearing
+//! request costs cold (parse + rebuild + compile) versus warm (parse +
+//! rebuild + cache hit), and the IR plumbing itself (canonical hashing,
+//! JSON round-trips). The cold/warm gap is the whole point of the
+//! `CompiledCache` — repeated requests skip compilation entirely.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rlse_core::ir::{CompiledCache, Ir};
+use rlse_core::sim::Simulation;
+use rlse_designs::design_ir;
+
+fn cache_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ir_cache");
+    for name in ["min_max", "bitonic_8"] {
+        let json = design_ir(name, 1.0).to_json();
+        group.bench_function(format!("{name}_cold"), |b| {
+            b.iter_batched(
+                CompiledCache::new,
+                |cache| {
+                    let ir = Ir::from_json(&json).unwrap();
+                    cache.get_or_compile(&ir).unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{name}_warm"), |b| {
+            let cache = CompiledCache::new();
+            cache
+                .get_or_compile(&Ir::from_json(&json).unwrap())
+                .unwrap();
+            b.iter(|| {
+                let ir = Ir::from_json(&json).unwrap();
+                let outcome = cache.get_or_compile(&ir).unwrap();
+                assert!(outcome.hit);
+                outcome
+            })
+        });
+        group.bench_function(format!("{name}_warm_simulate"), |b| {
+            // The full warm request: cache lookup plus one simulation over
+            // the shared compiled tables.
+            let cache = CompiledCache::new();
+            cache
+                .get_or_compile(&Ir::from_json(&json).unwrap())
+                .unwrap();
+            b.iter(|| {
+                let ir = Ir::from_json(&json).unwrap();
+                let outcome = cache.get_or_compile(&ir).unwrap();
+                Simulation::with_compiled(outcome.circuit, outcome.compiled)
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ir_plumbing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ir_plumbing");
+    let ir = design_ir("bitonic_8", 1.0);
+    let json = ir.to_json();
+    group.bench_function("bitonic_8_hash", |b| b.iter(|| ir.content_hash()));
+    group.bench_function("bitonic_8_to_json", |b| b.iter(|| ir.to_json()));
+    group.bench_function("bitonic_8_from_json", |b| {
+        b.iter(|| Ir::from_json(&json).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_paths, ir_plumbing);
+criterion_main!(benches);

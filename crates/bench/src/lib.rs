@@ -29,7 +29,7 @@ pub fn bench_and() -> Bench {
     let mut c = Circuit::new();
     let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
     let b = c.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
-    let clk = c.inp(50.0, 50.0, 6, "CLK");
+    let clk = c.inp(50.0, 50.0, 6, "CLK").expect("valid clock stimulus");
     let q = rlse_cells::and_s(&mut c, a, b, clk).expect("fresh wires");
     c.inspect(q, "Q");
     Bench {

@@ -155,7 +155,7 @@ mod tests {
         let mut c = Circuit::new();
         let set = c.inp_at(&[20.0], "SET");
         let rst = c.inp_at(&[250.0], "RST");
-        let clk = c.inp(100.0, 100.0, 4, "CLK");
+        let clk = c.inp(100.0, 100.0, 4, "CLK").unwrap();
         let q = ndro(&mut c, set, rst, clk).unwrap();
         c.inspect(q, "Q");
         let ev = Simulation::new(c).run().unwrap();
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn tff_halves_the_pulse_train() {
         let mut c = Circuit::new();
-        let a = c.inp(20.0, 20.0, 6, "A");
+        let a = c.inp(20.0, 20.0, 6, "A").unwrap();
         let q = tff(&mut c, a).unwrap();
         c.inspect(q, "Q");
         let ev = Simulation::new(c).run().unwrap();

@@ -242,7 +242,7 @@ mod tests {
         // Period k spans (100k-100, 100k]. Pulses at mid-period.
         let a = circ.inp_at(&[150.0, 350.0], "A");
         let b = circ.inp_at(&[250.0, 360.0], "B");
-        let clk = circ.inp(100.0, 100.0, 4, "CLK");
+        let clk = circ.inp(100.0, 100.0, 4, "CLK").unwrap();
         let q = gate(&mut circ, a, b, clk).unwrap();
         circ.inspect(q, "Q");
         let ev = Simulation::new(circ).run().unwrap();
@@ -288,7 +288,7 @@ mod tests {
         let mut circ = Circuit::new();
         let a = circ.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
         let b = circ.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
-        let clk = circ.inp(50.0, 50.0, 6, "CLK");
+        let clk = circ.inp(50.0, 50.0, 6, "CLK").unwrap();
         let q = and_s(&mut circ, a, b, clk).unwrap();
         circ.inspect(q, "Q");
         let ev = Simulation::new(circ).run().unwrap();
@@ -302,7 +302,7 @@ mod tests {
         let mut circ = Circuit::new();
         let a = circ.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
         let b = circ.inp_at(&[99.0, 185.0, 225.0, 265.0], "B");
-        let clk = circ.inp(50.0, 50.0, 6, "CLK");
+        let clk = circ.inp(50.0, 50.0, 6, "CLK").unwrap();
         let q = and_s(&mut circ, a, b, clk).unwrap();
         circ.inspect(q, "Q");
         let err = Simulation::new(circ).run().unwrap_err();
@@ -315,7 +315,7 @@ mod tests {
     fn inverter_fires_only_on_empty_periods() {
         let mut circ = Circuit::new();
         let a = circ.inp_at(&[150.0], "A");
-        let clk = circ.inp(100.0, 100.0, 3, "CLK");
+        let clk = circ.inp(100.0, 100.0, 3, "CLK").unwrap();
         let q = inv_s(&mut circ, a, clk).unwrap();
         circ.inspect(q, "Q");
         let ev = Simulation::new(circ).run().unwrap();
@@ -327,7 +327,7 @@ mod tests {
     fn dro_stores_and_releases() {
         let mut circ = Circuit::new();
         let a = circ.inp_at(&[150.0], "A");
-        let clk = circ.inp(100.0, 100.0, 3, "CLK");
+        let clk = circ.inp(100.0, 100.0, 3, "CLK").unwrap();
         let q = dro(&mut circ, a, clk).unwrap();
         circ.inspect(q, "Q");
         let ev = Simulation::new(circ).run().unwrap();
@@ -339,7 +339,7 @@ mod tests {
         let mut circ = Circuit::new();
         let set = circ.inp_at(&[150.0, 350.0], "SET");
         let rst = circ.inp_at(&[170.0], "RST");
-        let clk = circ.inp(100.0, 100.0, 5, "CLK");
+        let clk = circ.inp(100.0, 100.0, 5, "CLK").unwrap();
         let q = dro_sr(&mut circ, set, rst, clk).unwrap();
         circ.inspect(q, "Q");
         let ev = Simulation::new(circ).run().unwrap();
@@ -351,7 +351,7 @@ mod tests {
     fn dro_c_fires_complement() {
         let mut circ = Circuit::new();
         let a = circ.inp_at(&[150.0], "A");
-        let clk = circ.inp(100.0, 100.0, 2, "CLK");
+        let clk = circ.inp(100.0, 100.0, 2, "CLK").unwrap();
         let (q, qn) = dro_c(&mut circ, a, clk).unwrap();
         circ.inspect(q, "Q");
         circ.inspect(qn, "QN");

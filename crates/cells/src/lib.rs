@@ -31,7 +31,7 @@
 //! let mut circ = Circuit::new();
 //! let a = circ.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
 //! let b = circ.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
-//! let clk = circ.inp(50.0, 50.0, 6, "CLK");
+//! let clk = circ.inp(50.0, 50.0, 6, "CLK")?;
 //! let q = and_s(&mut circ, a, b, clk)?;
 //! circ.inspect(q, "Q");
 //! let events = Simulation::new(circ).run()?;

@@ -109,6 +109,19 @@ impl Circuit {
         }
     }
 
+    /// Assemble a circuit directly from pre-validated parts — the netlist-IR
+    /// import path (see [`crate::ir`]). The caller guarantees node/wire
+    /// cross-references are consistent; `anon_counter` seeds future
+    /// auto-generated `_N` wire names past any already present.
+    pub(crate) fn from_parts(nodes: Vec<Node>, wires: Vec<WireData>, anon_counter: usize) -> Self {
+        Circuit {
+            id: NEXT_CIRCUIT_ID.fetch_add(1, Ordering::Relaxed),
+            nodes,
+            wires,
+            anon_counter,
+        }
+    }
+
     fn new_wire(&mut self, driver: (NodeId, usize), name: Option<&str>) -> Wire {
         let (name, observed) = match name {
             Some(n) => (n.to_string(), true),
@@ -176,9 +189,37 @@ impl Circuit {
 
     /// Create a periodic input: `n` pulses starting at `start`, one every
     /// `period` (Table 1, `inp`).
-    pub fn inp(&mut self, start: Time, period: Time, n: usize, name: &str) -> Wire {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiringError::InvalidStimulus`] when `start` is NaN,
+    /// non-finite, or negative, or — for trains of more than one pulse —
+    /// when `period` is non-finite or not strictly positive (a zero or
+    /// negative period would produce a coincident or non-monotonic train
+    /// that only fails deep inside the kernel).
+    pub fn inp(
+        &mut self,
+        start: Time,
+        period: Time,
+        n: usize,
+        name: &str,
+    ) -> Result<Wire, WiringError> {
+        if !(start.is_finite() && start >= 0.0) {
+            return Err(WiringError::InvalidStimulus {
+                wire: name.to_string(),
+                reason: format!("start time {start} must be finite and non-negative"),
+            });
+        }
+        if n > 1 && !(period.is_finite() && period > 0.0) {
+            return Err(WiringError::InvalidStimulus {
+                wire: name.to_string(),
+                reason: format!(
+                    "period {period} must be finite and positive for a {n}-pulse train"
+                ),
+            });
+        }
         let times: Vec<Time> = (0..n).map(|i| start + period * i as f64).collect();
-        self.inp_at(&times, name)
+        Ok(self.inp_at(&times, name))
     }
 
     /// Add a machine instance, connecting `inputs` (in the machine's input
@@ -670,9 +711,33 @@ mod tests {
     #[test]
     fn inp_generates_periodic_pulses() {
         let mut c = Circuit::new();
-        let _clk = c.inp(50.0, 50.0, 6, "CLK");
+        let _clk = c.inp(50.0, 50.0, 6, "CLK").unwrap();
         let (name, times) = c.sources().next().unwrap();
         assert_eq!(name, "CLK");
         assert_eq!(times, &[50.0, 100.0, 150.0, 200.0, 250.0, 300.0]);
+    }
+
+    #[test]
+    fn inp_rejects_bad_periods_and_starts() {
+        let mut c = Circuit::new();
+        for (start, period, n) in [
+            (0.0, 0.0, 2),
+            (0.0, -5.0, 3),
+            (0.0, f64::NAN, 2),
+            (0.0, f64::INFINITY, 2),
+            (f64::NAN, 10.0, 1),
+            (-1.0, 10.0, 4),
+            (f64::INFINITY, 10.0, 1),
+        ] {
+            let err = c.inp(start, period, n, "BAD").unwrap_err();
+            assert!(
+                matches!(err, WiringError::InvalidStimulus { .. }),
+                "({start}, {period}, {n}) should be InvalidStimulus, got {err:?}"
+            );
+            assert!(!err.to_string().is_empty());
+        }
+        // Degenerate-but-harmless trains still build: period unused for n <= 1.
+        let _ = c.inp(5.0, 0.0, 1, "ONE").unwrap();
+        let _ = c.inp(5.0, -1.0, 0, "EMPTY").unwrap();
     }
 }

@@ -228,6 +228,14 @@ pub enum WiringError {
         /// The clashing name.
         name: String,
     },
+    /// A stimulus schedule is invalid: a NaN/negative start time, or a
+    /// non-finite or non-positive period for a multi-pulse train.
+    InvalidStimulus {
+        /// The stimulus wire being defined.
+        wire: String,
+        /// Human-readable description of the bad value.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WiringError {
@@ -247,6 +255,9 @@ impl fmt::Display for WiringError {
                 write!(f, "circuit output wire '{wire}' is also consumed internally")
             }
             DuplicateWireName { name } => write!(f, "two observed wires are both named '{name}'"),
+            InvalidStimulus { wire, reason } => {
+                write!(f, "invalid stimulus on wire '{wire}': {reason}")
+            }
         }
     }
 }
@@ -430,6 +441,10 @@ mod tests {
             WiringError::ForeignWire,
             WiringError::OutputConsumed { wire: "w".into() },
             WiringError::DuplicateWireName { name: "w".into() },
+            WiringError::InvalidStimulus {
+                wire: "w".into(),
+                reason: "r".into(),
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

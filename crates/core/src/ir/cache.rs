@@ -1,0 +1,281 @@
+//! A persistent compiled-artifact cache keyed on [`Ir::content_hash`].
+//!
+//! The expensive per-circuit artifacts — the flat dispatch tables of
+//! [`CompiledCircuit`] and, via the type-keyed sidecar, downstream artifacts
+//! such as the analog engine's cell templates — are memoized across
+//! requests. Entries store the full canonical byte encoding and compare it
+//! exactly on lookup, so a 64-bit hash collision can never alias two
+//! different circuits.
+
+use super::{Ir, IrError};
+use crate::circuit::Circuit;
+use crate::compiled::CompiledCircuit;
+use crate::telemetry::Telemetry;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The result of a cache lookup: the rebuilt circuit plus the (possibly
+/// memoized) compiled form.
+#[derive(Debug)]
+pub struct CacheOutcome {
+    /// The IR's content hash — the cache key, also usable with the sidecar.
+    pub hash: u64,
+    /// True if the compiled circuit was served from the cache.
+    pub hit: bool,
+    /// A fresh circuit rebuilt from the IR (cheap; every caller needs one).
+    pub circuit: Circuit,
+    /// The compiled dispatch tables, shared with the cache.
+    pub compiled: Arc<CompiledCircuit>,
+}
+
+struct Entry {
+    canon: Vec<u8>,
+    compiled: Arc<CompiledCircuit>,
+}
+
+/// A thread-safe memo of compiled circuits keyed on IR content, with a
+/// type-keyed sidecar for downstream artifacts (e.g. analog cell-template
+/// banks) cached under the same hash.
+///
+/// ```
+/// use rlse_core::circuit::Circuit;
+/// use rlse_core::ir::{CompiledCache, Ir};
+/// # use rlse_core::machine::{EdgeDef, Machine};
+/// # let jtl = Machine::new("JTL", &["a"], &["q"], 5.7, 2, &[EdgeDef {
+/// #     src: "idle", trigger: "a", dst: "idle", firing: "q", ..Default::default()
+/// # }]).unwrap();
+/// let mut c = Circuit::new();
+/// let a = c.inp_at(&[10.0], "A");
+/// let q = c.add_machine(&jtl, &[a]).unwrap()[0];
+/// c.inspect(q, "Q");
+/// let ir = Ir::from_circuit(&c).unwrap();
+///
+/// let cache = CompiledCache::new();
+/// let first = cache.get_or_compile(&ir).unwrap();
+/// let second = cache.get_or_compile(&ir).unwrap();
+/// assert!(!first.hit && second.hit);
+/// assert!(std::sync::Arc::ptr_eq(&first.compiled, &second.compiled));
+/// ```
+pub struct CompiledCache {
+    entries: Mutex<HashMap<u64, Vec<Entry>>>,
+    sidecars: Mutex<HashMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for CompiledCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl Default for CompiledCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompiledCache {
+    /// An empty cache with no telemetry attached.
+    pub fn new() -> Self {
+        CompiledCache {
+            entries: Mutex::new(HashMap::new()),
+            sidecars: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle; lookups count `ir_cache.hits` /
+    /// `ir_cache.misses` (and `ir_cache.sidecar_hits` / `_misses`) on it.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.telemetry = tel.clone();
+        self
+    }
+
+    /// Rebuild the IR's circuit and return its compiled form, compiling at
+    /// most once per distinct canonical content.
+    ///
+    /// # Errors
+    ///
+    /// Any [`IrError`] from [`Ir::to_circuit`] (the circuit is re-validated
+    /// on every call, hit or miss).
+    pub fn get_or_compile(&self, ir: &Ir) -> Result<CacheOutcome, IrError> {
+        let canon = ir.canonical_bytes();
+        let hash = super::fnv1a(&canon);
+        let circuit = ir.to_circuit()?;
+
+        if let Some(found) = self
+            .entries
+            .lock()
+            .expect("compiled cache poisoned")
+            .get(&hash)
+            .and_then(|bucket| bucket.iter().find(|e| e.canon == canon))
+            .map(|e| Arc::clone(&e.compiled))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add("ir_cache.hits", 1);
+            return Ok(CacheOutcome {
+                hash,
+                hit: true,
+                circuit,
+                compiled: found,
+            });
+        }
+
+        let compiled = Arc::new(CompiledCircuit::compile(&circuit));
+        let mut entries = self.entries.lock().expect("compiled cache poisoned");
+        let bucket = entries.entry(hash).or_default();
+        // A racing writer may have inserted while we compiled; keep theirs.
+        let compiled = match bucket.iter().find(|e| e.canon == canon) {
+            Some(e) => Arc::clone(&e.compiled),
+            None => {
+                bucket.push(Entry {
+                    canon,
+                    compiled: Arc::clone(&compiled),
+                });
+                compiled
+            }
+        };
+        drop(entries);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add("ir_cache.misses", 1);
+        Ok(CacheOutcome {
+            hash,
+            hit: false,
+            circuit,
+            compiled,
+        })
+    }
+
+    /// A typed artifact previously stored for `hash` (e.g. an analog
+    /// template bank), if present.
+    pub fn sidecar<T: Any + Send + Sync>(&self, hash: u64) -> Option<Arc<T>> {
+        let got = self
+            .sidecars
+            .lock()
+            .expect("sidecar cache poisoned")
+            .get(&(hash, TypeId::of::<T>()))
+            .cloned();
+        match got {
+            Some(v) => {
+                self.telemetry.add("ir_cache.sidecar_hits", 1);
+                v.downcast::<T>().ok()
+            }
+            None => {
+                self.telemetry.add("ir_cache.sidecar_misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Store a typed artifact under `hash`, replacing any previous value of
+    /// the same type.
+    pub fn put_sidecar<T: Any + Send + Sync>(&self, hash: u64, value: Arc<T>) {
+        self.sidecars
+            .lock()
+            .expect("sidecar cache poisoned")
+            .insert((hash, TypeId::of::<T>()), value);
+    }
+
+    /// Number of distinct compiled circuits held.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("compiled cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True if no compiled circuits are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total cache misses (compilations) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drop every entry and sidecar (counters are kept).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .expect("compiled cache poisoned")
+            .clear();
+        self.sidecars
+            .lock()
+            .expect("sidecar cache poisoned")
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests_support::small_jtl_ir;
+    use super::*;
+
+    #[test]
+    fn hit_after_miss_shares_the_compiled_tables() {
+        let tel = Telemetry::new();
+        let cache = CompiledCache::new().with_telemetry(&tel);
+        let ir = small_jtl_ir();
+        let a = cache.get_or_compile(&ir).unwrap();
+        let b = cache.get_or_compile(&ir).unwrap();
+        assert!(!a.hit);
+        assert!(b.hit);
+        assert_eq!(a.hash, b.hash);
+        assert!(Arc::ptr_eq(&a.compiled, &b.compiled));
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let report = tel.report();
+        assert_eq!(report.counter("ir_cache.hits"), 1);
+        assert_eq!(report.counter("ir_cache.misses"), 1);
+    }
+
+    #[test]
+    fn different_content_occupies_different_entries() {
+        let cache = CompiledCache::new();
+        let ir = small_jtl_ir();
+        let mut stretched = ir.clone();
+        if let super::super::IrNode::Source { pulses } = &mut stretched.nodes[0] {
+            for t in pulses.iter_mut() {
+                *t += 1.0;
+            }
+        }
+        cache.get_or_compile(&ir).unwrap();
+        cache.get_or_compile(&stretched).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn sidecar_round_trips_typed_artifacts() {
+        let cache = CompiledCache::new();
+        let ir = small_jtl_ir();
+        let hash = ir.content_hash();
+        assert!(cache.sidecar::<Vec<u32>>(hash).is_none());
+        cache.put_sidecar(hash, Arc::new(vec![1u32, 2, 3]));
+        assert_eq!(*cache.sidecar::<Vec<u32>>(hash).unwrap(), vec![1, 2, 3]);
+        // Type-keyed: a different type under the same hash is independent.
+        assert!(cache.sidecar::<String>(hash).is_none());
+        cache.clear();
+        assert!(cache.sidecar::<Vec<u32>>(hash).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,515 @@
+//! Minimal hand-rolled JSON values: a parser and two writers (compact and
+//! pretty), shared by the netlist IR and the serve front end.
+//!
+//! The workspace deliberately has no serde dependency; telemetry renders its
+//! reports by hand and this module is the matching *reader* side. It covers
+//! the JSON grammar the IR and request formats need: objects, arrays,
+//! strings (with `\uXXXX` escapes and surrogate pairs), finite numbers,
+//! booleans, and `null`. Object key order is preserved, so a value written
+//! by [`JsonValue::write`] parses back to an equal value.
+
+use std::fmt;
+
+/// A parsed JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always held as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order is preserved and duplicates are kept.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Where and why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            pos: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError {
+                pos: start,
+                msg: "invalid UTF-8 in number".into(),
+            })?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Num(n)),
+            _ => Err(JsonError {
+                pos: start,
+                msg: format!("invalid number '{text}'"),
+            }),
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError {
+                pos: self.pos,
+                msg: "invalid UTF-8 in \\u escape".into(),
+            })?;
+        let v = u16::from_str_radix(text, 16).map_err(|_| JsonError {
+            pos: self.pos,
+            msg: format!("invalid \\u escape '{text}'"),
+        })?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let c = 0x10000
+                                    + ((hi as u32 - 0xD800) << 10)
+                                    + (lo as u32 - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(hi as u32)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            continue;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        JsonError {
+                            pos: self.pos,
+                            msg: "invalid UTF-8 in string".into(),
+                        }
+                    })?;
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(items));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            items.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(items));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Escape `s` into `out` as the body of a JSON string (no surrounding
+/// quotes) — same rules as telemetry's renderer.
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Write a finite `f64` deterministically (shortest round-tripping form,
+/// Rust's `{}` formatting). Non-finite values are a caller bug; they are
+/// written as `null` so the output stays valid JSON.
+pub fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl JsonValue {
+    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after document");
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object, or `None` for non-objects / absent keys.
+    /// The first occurrence wins when keys repeat.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(items) => items.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number with an exact
+    /// integral value.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9_007_199_254_740_992.0 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Write compactly (no whitespace) into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => write_f64(*n, out),
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_json(s, out);
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(items) => {
+                out.push('{');
+                for (i, (k, v)) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(k, out);
+                    out.push_str("\":");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Write with 2-space-per-level indentation — the fixture / golden-file
+    /// form. Arrays of scalars stay on one line; arrays or objects holding
+    /// containers break one element per line.
+    pub fn write_pretty(&self, indent: usize, out: &mut String) {
+        fn pad(n: usize, out: &mut String) {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+        let is_container =
+            |v: &JsonValue| matches!(v, JsonValue::Arr(a) if !a.is_empty()) || matches!(v, JsonValue::Obj(o) if !o.is_empty());
+        match self {
+            JsonValue::Arr(items) if items.iter().any(is_container) => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(indent + 1, out);
+                    v.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                pad(indent, out);
+                out.push(']');
+            }
+            JsonValue::Obj(items) if !items.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(indent + 1, out);
+                    out.push('"');
+                    escape_json(k, out);
+                    out.push_str("\": ");
+                    v.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                pad(indent, out);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// The compact single-line rendering.
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+
+    /// The pretty multi-line rendering (ends without a trailing newline).
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write_pretty(0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("-1.5e3").unwrap(), JsonValue::Num(-1500.0));
+        assert_eq!(
+            JsonValue::parse("\"a\\nb\\u00e9\"").unwrap(),
+            JsonValue::Str("a\nbé".into())
+        );
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        assert_eq!(
+            JsonValue::parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::Str("😀".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "tru", "{", "[1,", "{\"a\":}", "1 2", "\"\\q\"", "nan", "1e999",
+            "\"\\ud83d\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x \"y\" z","d":null},"e":true,"f":[]}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let compact = v.to_compact();
+        assert_eq!(JsonValue::parse(&compact).unwrap(), v);
+        let pretty = v.to_pretty();
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let v = JsonValue::parse(r#"{"n":3,"s":"x","b":false,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(JsonValue::as_usize), Some(3));
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(JsonValue::as_arr).map(<[_]>::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Num(1.5).as_usize(), None);
+        assert_eq!(JsonValue::Num(-1.0).as_usize(), None);
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`telemetry`] — zero-cost-when-disabled counters, spans, and timeline
 //!   export shared by the simulator, the sweep engine, and (via `rlse-ta`)
 //!   the model checker.
+//! * [`ir`] — the versioned serializable netlist IR (hand-rolled JSON, a
+//!   canonical content hash) and the [`ir::CompiledCache`] memoizing
+//!   compiled artifacts across requests.
 //! * [`events`] — the events dictionary and §5.2-style dynamic checks.
 //! * [`plot`] — text waveform rendering.
 //! * [`error`] — definition, wiring, and timing-violation errors, with
@@ -64,6 +67,7 @@ pub mod compiled;
 pub mod error;
 pub mod events;
 pub mod functional;
+pub mod ir;
 pub mod machine;
 pub mod plot;
 pub mod sim;
@@ -80,9 +84,10 @@ pub mod prelude {
     pub use crate::error::{Error, Time};
     pub use crate::events::Events;
     pub use crate::functional::Hole;
+    pub use crate::ir::{CompiledCache, Ir, IrQuery};
     pub use crate::machine::{EdgeDef, Machine};
     pub use crate::sim::parallel::ParallelSim;
     pub use crate::sim::{Simulation, TraceEntry, Variability};
-    pub use crate::sweep::{OutputStats, Sweep, SweepReport};
+    pub use crate::sweep::{OutputStats, Sweep, SweepError, SweepReport};
     pub use crate::telemetry::{Telemetry, TelemetryReport};
 }

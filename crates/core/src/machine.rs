@@ -149,6 +149,22 @@ pub struct Machine {
     hold_time: Time,
 }
 
+/// Fully elaborated machine fields, as decoded from the netlist IR — the
+/// input to [`Machine::from_parts`]. Transitions are already expanded (one
+/// per trigger, firing delays resolved); `from_parts` re-validates them and
+/// rebuilds the lookup table.
+pub(crate) struct MachineParts {
+    pub name: String,
+    pub inputs: Vec<String>,
+    pub outputs: Vec<String>,
+    pub states: Vec<String>,
+    pub transitions: Vec<Transition>,
+    pub firing_delay: Time,
+    pub jjs: u32,
+    pub setup_time: Time,
+    pub hold_time: Time,
+}
+
 impl Machine {
     /// Build and validate a machine.
     ///
@@ -334,6 +350,151 @@ impl Machine {
             jjs,
             setup_time: 0.0,
             hold_time: 0.0,
+        }))
+    }
+
+    /// Rebuild a machine from fully elaborated parts — the netlist-IR import
+    /// path (see [`crate::ir`]). Unlike [`Machine::new`], the transitions are
+    /// already expanded (one per trigger, firing delays resolved), so this
+    /// re-validates them and rebuilds the `(state, input)` lookup table
+    /// rather than elaborating [`EdgeDef`]s.
+    ///
+    /// Transition `id`s are renumbered to list position; `def_index` is kept
+    /// as supplied (it only feeds `definition_size` and diagnostics).
+    pub(crate) fn from_parts(parts: MachineParts) -> Result<Arc<Self>, DefinitionError> {
+        let MachineParts {
+            name,
+            inputs,
+            outputs,
+            states,
+            mut transitions,
+            firing_delay,
+            jjs,
+            setup_time,
+            hold_time,
+        } = parts;
+        let err_name = || name.clone();
+        if inputs.is_empty() || outputs.is_empty() {
+            return Err(DefinitionError::NoPorts { machine: err_name() });
+        }
+        for (field, value) in [
+            ("firing_delay", firing_delay),
+            ("setup_time", setup_time),
+            ("hold_time", hold_time),
+        ] {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(DefinitionError::BadNumericValue {
+                    machine: err_name(),
+                    field: field.into(),
+                    value,
+                });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in inputs.iter().chain(outputs.iter()) {
+            if !seen.insert(p.as_str()) {
+                return Err(DefinitionError::DuplicateName {
+                    machine: err_name(),
+                    name: p.clone(),
+                });
+            }
+        }
+        let start = states
+            .iter()
+            .position(|s| s == "idle")
+            .map(StateId)
+            .ok_or_else(|| DefinitionError::MissingIdleState { machine: err_name() })?;
+        for (i, t) in transitions.iter_mut().enumerate() {
+            t.id = i;
+            if t.src.0 >= states.len() || t.dst.0 >= states.len() {
+                return Err(DefinitionError::UnknownState {
+                    machine: err_name(),
+                    state: format!("#{}", t.src.0.max(t.dst.0)),
+                });
+            }
+            if t.trigger.0 >= inputs.len() {
+                return Err(DefinitionError::UnknownTrigger {
+                    machine: err_name(),
+                    trigger: format!("#{}", t.trigger.0),
+                });
+            }
+            if !(t.transition_time.is_finite() && t.transition_time >= 0.0) {
+                return Err(DefinitionError::BadNumericValue {
+                    machine: err_name(),
+                    field: format!("transition_time (transition {i})"),
+                    value: t.transition_time,
+                });
+            }
+            for &(o, d) in &t.firing {
+                if o.0 >= outputs.len() {
+                    return Err(DefinitionError::UnknownOutput {
+                        machine: err_name(),
+                        output: format!("#{}", o.0),
+                    });
+                }
+                if !(d.is_finite() && d >= 0.0) {
+                    return Err(DefinitionError::BadNumericValue {
+                        machine: err_name(),
+                        field: format!("firing_delay (transition {i})"),
+                        value: d,
+                    });
+                }
+            }
+            for &(cin, dist) in &t.past_constraints {
+                if cin.0 >= inputs.len() {
+                    return Err(DefinitionError::UnknownConstraintInput {
+                        machine: err_name(),
+                        input: format!("#{}", cin.0),
+                    });
+                }
+                if !(dist.is_finite() && dist >= 0.0) {
+                    return Err(DefinitionError::BadNumericValue {
+                        machine: err_name(),
+                        field: format!("past_constraint (transition {i})"),
+                        value: dist,
+                    });
+                }
+            }
+        }
+        let n_in = inputs.len();
+        let mut table = vec![usize::MAX; states.len() * n_in];
+        for t in &transitions {
+            let slot = &mut table[t.src.0 * n_in + t.trigger.0];
+            if *slot != usize::MAX {
+                return Err(DefinitionError::ConflictingTransitions {
+                    machine: err_name(),
+                    state: states[t.src.0].clone(),
+                    input: inputs[t.trigger.0].clone(),
+                });
+            }
+            *slot = t.id;
+        }
+        for (si, s) in states.iter().enumerate() {
+            for (ii, i) in inputs.iter().enumerate() {
+                if table[si * n_in + ii] == usize::MAX {
+                    return Err(DefinitionError::IncompleteSpecification {
+                        machine: err_name(),
+                        state: s.clone(),
+                        input: i.clone(),
+                    });
+                }
+            }
+        }
+        if !transitions.iter().any(|t| !t.firing.is_empty()) {
+            return Err(DefinitionError::NoFiringTransition { machine: err_name() });
+        }
+        Ok(Arc::new(Machine {
+            name,
+            inputs,
+            outputs,
+            states,
+            start,
+            transitions,
+            table,
+            firing_delay,
+            jjs,
+            setup_time,
+            hold_time,
         }))
     }
 

@@ -25,6 +25,7 @@ use crate::compiled::{CompiledCircuit, CompiledNode};
 use crate::error::{Error, HoleError, Time, TimingViolation, ViolationKind};
 use crate::events::Events;
 use crate::telemetry::{CellTally, Telemetry};
+use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::BinaryHeap;
@@ -210,8 +211,11 @@ pub struct Simulation {
     circuit: Circuit,
     /// Built lazily on first `reset`/`run` and retained for the lifetime of
     /// the simulation (the circuit is immutable while owned here), so sweep
-    /// workers compile once per circuit, not per trial.
-    compiled: Option<CompiledCircuit>,
+    /// workers compile once per circuit, not per trial. Held behind an
+    /// `Arc` so a shared compiled form (e.g. from an
+    /// [`ir::CompiledCache`](crate::ir::CompiledCache)) can be injected with
+    /// [`with_compiled`](Simulation::with_compiled) instead of recompiled.
+    compiled: Option<Arc<CompiledCircuit>>,
     until: Option<Time>,
     variability: Option<Variability>,
     seed: u64,
@@ -272,6 +276,20 @@ impl Simulation {
             tel_track: 0,
             tel_cells: Vec::new(),
         }
+    }
+
+    /// Create a simulation over `circuit` with a pre-compiled dispatch
+    /// table, skipping compilation entirely — the cache-hit fast path of
+    /// [`ir::CompiledCache`](crate::ir::CompiledCache).
+    ///
+    /// `compiled` must have been produced by
+    /// [`CompiledCircuit::compile`] from a circuit structurally identical to
+    /// `circuit` (same nodes, wires, and machine specs in the same order);
+    /// the cache guarantees this by keying on the IR's canonical bytes.
+    pub fn with_compiled(circuit: Circuit, compiled: Arc<CompiledCircuit>) -> Self {
+        let mut sim = Self::new(circuit);
+        sim.compiled = Some(compiled);
+        sim
     }
 
     /// Simulate only until the given time. Required when the circuit has
@@ -338,9 +356,9 @@ impl Simulation {
     /// simulation's lifetime.
     pub fn compiled(&mut self) -> &CompiledCircuit {
         if self.compiled.is_none() {
-            self.compiled = Some(CompiledCircuit::compile(&self.circuit));
+            self.compiled = Some(Arc::new(CompiledCircuit::compile(&self.circuit)));
         }
-        self.compiled.as_ref().expect("just compiled")
+        self.compiled.as_deref().expect("just compiled")
     }
 
     /// Restore the simulation to its pre-run state so it can be run again:
@@ -357,9 +375,9 @@ impl Simulation {
         self.trace.clear();
         self.heap.clear();
         if self.compiled.is_none() {
-            self.compiled = Some(CompiledCircuit::compile(&self.circuit));
+            self.compiled = Some(Arc::new(CompiledCircuit::compile(&self.circuit)));
         }
-        let cc = self.compiled.as_ref().expect("compiled above");
+        let cc = self.compiled.as_deref().expect("compiled above");
         let n_nodes = cc.nodes.len();
         self.states.clear();
         self.tau_done.clear();
@@ -480,7 +498,7 @@ impl Simulation {
             tel_track,
             tel_cells,
         } = self;
-        let cc = compiled.as_ref().expect("compiled in reset");
+        let cc: &CompiledCircuit = compiled.as_deref().expect("compiled in reset");
         if tel_on {
             tel_cells.clear();
             tel_cells.resize(cc.nodes.len(), CellTally::default());

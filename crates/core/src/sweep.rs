@@ -46,7 +46,7 @@
 //! # }
 //! ```
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, NodeKind};
 use crate::error::{Error, Time};
 use crate::events::Events;
 use crate::sim::{Simulation, Variability};
@@ -229,6 +229,77 @@ pub struct SweepDetails {
     pub names: Vec<String>,
     /// One entry per trial, in trial order.
     pub trials: Vec<TrialDetail>,
+}
+
+/// Why a sweep refused to start (detected on the probe build, before any
+/// trial runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SweepError {
+    /// A [`Variability::PerCellType`] map names cell types that do not
+    /// exist in the circuit. Unmatched keys used to be a silent no-op (the
+    /// sigma resolver's NaN "no jitter" sentinel), so a typo'd key ran the
+    /// whole sweep at σ = 0 with no diagnostic.
+    UnknownCellTypes {
+        /// The keys with no matching cell type, sorted ascending.
+        unmatched: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownCellTypes { unmatched } => {
+                let keys = unmatched
+                    .iter()
+                    .map(|k| format!("'{k}'"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(
+                    f,
+                    "per-cell-type variability names cell types not present in the \
+                     circuit: {keys}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Check a variability value against the probe circuit before the sweep
+/// starts: every key of a [`Variability::PerCellType`] map must name a cell
+/// type (machine or hole) that actually occurs in the circuit.
+pub(crate) fn validate_variability(
+    v: Option<&Variability>,
+    probe: &Circuit,
+) -> Result<(), SweepError> {
+    let Some(Variability::PerCellType(map)) = v else {
+        return Ok(());
+    };
+    let mut cell_types = std::collections::HashSet::new();
+    for n in &probe.nodes {
+        match &n.kind {
+            NodeKind::Machine { spec, .. } => {
+                cell_types.insert(spec.name());
+            }
+            NodeKind::Hole(h) => {
+                cell_types.insert(h.name());
+            }
+            NodeKind::Source { .. } => {}
+        }
+    }
+    let mut unmatched: Vec<String> = map
+        .keys()
+        .filter(|k| !cell_types.contains(k.as_str()))
+        .cloned()
+        .collect();
+    if unmatched.is_empty() {
+        Ok(())
+    } else {
+        unmatched.sort();
+        Err(SweepError::UnknownCellTypes { unmatched })
+    }
 }
 
 /// The sorted observed-wire name list shared by every trial of a sweep
@@ -444,12 +515,32 @@ impl<'a> Sweep<'a> {
     ///
     /// Panics if the circuit builder produces an ill-formed circuit (the
     /// per-trial simulation errors are *counted*, not propagated, but a
-    /// wiring error on the probe build is a bug in the builder).
+    /// wiring error on the probe build is a bug in the builder), or if the
+    /// sweep configuration is invalid — see [`try_run`](Self::try_run) for
+    /// the non-panicking form.
     pub fn run(&self) -> SweepReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Self::run), but invalid sweep configuration (e.g. a
+    /// [`Variability::PerCellType`] map naming cell types absent from the
+    /// circuit) is reported as a [`SweepError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::UnknownCellTypes`] when per-cell-type variability keys
+    /// do not match any cell type in the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit builder produces an ill-formed circuit.
+    pub fn try_run(&self) -> Result<SweepReport, SweepError> {
         // Probe build: capture the observed-output name list (sorted, which
         // matches the Events BTreeMap order) shared by every trial.
         let probe = (self.build)();
         probe.check().expect("sweep circuit builder must be valid");
+        let v = self.variability.as_ref().map(|f| f());
+        validate_variability(v.as_ref(), &probe)?;
         let names = observed_names(&probe);
         drop(probe);
 
@@ -512,7 +603,7 @@ impl<'a> Sweep<'a> {
             }
         }
 
-        report
+        Ok(report)
     }
 
     /// Run every trial and return its individual verdict and output pulse
@@ -526,11 +617,28 @@ impl<'a> Sweep<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit builder produces an ill-formed circuit, as
-    /// [`run`](Self::run) does.
+    /// Panics if the circuit builder produces an ill-formed circuit or the
+    /// sweep configuration is invalid, as [`run`](Self::run) does.
     pub fn run_detailed(&self) -> SweepDetails {
+        self.try_run_detailed().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_detailed`](Self::run_detailed) with invalid sweep configuration
+    /// reported as a [`SweepError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::UnknownCellTypes`] when per-cell-type variability keys
+    /// do not match any cell type in the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit builder produces an ill-formed circuit.
+    pub fn try_run_detailed(&self) -> Result<SweepDetails, SweepError> {
         let probe = (self.build)();
         probe.check().expect("sweep circuit builder must be valid");
+        let v = self.variability.as_ref().map(|f| f());
+        validate_variability(v.as_ref(), &probe)?;
         let names = observed_names(&probe);
         drop(probe);
 
@@ -565,7 +673,7 @@ impl<'a> Sweep<'a> {
                 outputs,
             });
         }
-        SweepDetails { names, trials }
+        Ok(SweepDetails { names, trials })
     }
 }
 
@@ -643,6 +751,94 @@ mod tests {
                 .run()
         };
         assert_ne!(sweep(1), sweep(2));
+    }
+
+    #[test]
+    fn per_cell_type_with_unknown_keys_refuses_to_start() {
+        let vars = || {
+            let mut m = std::collections::HashMap::new();
+            m.insert("JTLL".to_string(), 0.4);
+            m.insert("DRO".to_string(), 0.2);
+            m.insert("JTL".to_string(), 0.1);
+            Variability::PerCellType(m)
+        };
+        let err = Sweep::over(chain_builder())
+            .variability(vars)
+            .trials(4)
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::UnknownCellTypes {
+                unmatched: vec!["DRO".to_string(), "JTLL".to_string()],
+            }
+        );
+        assert!(err.to_string().contains("'DRO', 'JTLL'"));
+        let detailed = Sweep::over(chain_builder())
+            .variability(vars)
+            .trials(4)
+            .try_run_detailed()
+            .unwrap_err();
+        assert_eq!(detailed, err);
+        let build = chain_builder();
+        let batch = BatchSweep::over(&build)
+            .variability(vars)
+            .trials(4)
+            .try_run()
+            .unwrap_err();
+        assert_eq!(batch, err);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-cell-type variability names cell types")]
+    fn run_panics_on_unknown_per_cell_type_keys() {
+        let vars = || {
+            let mut m = std::collections::HashMap::new();
+            m.insert("NO_SUCH_CELL".to_string(), 0.4);
+            Variability::PerCellType(m)
+        };
+        let _ = Sweep::over(chain_builder()).variability(vars).trials(2).run();
+    }
+
+    #[test]
+    fn per_cell_type_with_matching_keys_runs() {
+        let vars = || {
+            let mut m = std::collections::HashMap::new();
+            m.insert("JTL".to_string(), 0.4);
+            Variability::PerCellType(m)
+        };
+        let report = Sweep::over(chain_builder())
+            .variability(vars)
+            .trials(8)
+            .try_run()
+            .unwrap();
+        assert_eq!(report.trials, 8);
+    }
+
+    #[test]
+    fn hole_names_count_as_cell_types_for_variability() {
+        use crate::functional::Hole;
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.inp_at(&[10.0], "A");
+            let h = Hole::new("MODEL", 1.0, &["a"], &["q"], |ins: &[bool], _| {
+                vec![ins[0]]
+            });
+            let q = c.add_hole(h, &[a]).unwrap()[0];
+            c.inspect(q, "Q");
+            c
+        };
+        let vars = || {
+            let mut m = std::collections::HashMap::new();
+            m.insert("MODEL".to_string(), 0.0);
+            Variability::PerCellType(m)
+        };
+        let report = Sweep::over(build)
+            .variability(vars)
+            .trials(2)
+            .try_run()
+            .unwrap();
+        assert_eq!(report.trials, 2);
     }
 
     #[test]

@@ -64,8 +64,8 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use super::{
-    observed_names, reduce, trial_seed, CheckFn, OutAcc, Sweep, SweepDetails, SweepReport,
-    TrialDetail, TrialOutcome,
+    observed_names, reduce, trial_seed, validate_variability, CheckFn, OutAcc, Sweep,
+    SweepDetails, SweepError, SweepReport, TrialDetail, TrialOutcome,
 };
 
 /// A pending pulse of the lane currently being pumped. The heap is a
@@ -790,16 +790,35 @@ impl<'a> BatchSweep<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit builder produces an ill-formed circuit, as
-    /// [`Sweep::run`] does.
+    /// Panics if the circuit builder produces an ill-formed circuit or the
+    /// sweep configuration is invalid, as [`Sweep::run`] does.
     pub fn run(&self) -> SweepReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Self::run) with invalid sweep configuration reported as a
+    /// [`SweepError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::UnknownCellTypes`] when per-cell-type variability keys
+    /// do not match any cell type in the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit builder produces an ill-formed circuit.
+    pub fn try_run(&self) -> Result<SweepReport, SweepError> {
         let probe = (self.build)();
         probe.check().expect("sweep circuit builder must be valid");
+        {
+            let v = self.variability.as_ref().map(|f| f());
+            validate_variability(v.as_ref(), &probe)?;
+        }
         if Self::has_holes(&probe) {
             if self.telemetry.is_enabled() {
                 self.telemetry.add("sweep_batch.fallback_scalar", 1);
             }
-            return self.scalar().run();
+            return self.scalar().try_run();
         }
         let t_run = self.telemetry.now();
         let (names, outcomes, _) = self.execute(&probe, false);
@@ -818,7 +837,7 @@ impl<'a> BatchSweep<'a> {
                     .record_span("sweep_batch.run", 0, t0, self.trials);
             }
         }
-        report
+        Ok(report)
     }
 
     /// Run every trial and return its individual verdict and output pulse
@@ -828,12 +847,32 @@ impl<'a> BatchSweep<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the circuit builder produces an ill-formed circuit.
+    /// Panics if the circuit builder produces an ill-formed circuit or the
+    /// sweep configuration is invalid.
     pub fn run_detailed(&self) -> SweepDetails {
+        self.try_run_detailed().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_detailed`](Self::run_detailed) with invalid sweep configuration
+    /// reported as a [`SweepError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::UnknownCellTypes`] when per-cell-type variability keys
+    /// do not match any cell type in the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit builder produces an ill-formed circuit.
+    pub fn try_run_detailed(&self) -> Result<SweepDetails, SweepError> {
         let probe = (self.build)();
         probe.check().expect("sweep circuit builder must be valid");
+        {
+            let v = self.variability.as_ref().map(|f| f());
+            validate_variability(v.as_ref(), &probe)?;
+        }
         if Self::has_holes(&probe) {
-            return self.scalar().run_detailed();
+            return self.scalar().try_run_detailed();
         }
         let (names, outcomes, outputs) = self.execute(&probe, true);
         let outputs = outputs.expect("outputs requested");
@@ -847,7 +886,7 @@ impl<'a> BatchSweep<'a> {
                 outputs: outs,
             })
             .collect();
-        SweepDetails { names, trials }
+        Ok(SweepDetails { names, trials })
     }
 }
 

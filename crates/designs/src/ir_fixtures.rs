@@ -1,0 +1,105 @@
+//! Netlist-IR emitters for the evaluation designs.
+//!
+//! Every design named by [`shmoo_design_names`](crate::shmoo_design_names)
+//! can be exported as a self-contained [`Ir`] document at any stimulus
+//! time-scale factor. The emitters are the fixture source for the IR
+//! round-trip tests, the golden JSON files, and the `rlse-serve` request
+//! corpus: the exported IR rebuilds the exact circuit (bit-identical
+//! `Events`), and its content hash keys the compiled-artifact cache.
+
+use crate::margins::design_spec;
+use rlse_core::ir::{Ir, IrQuery};
+use rlse_core::prelude::*;
+
+/// Export one design's scaled stimulus bench as an IR document.
+///
+/// The IR is named `{name}@x{scale}` (display metadata only — the content
+/// hash ignores it) and carries a [`IrQuery::NoErrorState`] query, the
+/// paper's Query 2 for the design.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of
+/// [`shmoo_design_names`](crate::shmoo_design_names).
+pub fn design_ir(name: &str, scale: f64) -> Ir {
+    let (build, _check) = design_spec(name);
+    let circuit = build(scale);
+    let mut ir = Ir::from_circuit(&circuit)
+        .expect("shmoo designs are hole-free and fully wired")
+        .with_name(&format!("{name}@x{scale}"));
+    ir.queries.push(IrQuery::NoErrorState);
+    ir
+}
+
+/// [`design_ir`] plus an [`IrQuery::OutputsOnlyAt`] query whose expected
+/// pulse times come from one reference simulation of the design at σ = 0 —
+/// the paper's Query 1, self-certifying by construction.
+///
+/// # Panics
+///
+/// Panics as [`design_ir`] does, or if the reference simulation fails.
+pub fn design_ir_with_expected_outputs(name: &str, scale: f64) -> Ir {
+    let mut ir = design_ir(name, scale);
+    let circuit = ir.to_circuit().expect("freshly exported IR imports");
+    let events = Simulation::new(circuit)
+        .run()
+        .expect("reference simulation of a shmoo design");
+    let outputs = events
+        .names()
+        .map(|n| (n.to_string(), events.times(n).to_vec()))
+        .collect();
+    ir.queries.push(IrQuery::OutputsOnlyAt { outputs });
+    ir
+}
+
+/// Every shmoo design exported at the given scale, in
+/// [`shmoo_design_names`](crate::shmoo_design_names) order.
+pub fn all_design_irs(scale: f64) -> Vec<Ir> {
+    crate::shmoo_design_names()
+        .iter()
+        .map(|n| design_ir(n, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exported_ir_rebuilds_the_same_events() {
+        for name in ["min_max", "adder_sync"] {
+            let (build, _) = design_spec(name);
+            let direct = Simulation::new(build(1.0)).run().unwrap();
+            let ir = design_ir(name, 1.0);
+            let rebuilt = Simulation::new(ir.to_circuit().unwrap()).run().unwrap();
+            assert_eq!(direct, rebuilt, "{name}");
+        }
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_rebuilds_and_ignores_the_name() {
+        let a = design_ir("min_max", 1.0);
+        let b = design_ir("min_max", 1.0).with_name("renamed");
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(
+            a.content_hash(),
+            design_ir("min_max", 2.0).content_hash(),
+            "scale changes the stimulus and must change the hash"
+        );
+    }
+
+    #[test]
+    fn expected_output_queries_hold_under_model_independent_replay() {
+        let ir = design_ir_with_expected_outputs("min_max", 1.0);
+        assert_eq!(ir.queries.len(), 2);
+        let IrQuery::OutputsOnlyAt { outputs } = &ir.queries[1] else {
+            panic!("second query must be OutputsOnlyAt");
+        };
+        assert!(!outputs.is_empty());
+        // The recorded times replay exactly.
+        let events = Simulation::new(ir.to_circuit().unwrap()).run().unwrap();
+        for (name, times) in outputs {
+            assert_eq!(events.times(name), times.as_slice(), "{name}");
+        }
+    }
+}

@@ -23,6 +23,8 @@
 //!   simulator's target-time cutoff.
 //! * [`margins`] — Monte-Carlo timing-margin analyses of the ripple adder
 //!   and decision trees, built on `rlse_core`'s parallel sweep engine.
+//! * [`ir_fixtures`] — netlist-IR emitters for every shmoo design, the
+//!   fixture source for round-trip tests and the serving front end.
 //!
 //! Each module exposes both a composable builder (taking wires) and a
 //! `*_with_inputs` convenience that constructs a self-contained test bench.
@@ -34,6 +36,7 @@ pub mod adder;
 pub mod bitonic;
 pub mod decision_tree;
 pub mod dual_rail;
+pub mod ir_fixtures;
 pub mod margins;
 pub mod memory;
 pub mod minmax;
@@ -46,6 +49,7 @@ pub mod xsfq_adder;
 pub use adder::full_adder_sync;
 pub use decision_tree::{decision_tree, decision_tree_with_inputs, Tree};
 pub use dual_rail::{dr_and, dr_fork, dr_input, dr_inspect, dr_not, dr_or, dr_xor};
+pub use ir_fixtures::{all_design_irs, design_ir, design_ir_with_expected_outputs};
 pub use margins::{
     decision_tree_margin, design_spec, find_first_pass, find_first_pass_uniform,
     ripple_adder_margin, shmoo_design_names, shmoo_map, Boundary, CellState, MarginAnalysis,

@@ -82,7 +82,7 @@ mod tests {
     fn shift_register_delays_by_one_clock_per_stage() {
         let mut circ = Circuit::new();
         let d = circ.inp_at(&[30.0], "D");
-        let clk = circ.inp(100.0, 100.0, 5, "CLK");
+        let clk = circ.inp(100.0, 100.0, 5, "CLK").unwrap();
         let taps = shift_register(&mut circ, d, clk, 3).unwrap();
         for (k, t) in taps.iter().enumerate() {
             circ.inspect(*t, &format!("T{k}"));
@@ -105,7 +105,7 @@ mod tests {
     fn shift_register_pipelines_multiple_tokens() {
         let mut circ = Circuit::new();
         let d = circ.inp_at(&[30.0, 130.0], "D");
-        let clk = circ.inp(100.0, 100.0, 6, "CLK");
+        let clk = circ.inp(100.0, 100.0, 6, "CLK").unwrap();
         let taps = shift_register(&mut circ, d, clk, 2).unwrap();
         circ.inspect(taps[1], "OUT");
         let ev = Simulation::new(circ).run().unwrap();
@@ -115,7 +115,7 @@ mod tests {
     #[test]
     fn counter_divides_by_powers_of_two() {
         let mut circ = Circuit::new();
-        let pulses = circ.inp(20.0, 20.0, 16, "IN");
+        let pulses = circ.inp(20.0, 20.0, 16, "IN").unwrap();
         let taps = ripple_counter(&mut circ, pulses, 3).unwrap();
         for (k, t) in taps.iter().enumerate() {
             circ.inspect(*t, &format!("B{k}"));
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn counter_bits_toggle_in_order() {
         let mut circ = Circuit::new();
-        let pulses = circ.inp(20.0, 20.0, 4, "IN");
+        let pulses = circ.inp(20.0, 20.0, 4, "IN").unwrap();
         let taps = ripple_counter(&mut circ, pulses, 2).unwrap();
         circ.inspect(taps[0], "B0");
         circ.inspect(taps[1], "B1");

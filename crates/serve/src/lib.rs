@@ -1,0 +1,666 @@
+//! # rlse-serve — the JSON-lines batch serving front end
+//!
+//! A request file (or stdin) holds one JSON object per line; each line is
+//! answered with exactly one JSON response line, in request order. Four
+//! request kinds are served:
+//!
+//! * `simulate` — rebuild a netlist-IR circuit and run one simulation,
+//!   returning the full events dictionary.
+//! * `sweep` — a deterministically-seeded Monte-Carlo sweep over an IR
+//!   circuit under a variability model.
+//! * `shmoo` — a σ × time-scale margin map over one of the named
+//!   evaluation designs.
+//! * `model_check` — translate an IR circuit to timed automata and check
+//!   its embedded queries (Query 1 / Query 2 of the paper).
+//!
+//! Circuits arrive as [`Ir`] documents. Every IR-bearing request goes
+//! through one shared [`CompiledCache`], so repeating a request (or sharing
+//! a circuit across requests) reuses the compiled dispatch tables; the
+//! cache's hit/miss counters are reported out of band in the
+//! [`Server::summary`], never in a response line.
+//!
+//! ## Determinism
+//!
+//! Responses are byte-identical for byte-identical request lines: seeds are
+//! explicit, worker thread counts never change results, and responses carry
+//! only deterministic fields (no wall-clock times, no cache hit flags).
+//! Each response embeds the request's own deterministic telemetry counters
+//! under `"telemetry"`.
+//!
+//! ## Budgets
+//!
+//! [`ServeOptions`] caps what one request may ask for: sweep/shmoo trials,
+//! model-checker states and wall-clock seconds, and the simulation time
+//! horizon. Requests asking for more are clamped, and the effective values
+//! are echoed in the response.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rlse_core::ir::json::JsonValue;
+use rlse_core::ir::{CompiledCache, Ir, IrQuery};
+use rlse_core::prelude::*;
+use rlse_ta::prelude::*;
+use std::io::{BufRead, Write};
+
+/// Per-request resource caps. A request may ask for less than any cap but
+/// never gets more.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Largest trial count a `sweep` or `shmoo` request may run per cell.
+    pub max_trials: u64,
+    /// Largest model-checker state budget a `model_check` request may use.
+    pub max_states: usize,
+    /// Largest model-checker wall-clock budget in seconds.
+    pub max_seconds: f64,
+    /// Largest simulation time horizon (`until`) in ps; `simulate` requests
+    /// without an explicit horizon inherit it when finite.
+    pub max_until: f64,
+    /// Worker threads for sweeps and the model checker (0 = available
+    /// parallelism). Thread count never changes response bytes.
+    pub threads: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_trials: 100_000,
+            max_states: 2_000_000,
+            max_seconds: 600.0,
+            max_until: f64::INFINITY,
+            threads: 0,
+        }
+    }
+}
+
+/// End-of-run accounting: requests served and compiled-cache traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines answered (including error responses).
+    pub requests: u64,
+    /// Requests that produced an `"ok":false` response.
+    pub errors: u64,
+    /// Compiled-cache hits across all requests so far.
+    pub cache_hits: u64,
+    /// Compiled-cache misses (compilations) across all requests so far.
+    pub cache_misses: u64,
+}
+
+impl ServeSummary {
+    /// One-line JSON rendering (the `--summary` output).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"errors\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+            self.requests, self.errors, self.cache_hits, self.cache_misses
+        )
+    }
+}
+
+/// The batch front end: a shared compiled-artifact cache plus the budget
+/// configuration, serving one request line at a time.
+#[derive(Debug)]
+pub struct Server {
+    cache: CompiledCache,
+    opts: ServeOptions,
+}
+
+/// An internal request failure, rendered as an `"ok":false` response line.
+struct RequestError(String);
+
+impl<E: std::fmt::Display> From<E> for RequestError {
+    fn from(e: E) -> Self {
+        RequestError(e.to_string())
+    }
+}
+
+fn int(v: u64) -> JsonValue {
+    JsonValue::Num(v as f64)
+}
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Num(v)
+}
+
+fn s(v: &str) -> JsonValue {
+    JsonValue::Str(v.to_string())
+}
+
+/// The deterministic counters of a per-request telemetry report, as a JSON
+/// object (spans and gauges carry wall-clock or memory detail and are
+/// dropped).
+fn telemetry_obj(report: &TelemetryReport) -> JsonValue {
+    JsonValue::Obj(
+        report
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), int(*v)))
+            .collect(),
+    )
+}
+
+fn events_obj(events: &Events) -> JsonValue {
+    JsonValue::Obj(
+        events
+            .names()
+            .map(|n| {
+                let times = events.times(n).iter().map(|&t| num(t)).collect();
+                (n.to_string(), JsonValue::Arr(times))
+            })
+            .collect(),
+    )
+}
+
+/// A request's parsed variability model. [`Variability`] itself is not
+/// `Clone` (custom models box stateful closures), so the spec is kept in
+/// this cloneable form and instantiated once per consumer.
+#[derive(Debug, Clone)]
+enum VarSpec {
+    Gaussian(f64),
+    PerCellType(std::collections::HashMap<String, f64>),
+}
+
+impl VarSpec {
+    fn make(&self) -> Variability {
+        match self {
+            VarSpec::Gaussian(std) => Variability::Gaussian { std: *std },
+            VarSpec::PerCellType(map) => Variability::PerCellType(map.clone()),
+        }
+    }
+}
+
+/// The `"variability"` field of a request: `{"kind":"gaussian","std":S}` or
+/// `{"kind":"per_cell_type","sigmas":{"JTL":S,…}}`.
+fn parse_variability(v: &JsonValue) -> Result<VarSpec, RequestError> {
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| RequestError("variability needs a 'kind'".into()))?;
+    match kind {
+        "gaussian" => {
+            let std = v
+                .get("std")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| RequestError("gaussian variability needs 'std'".into()))?;
+            Ok(VarSpec::Gaussian(std))
+        }
+        "per_cell_type" => {
+            let sigmas = v
+                .get("sigmas")
+                .and_then(JsonValue::as_obj)
+                .ok_or_else(|| RequestError("per_cell_type needs a 'sigmas' object".into()))?;
+            let mut map = std::collections::HashMap::new();
+            for (cell, sigma) in sigmas {
+                let sigma = sigma.as_f64().ok_or_else(|| {
+                    RequestError(format!("sigma for '{cell}' is not a number"))
+                })?;
+                map.insert(cell.clone(), sigma);
+            }
+            Ok(VarSpec::PerCellType(map))
+        }
+        other => Err(RequestError(format!("unknown variability kind '{other}'"))),
+    }
+}
+
+fn hex_hash(hash: u64) -> JsonValue {
+    s(&format!("{hash:016x}"))
+}
+
+impl Server {
+    /// A server with the given budgets and an empty compiled cache.
+    pub fn new(opts: ServeOptions) -> Self {
+        Server {
+            cache: CompiledCache::new(),
+            opts,
+        }
+    }
+
+    /// The shared compiled-artifact cache (for tests and embedding).
+    pub fn cache(&self) -> &CompiledCache {
+        &self.cache
+    }
+
+    /// Current accounting. `requests`/`errors` only advance through
+    /// [`serve_reader`](Self::serve_reader); cache traffic always counts.
+    pub fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            requests: 0,
+            errors: 0,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+
+    /// Answer one request line with one compact JSON response line (no
+    /// trailing newline). Parse and dispatch failures become
+    /// `"ok":false` responses, never panics.
+    pub fn handle_line(&self, line: &str) -> String {
+        let (id, kind, body) = match JsonValue::parse(line) {
+            Ok(req) => {
+                let id = req.get("id").and_then(JsonValue::as_str).map(String::from);
+                let kind = req
+                    .get("kind")
+                    .and_then(JsonValue::as_str)
+                    .map(String::from);
+                match kind.as_deref() {
+                    Some("simulate") => (id, kind, self.simulate(&req)),
+                    Some("sweep") => (id, kind, self.sweep(&req)),
+                    Some("shmoo") => (id, kind, self.shmoo(&req)),
+                    Some("model_check") => (id, kind, self.model_check(&req)),
+                    Some(other) => (
+                        id,
+                        None,
+                        Err(RequestError(format!("unknown request kind '{other}'"))),
+                    ),
+                    None => (id, None, Err(RequestError("request needs a 'kind'".into()))),
+                }
+            }
+            Err(e) => (None, None, Err(RequestError(format!("bad request JSON: {e}")))),
+        };
+        let mut fields: Vec<(String, JsonValue)> = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".into(), s(&id)));
+        }
+        fields.push((
+            "kind".into(),
+            s(kind.as_deref().unwrap_or("error")),
+        ));
+        match body {
+            Ok(rest) => {
+                fields.push(("ok".into(), JsonValue::Bool(true)));
+                fields.extend(rest);
+            }
+            Err(RequestError(msg)) => {
+                fields.push(("ok".into(), JsonValue::Bool(false)));
+                fields.push(("error".into(), s(&msg)));
+            }
+        }
+        JsonValue::Obj(fields).to_compact()
+    }
+
+    /// Serve every non-blank line of `input`, writing one response line per
+    /// request to `output` in request order.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors from `input`/`output`; request failures are answered
+    /// in-band.
+    pub fn serve_reader(
+        &self,
+        input: impl BufRead,
+        mut output: impl Write,
+    ) -> std::io::Result<ServeSummary> {
+        let mut summary = ServeSummary::default();
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle_line(&line);
+            summary.requests += 1;
+            if response.contains("\"ok\":false") {
+                summary.errors += 1;
+            }
+            writeln!(output, "{response}")?;
+        }
+        summary.cache_hits = self.cache.hits();
+        summary.cache_misses = self.cache.misses();
+        Ok(summary)
+    }
+
+    /// Parse the request's `"ir"` field and resolve it through the cache.
+    fn load_ir(
+        &self,
+        req: &JsonValue,
+    ) -> Result<(Ir, rlse_core::ir::CacheOutcome), RequestError> {
+        let ir_val = req
+            .get("ir")
+            .ok_or_else(|| RequestError("request needs an 'ir' object".into()))?;
+        let ir = Ir::from_json(&ir_val.to_compact())?;
+        let outcome = self.cache.get_or_compile(&ir)?;
+        Ok((ir, outcome))
+    }
+
+    fn simulate(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let (_ir, outcome) = self.load_ir(req)?;
+        let tel = Telemetry::new();
+        let mut sim = Simulation::with_compiled(outcome.circuit, outcome.compiled);
+        sim.set_telemetry(&tel);
+        let until = req
+            .get("until")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::INFINITY)
+            .min(self.opts.max_until);
+        if until.is_finite() {
+            sim.set_until(Some(until));
+        }
+        if let Some(v) = req.get("variability") {
+            sim.set_variability(Some(parse_variability(v)?.make()));
+        }
+        if let Some(seed) = req.get("seed").and_then(JsonValue::as_f64) {
+            sim.set_seed(seed as u64);
+        }
+        let events = sim.run()?;
+        Ok(vec![
+            ("hash".into(), hex_hash(outcome.hash)),
+            ("events".into(), events_obj(&events)),
+            ("telemetry".into(), telemetry_obj(&tel.report())),
+        ])
+    }
+
+    fn sweep(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let (ir, outcome) = self.load_ir(req)?;
+        let trials = req
+            .get("trials")
+            .and_then(JsonValue::as_f64)
+            .map_or(100, |t| t as u64)
+            .min(self.opts.max_trials);
+        let seed = req
+            .get("seed")
+            .and_then(JsonValue::as_f64)
+            .map_or(0, |v| v as u64);
+        let until = req
+            .get("until")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::INFINITY)
+            .min(self.opts.max_until);
+        let variability = req.get("variability").map(parse_variability).transpose()?;
+        // `check:true` turns the IR's expected-output query into the
+        // per-trial verdict (a trial passes when every listed output fires
+        // at exactly the listed times).
+        let expected: Option<Vec<(String, Vec<f64>)>> =
+            if req.get("check").and_then(JsonValue::as_bool) == Some(true) {
+                let found = ir.queries.iter().find_map(|q| match q {
+                    IrQuery::OutputsOnlyAt { outputs } => Some(outputs.clone()),
+                    _ => None,
+                });
+                Some(found.ok_or_else(|| {
+                    RequestError("check:true needs an outputs_only_at query in the IR".into())
+                })?)
+            } else {
+                None
+            };
+
+        let tel = Telemetry::new();
+        let mut sweep = Sweep::over(move || {
+            ir.to_circuit().expect("IR validated by the cache lookup")
+        })
+        .trials(trials)
+        .master_seed(seed)
+        .threads(self.opts.threads)
+        .telemetry(&tel);
+        if until.is_finite() {
+            sweep = sweep.until(until);
+        }
+        if let Some(spec) = variability {
+            sweep = sweep.variability(move || spec.make());
+        }
+        if let Some(expected) = expected {
+            sweep = sweep.check(move |ev| {
+                expected
+                    .iter()
+                    .all(|(name, times)| ev.times(name) == times.as_slice())
+            });
+        }
+        let report = sweep.try_run()?;
+        let outputs = report
+            .outputs
+            .iter()
+            .map(|o| {
+                JsonValue::Obj(vec![
+                    ("name".into(), s(&o.name)),
+                    ("pulses".into(), int(o.pulses)),
+                    ("mean".into(), num(o.mean)),
+                    ("std".into(), num(o.std)),
+                    ("min".into(), num(o.min)),
+                    ("max".into(), num(o.max)),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("hash".into(), hex_hash(outcome.hash)),
+            ("trials".into(), int(report.trials)),
+            ("ok_trials".into(), int(report.ok)),
+            ("check_failures".into(), int(report.check_failures)),
+            ("timing_violations".into(), int(report.timing_violations)),
+            ("other_errors".into(), int(report.other_errors)),
+            ("outputs".into(), JsonValue::Arr(outputs)),
+            ("telemetry".into(), telemetry_obj(&tel.report())),
+        ])
+    }
+
+    fn shmoo(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let design = req
+            .get("design")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| RequestError("shmoo needs a 'design' name".into()))?;
+        if !rlse_designs::shmoo_design_names().contains(&design) {
+            return Err(RequestError(format!(
+                "unknown shmoo design '{design}' (expected one of {:?})",
+                rlse_designs::shmoo_design_names()
+            )));
+        }
+        let axis = |key: &str| -> Result<Vec<f64>, RequestError> {
+            req.get(key)
+                .and_then(JsonValue::as_arr)
+                .map(|a| a.iter().map(|v| v.as_f64()).collect::<Option<Vec<_>>>())
+                .and_then(|v| v.filter(|v| !v.is_empty()))
+                .ok_or_else(|| RequestError(format!("shmoo needs a non-empty '{key}' array")))
+        };
+        let sigmas = axis("sigmas")?;
+        let scales = axis("scales")?;
+        let mut opts = rlse_designs::ShmooOptions {
+            threads: self.opts.threads,
+            ..Default::default()
+        };
+        if let Some(t) = req.get("trials").and_then(JsonValue::as_f64) {
+            opts.trials = t as u64;
+        }
+        opts.trials = opts.trials.min(self.opts.max_trials);
+        if let Some(seed) = req.get("seed").and_then(JsonValue::as_f64) {
+            opts.master_seed = seed as u64;
+        }
+        if let Some(tol) = req.get("tolerance").and_then(JsonValue::as_f64) {
+            opts.tolerance = tol;
+        }
+        if let Some(adaptive) = req.get("adaptive").and_then(JsonValue::as_bool) {
+            opts.adaptive = adaptive;
+        }
+        let map = rlse_designs::shmoo_map(design, &sigmas, &scales, &opts);
+        let rows = (0..sigmas.len())
+            .map(|row| {
+                let line: String = (0..scales.len())
+                    .map(|col| match map.cell(row, col) {
+                        rlse_designs::CellState::PassMeasured => 'P',
+                        rlse_designs::CellState::PassInferred => 'p',
+                        rlse_designs::CellState::FailMeasured => 'F',
+                        rlse_designs::CellState::FailInferred => 'f',
+                    })
+                    .collect();
+                s(&line)
+            })
+            .collect();
+        let margins = (0..sigmas.len())
+            .map(|row| map.margin_scale(row).map_or(JsonValue::Null, num))
+            .collect();
+        Ok(vec![
+            ("design".into(), s(design)),
+            ("trials".into(), int(map.trials)),
+            ("evaluated".into(), int(map.evaluated)),
+            ("map".into(), JsonValue::Arr(rows)),
+            ("margin_scales".into(), JsonValue::Arr(margins)),
+        ])
+    }
+
+    fn model_check(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let (ir, outcome) = self.load_ir(req)?;
+        let mc_opts = McOptions {
+            max_states: req
+                .get("max_states")
+                .and_then(JsonValue::as_usize)
+                .unwrap_or(self.opts.max_states)
+                .min(self.opts.max_states),
+            max_seconds: req
+                .get("max_seconds")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(self.opts.max_seconds)
+                .min(self.opts.max_seconds),
+            threads: self.opts.threads,
+        };
+        let tr = translate_circuit(&outcome.circuit)?;
+        let queries: Vec<IrQuery> = if ir.queries.is_empty() {
+            vec![IrQuery::NoErrorState]
+        } else {
+            ir.queries.clone()
+        };
+        let tel = Telemetry::new();
+        let results = queries
+            .iter()
+            .map(|q| {
+                let label = match q {
+                    IrQuery::NoErrorState => "no_error_state",
+                    IrQuery::OutputsOnlyAt { .. } => "outputs_only_at",
+                };
+                let r = rlse_ta::mc::check_with_telemetry(
+                    &tr.net,
+                    &McQuery::from_ir(&tr, q),
+                    mc_opts,
+                    Some(&tel),
+                );
+                JsonValue::Obj(vec![
+                    ("query".into(), s(label)),
+                    (
+                        "holds".into(),
+                        r.holds.map_or(JsonValue::Null, JsonValue::Bool),
+                    ),
+                    ("states".into(), int(r.states() as u64)),
+                    ("peak_store".into(), int(r.peak_store() as u64)),
+                    (
+                        "violation".into(),
+                        r.violation.as_deref().map_or(JsonValue::Null, s),
+                    ),
+                    (
+                        "diagnostic".into(),
+                        r.diagnostic.as_deref().map_or(JsonValue::Null, s),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(vec![
+            ("hash".into(), hex_hash(outcome.hash)),
+            ("max_states".into(), int(mc_opts.max_states as u64)),
+            ("results".into(), JsonValue::Arr(results)),
+            ("telemetry".into(), telemetry_obj(&tel.report())),
+        ])
+    }
+}
+
+/// The fixture request corpus: one request of each kind over the `min_max`
+/// design, as JSON lines. The smoke tests and the CI serve step pipe this
+/// file through the server twice and require byte-identical responses with
+/// cache hits on the second pass.
+pub fn fixture_requests() -> String {
+    let ir = rlse_designs::design_ir("min_max", 1.0);
+    let ir_line = |ir: &Ir| ir.to_value().to_compact();
+    let with_outputs = rlse_designs::design_ir_with_expected_outputs("min_max", 1.0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"id\":\"sim-1\",\"kind\":\"simulate\",\"ir\":{}}}\n",
+        ir_line(&ir)
+    ));
+    out.push_str(&format!(
+        "{{\"id\":\"sweep-1\",\"kind\":\"sweep\",\"trials\":40,\"seed\":7,\
+         \"variability\":{{\"kind\":\"gaussian\",\"std\":0.2}},\"ir\":{}}}\n",
+        ir_line(&ir)
+    ));
+    out.push_str(&format!(
+        "{{\"id\":\"sweep-2\",\"kind\":\"sweep\",\"trials\":20,\"seed\":3,\"check\":true,\
+         \"ir\":{}}}\n",
+        ir_line(&with_outputs)
+    ));
+    out.push_str(
+        "{\"id\":\"shmoo-1\",\"kind\":\"shmoo\",\"design\":\"min_max\",\
+         \"sigmas\":[0.0,0.4],\"scales\":[0.6,1.0,1.4],\"trials\":24,\"seed\":11}\n",
+    );
+    out.push_str(&format!(
+        "{{\"id\":\"mc-1\",\"kind\":\"model_check\",\"max_states\":200000,\"ir\":{}}}\n",
+        ir_line(&ir)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_kinds_and_bad_json_become_error_lines() {
+        let server = Server::new(ServeOptions::default());
+        let r = server.handle_line("{\"kind\":\"frobnicate\"}");
+        assert!(r.contains("\"ok\":false"), "{r}");
+        assert!(r.contains("unknown request kind"), "{r}");
+        let r = server.handle_line("not json");
+        assert!(r.contains("bad request JSON"), "{r}");
+        let r = server.handle_line("{\"id\":\"x\",\"kind\":\"simulate\"}");
+        assert!(r.starts_with("{\"id\":\"x\","), "{r}");
+        assert!(r.contains("needs an 'ir' object"), "{r}");
+    }
+
+    #[test]
+    fn simulate_matches_a_direct_run_and_hits_the_cache_on_repeat() {
+        let server = Server::new(ServeOptions::default());
+        let ir = rlse_designs::design_ir("min_max", 1.0);
+        let line = format!(
+            "{{\"kind\":\"simulate\",\"ir\":{}}}",
+            ir.to_value().to_compact()
+        );
+        let first = server.handle_line(&line);
+        let second = server.handle_line(&line);
+        assert_eq!(first, second, "responses must be byte-identical");
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert_eq!(server.cache().hits(), 1);
+        assert_eq!(server.cache().misses(), 1);
+        // The reported events equal a direct simulation of the same IR.
+        let events = Simulation::new(ir.to_circuit().unwrap()).run().unwrap();
+        for name in events.names() {
+            assert!(first.contains(&format!("\"{name}\":[")), "{first}");
+        }
+    }
+
+    #[test]
+    fn sweep_honors_the_trial_budget_and_reports_unknown_cell_types() {
+        let server = Server::new(ServeOptions {
+            max_trials: 8,
+            ..Default::default()
+        });
+        let ir = rlse_designs::design_ir("min_max", 1.0).to_value().to_compact();
+        let r = server.handle_line(&format!(
+            "{{\"kind\":\"sweep\",\"trials\":1000,\"ir\":{ir}}}"
+        ));
+        assert!(r.contains("\"trials\":8"), "clamped to the budget: {r}");
+        let r = server.handle_line(&format!(
+            "{{\"kind\":\"sweep\",\"variability\":{{\"kind\":\"per_cell_type\",\
+             \"sigmas\":{{\"NOPE\":0.5}}}},\"ir\":{ir}}}"
+        ));
+        assert!(r.contains("\"ok\":false"), "{r}");
+        assert!(r.contains("NOPE"), "{r}");
+    }
+
+    #[test]
+    fn fixture_corpus_serves_clean_and_deterministically() {
+        let server = Server::new(ServeOptions::default());
+        let requests = fixture_requests();
+        let mut pass1 = Vec::new();
+        let sum1 = server
+            .serve_reader(requests.as_bytes(), &mut pass1)
+            .unwrap();
+        let mut pass2 = Vec::new();
+        let sum2 = server
+            .serve_reader(requests.as_bytes(), &mut pass2)
+            .unwrap();
+        assert_eq!(pass1, pass2, "responses must be byte-identical");
+        assert_eq!(sum1.requests, 5);
+        assert_eq!(sum1.errors, 0, "{}", String::from_utf8_lossy(&pass1));
+        assert_eq!(sum1.cache_misses, sum2.cache_misses, "no new compiles");
+        assert!(sum2.cache_hits > sum1.cache_hits, "second pass must hit");
+    }
+}

@@ -1,0 +1,153 @@
+//! The `rlse-serve` CLI: JSON-lines requests in, JSON-lines responses out.
+//!
+//! ```text
+//! rlse-serve [--input FILE] [--output FILE] [--repeat N] [--check-repeat]
+//!            [--emit-fixture] [--summary]
+//!            [--max-trials N] [--max-states N] [--max-seconds S] [--threads N]
+//! ```
+//!
+//! Reads one request per line from `--input` (default stdin) and writes one
+//! response per line to `--output` (default stdout), in order. `--repeat N`
+//! serves the whole request file N times through the same process (and one
+//! shared compiled cache); with `--check-repeat` the process exits nonzero
+//! unless every pass produced byte-identical responses. `--emit-fixture`
+//! prints the built-in fixture request corpus instead of serving.
+//! `--summary` prints end-of-run accounting (requests, errors, cache
+//! hits/misses) as one JSON line on stderr.
+
+use rlse_serve::{fixture_requests, ServeOptions, Server};
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<String>,
+    output: Option<String>,
+    repeat: u32,
+    check_repeat: bool,
+    emit_fixture: bool,
+    summary: bool,
+    opts: ServeOptions,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        output: None,
+        repeat: 1,
+        check_repeat: false,
+        emit_fixture: false,
+        summary: false,
+        opts: ServeOptions::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--input" => args.input = Some(value("--input")?),
+            "--output" => args.output = Some(value("--output")?),
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?;
+            }
+            "--check-repeat" => args.check_repeat = true,
+            "--emit-fixture" => args.emit_fixture = true,
+            "--summary" => args.summary = true,
+            "--max-trials" => {
+                args.opts.max_trials = value("--max-trials")?
+                    .parse()
+                    .map_err(|e| format!("--max-trials: {e}"))?;
+            }
+            "--max-states" => {
+                args.opts.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?;
+            }
+            "--max-seconds" => {
+                args.opts.max_seconds = value("--max-seconds")?
+                    .parse()
+                    .map_err(|e| format!("--max-seconds: {e}"))?;
+            }
+            "--threads" => {
+                args.opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if args.emit_fixture {
+        print!("{}", fixture_requests());
+        return Ok(true);
+    }
+
+    let requests = match &args.input {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+    };
+
+    let server = Server::new(args.opts);
+    let mut passes: Vec<Vec<u8>> = Vec::with_capacity(args.repeat as usize);
+    let mut summary = Default::default();
+    for _ in 0..args.repeat {
+        let mut out = Vec::new();
+        summary = server
+            .serve_reader(BufReader::new(requests.as_bytes()), &mut out)
+            .map_err(|e| format!("serving: {e}"))?;
+        passes.push(out);
+    }
+
+    let identical = passes.iter().all(|p| *p == passes[0]);
+    match &args.output {
+        Some(path) => {
+            let mut f =
+                std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            for p in &passes {
+                f.write_all(p).map_err(|e| format!("writing {path}: {e}"))?;
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            for p in &passes {
+                lock.write_all(p).map_err(|e| format!("writing stdout: {e}"))?;
+            }
+        }
+    }
+
+    if args.summary {
+        eprintln!("{}", summary.to_json());
+    }
+    if args.check_repeat && !identical {
+        return Err("responses differed between passes".into());
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rlse-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -119,6 +119,22 @@ impl McQuery {
     pub fn query2(tr: &Translation) -> Self {
         McQuery::NoErrorState(tr.error_locations.clone())
     }
+
+    /// Build a query from its netlist-IR encoding: [`IrQuery::NoErrorState`]
+    /// maps to Query 2 and [`IrQuery::OutputsOnlyAt`] to Query 1 with the
+    /// listed expected pulse times.
+    pub fn from_ir(tr: &Translation, q: &rlse_core::ir::IrQuery) -> Self {
+        match q {
+            rlse_core::ir::IrQuery::NoErrorState => McQuery::query2(tr),
+            rlse_core::ir::IrQuery::OutputsOnlyAt { outputs } => {
+                let expected: Vec<(&str, Vec<f64>)> = outputs
+                    .iter()
+                    .map(|(n, ts)| (n.as_str(), ts.clone()))
+                    .collect();
+                McQuery::query1(tr, &expected)
+            }
+        }
+    }
 }
 
 /// Structured exploration statistics of one model-checking run. Every field

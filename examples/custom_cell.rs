@@ -38,7 +38,7 @@ fn main() -> Result<(), rlse::core::Error> {
 
     // Divide a pulse train by four with two toggles in series.
     let mut circuit = Circuit::new();
-    let a = circuit.inp(20.0, 20.0, 8, "A");
+    let a = circuit.inp(20.0, 20.0, 8, "A")?;
     let half = circuit.add_machine(&toggle, &[a])?[0];
     circuit.inspect(half, "DIV2");
     // Fanout rule: to also observe DIV2 we must split it.

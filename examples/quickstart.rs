@@ -9,7 +9,7 @@ fn main() -> Result<(), rlse::core::Error> {
     let mut circuit = Circuit::new();
     let a = circuit.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
     let b = circuit.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
-    let clk = circuit.inp(50.0, 50.0, 6, "CLK");
+    let clk = circuit.inp(50.0, 50.0, 6, "CLK")?;
 
     // One AND cell; name its output wire for observation.
     let q = rlse::cells::and_s(&mut circuit, a, b, clk)?;

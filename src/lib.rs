@@ -37,7 +37,7 @@
 //! let mut c = Circuit::new();
 //! let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
 //! let b = c.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
-//! let clk = c.inp(50.0, 50.0, 6, "CLK");
+//! let clk = c.inp(50.0, 50.0, 6, "CLK")?;
 //! let q = rlse::cells::and_s(&mut c, a, b, clk)?;
 //! c.inspect(q, "Q");
 //! let events = Simulation::new(c).run()?;

@@ -11,7 +11,7 @@ fn figure12_and_element_events() {
     let mut c = Circuit::new();
     let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
     let b = c.inp_at(&[75.0, 185.0, 225.0, 265.0], "B");
-    let clk = c.inp(50.0, 50.0, 6, "CLK");
+    let clk = c.inp(50.0, 50.0, 6, "CLK").unwrap();
     let q = and_s(&mut c, a, b, clk).unwrap();
     c.inspect(q, "Q");
     let events = Simulation::new(c).run().unwrap();
@@ -25,7 +25,7 @@ fn figure13_setup_violation_diagnostic() {
     let mut c = Circuit::new();
     let a = c.inp_at(&[125.0, 175.0, 225.0, 275.0], "A");
     let b = c.inp_at(&[99.0, 185.0, 225.0, 265.0], "B");
-    let clk = c.inp(50.0, 50.0, 6, "CLK");
+    let clk = c.inp(50.0, 50.0, 6, "CLK").unwrap();
     let q = and_s(&mut c, a, b, clk).unwrap();
     c.inspect(q, "Q");
     let err = Simulation::new(c).run().unwrap_err();

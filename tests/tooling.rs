@@ -56,7 +56,7 @@ fn vcd_export_of_a_real_run_is_consistent() {
     let mut c = Circuit::new();
     let a = c.inp_at(&[125.0, 175.0], "A");
     let b = c.inp_at(&[75.0, 185.0], "B");
-    let clk = c.inp(50.0, 50.0, 4, "CLK");
+    let clk = c.inp(50.0, 50.0, 4, "CLK").unwrap();
     let q = rlse::cells::and_s(&mut c, a, b, clk).unwrap();
     c.inspect(q, "Q");
     let events = Simulation::new(c).run().unwrap();
