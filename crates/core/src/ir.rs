@@ -739,21 +739,35 @@ impl Ir {
     ///
     /// See [`Ir::from_json`].
     pub fn from_value(v: &JsonValue) -> Result<Ir, IrError> {
-        let version = get_usize(v, "version", "document")? as u32;
+        let version = get_u32(v, "version", "document")?;
         if version != IR_VERSION {
             return Err(IrError::Version { found: version });
         }
         let name = get_str(v, "name", "document")?.to_string();
-        let machines = get_arr(v, "machines", "document")?
+        let machines: Vec<IrMachine> = get_arr(v, "machines", "document")?
             .iter()
             .enumerate()
             .map(|(i, m)| parse_machine(m, i))
             .collect::<Result<_, _>>()?;
-        let nodes = get_arr(v, "nodes", "document")?
+        let nodes: Vec<IrNode> = get_arr(v, "nodes", "document")?
             .iter()
             .enumerate()
             .map(|(i, n)| parse_node(n, i))
             .collect::<Result<_, _>>()?;
+        // Machine indices are range-checked here so every decoded `Ir` can
+        // be hashed: `canonical_bytes` inlines the referenced machine and
+        // must never see a dangling index from untrusted input.
+        for (i, n) in nodes.iter().enumerate() {
+            if let IrNode::Instance { machine, .. } = n {
+                if *machine >= machines.len() {
+                    return Err(IrError::Malformed(format!(
+                        "node {i} references machine {machine}, but only {} machines \
+                         are defined",
+                        machines.len()
+                    )));
+                }
+            }
+        }
         let wires = get_arr(v, "wires", "document")?
             .iter()
             .enumerate()
@@ -781,6 +795,13 @@ impl Ir {
     /// The normalized byte encoding hashed by [`content_hash`]
     /// (see the module docs for the canonicalization rules). Cache entries
     /// compare these bytes exactly, so the 64-bit hash can never alias.
+    ///
+    /// # Panics
+    ///
+    /// If an instance node references a machine index outside
+    /// [`Ir::machines`]. Decoded documents can never trigger this
+    /// ([`Ir::from_value`] range-checks machine indices); only a hand-built
+    /// `Ir` with a dangling index can.
     ///
     /// [`content_hash`]: Ir::content_hash
     pub fn canonical_bytes(&self) -> Vec<u8> {
@@ -856,6 +877,10 @@ impl Ir {
 
     /// FNV-1a 64 over [`canonical_bytes`](Ir::canonical_bytes): the cache
     /// key. Stable across processes and platforms.
+    ///
+    /// # Panics
+    ///
+    /// See [`Ir::canonical_bytes`].
     pub fn content_hash(&self) -> u64 {
         fnv1a(&self.canonical_bytes())
     }
@@ -982,6 +1007,11 @@ fn get_usize(v: &JsonValue, key: &str, ctx: &str) -> Result<usize, IrError> {
         .ok_or_else(|| malformed(ctx, key, "a non-negative integer"))
 }
 
+fn get_u32(v: &JsonValue, key: &str, ctx: &str) -> Result<u32, IrError> {
+    let n = get_usize(v, key, ctx)?;
+    u32::try_from(n).map_err(|_| malformed(ctx, key, "an integer no larger than 4294967295"))
+}
+
 fn get_str<'a>(v: &'a JsonValue, key: &str, ctx: &str) -> Result<&'a str, IrError> {
     v.get(key)
         .and_then(JsonValue::as_str)
@@ -1071,7 +1101,7 @@ fn parse_machine(v: &JsonValue, index: usize) -> Result<IrMachine, IrError> {
                 src: get_usize(t, "src", &tctx)?,
                 trigger: get_usize(t, "trigger", &tctx)?,
                 dst: get_usize(t, "dst", &tctx)?,
-                priority: get_usize(t, "priority", &tctx)? as u32,
+                priority: get_u32(t, "priority", &tctx)?,
                 transition_time: get_f64(t, "transition_time", &tctx)?,
                 firing: pair_list(get_arr(t, "firing", &tctx)?, &tctx)?,
                 past_constraints: pair_list(get_arr(t, "past", &tctx)?, &tctx)?,
@@ -1084,7 +1114,7 @@ fn parse_machine(v: &JsonValue, index: usize) -> Result<IrMachine, IrError> {
         outputs: str_list(get_arr(v, "outputs", &ctx)?, &ctx)?,
         states: str_list(get_arr(v, "states", &ctx)?, &ctx)?,
         firing_delay: get_f64(v, "firing_delay", &ctx)?,
-        jjs: get_usize(v, "jjs", &ctx)? as u32,
+        jjs: get_u32(v, "jjs", &ctx)?,
         setup_time: get_f64(v, "setup_time", &ctx)?,
         hold_time: get_f64(v, "hold_time", &ctx)?,
         transitions,
@@ -1112,9 +1142,13 @@ fn parse_node(v: &JsonValue, index: usize) -> Result<IrNode, IrError> {
             };
             let jjs = match v.get("jjs") {
                 None | Some(JsonValue::Null) => None,
-                Some(d) => Some(d.as_usize().ok_or_else(|| {
-                    malformed(&ctx, "jjs", "a non-negative integer")
-                })? as u32),
+                Some(d) => Some(
+                    d.as_usize()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            malformed(&ctx, "jjs", "an integer no larger than 4294967295")
+                        })?,
+                ),
             };
             let exempt = match v.get("exempt") {
                 None => false,
@@ -1441,6 +1475,37 @@ mod tests {
             bad_machine.to_circuit(),
             Err(IrError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn from_value_rejects_dangling_machine_indices() {
+        // REVIEW regression: a decoded node referencing a machine past the
+        // table must fail at parse time — `canonical_bytes` inlines the
+        // referenced machine, so a dangling index would otherwise panic in
+        // the cache before `to_circuit` ever validates.
+        let text = r#"{"version":1,"name":"","machines":[],
+            "nodes":[{"kind":"cell","machine":0}],"wires":[],"queries":[]}"#;
+        match Ir::from_json(text) {
+            Err(IrError::Malformed(msg)) => {
+                assert!(msg.contains("machine 0"), "{msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_u32_fields_are_rejected_not_truncated() {
+        let good = Ir::from_circuit(&small_circuit()).unwrap().to_json();
+        // 2^32 + 1 would alias version 1 under a truncating `as u32`.
+        let bad_version = good.replace("\"version\": 1", "\"version\": 4294967297");
+        assert_ne!(good, bad_version);
+        assert!(matches!(
+            Ir::from_json(&bad_version),
+            Err(IrError::Malformed(_))
+        ));
+        let bad_jjs = good.replace("\"jjs\": 2", "\"jjs\": 4294967298");
+        assert_ne!(good, bad_jjs);
+        assert!(matches!(Ir::from_json(&bad_jjs), Err(IrError::Malformed(_))));
     }
 
     #[test]

@@ -33,11 +33,21 @@ pub struct CacheOutcome {
 struct Entry {
     canon: Vec<u8>,
     compiled: Arc<CompiledCircuit>,
+    /// Tick of the last lookup that touched this entry (LRU eviction key).
+    last_used: u64,
 }
 
 /// A thread-safe memo of compiled circuits keyed on IR content, with a
 /// type-keyed sidecar for downstream artifacts (e.g. analog cell-template
 /// banks) cached under the same hash.
+///
+/// By default the cache is **unbounded**: every distinct circuit compiled
+/// through it stays resident (entries plus their sidecars) until
+/// [`clear`](CompiledCache::clear) or drop. That is the right trade for
+/// batch runs over a fixed request corpus; a long-lived embedder fed many
+/// distinct IRs should cap it with
+/// [`with_max_entries`](CompiledCache::with_max_entries), which evicts the
+/// least-recently-used entry (and its sidecars) on overflow.
 ///
 /// ```
 /// use rlse_core::circuit::Circuit;
@@ -63,6 +73,10 @@ pub struct CompiledCache {
     sidecars: Mutex<HashMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotone lookup counter stamping `Entry::last_used`.
+    tick: AtomicU64,
+    /// Entry cap; `None` means unbounded (the default).
+    max_entries: Option<usize>,
     telemetry: Telemetry,
 }
 
@@ -83,15 +97,27 @@ impl Default for CompiledCache {
 }
 
 impl CompiledCache {
-    /// An empty cache with no telemetry attached.
+    /// An empty, unbounded cache with no telemetry attached.
     pub fn new() -> Self {
         CompiledCache {
             entries: Mutex::new(HashMap::new()),
             sidecars: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            max_entries: None,
             telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Bound the cache to at most `max` compiled circuits (clamped to at
+    /// least 1). Inserting past the bound evicts the least-recently-used
+    /// entry, along with its sidecars once no other entry shares its hash;
+    /// evictions count `ir_cache.evictions` on the attached telemetry.
+    #[must_use]
+    pub fn with_max_entries(mut self, max: usize) -> Self {
+        self.max_entries = Some(max.max(1));
+        self
     }
 
     /// Attach a telemetry handle; lookups count `ir_cache.hits` /
@@ -105,22 +131,30 @@ impl CompiledCache {
     /// Rebuild the IR's circuit and return its compiled form, compiling at
     /// most once per distinct canonical content.
     ///
+    /// The circuit is re-validated **before** the IR is hashed, on every
+    /// call: [`Ir::to_circuit`] rejects dangling machine indices (among
+    /// other malformations) that [`Ir::canonical_bytes`] would panic on, so
+    /// an untrusted document can never panic the cache.
+    ///
     /// # Errors
     ///
-    /// Any [`IrError`] from [`Ir::to_circuit`] (the circuit is re-validated
-    /// on every call, hit or miss).
+    /// Any [`IrError`] from [`Ir::to_circuit`].
     pub fn get_or_compile(&self, ir: &Ir) -> Result<CacheOutcome, IrError> {
+        let circuit = ir.to_circuit()?;
         let canon = ir.canonical_bytes();
         let hash = super::fnv1a(&canon);
-        let circuit = ir.to_circuit()?;
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
 
         if let Some(found) = self
             .entries
             .lock()
             .expect("compiled cache poisoned")
-            .get(&hash)
-            .and_then(|bucket| bucket.iter().find(|e| e.canon == canon))
-            .map(|e| Arc::clone(&e.compiled))
+            .get_mut(&hash)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.canon == canon))
+            .map(|e| {
+                e.last_used = stamp;
+                Arc::clone(&e.compiled)
+            })
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
             self.telemetry.add("ir_cache.hits", 1);
@@ -134,14 +168,25 @@ impl CompiledCache {
 
         let compiled = Arc::new(CompiledCircuit::compile(&circuit));
         let mut entries = self.entries.lock().expect("compiled cache poisoned");
-        let bucket = entries.entry(hash).or_default();
         // A racing writer may have inserted while we compiled; keep theirs.
-        let compiled = match bucket.iter().find(|e| e.canon == canon) {
-            Some(e) => Arc::clone(&e.compiled),
+        let compiled = match entries
+            .get_mut(&hash)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.canon == canon))
+        {
+            Some(e) => {
+                e.last_used = stamp;
+                Arc::clone(&e.compiled)
+            }
             None => {
-                bucket.push(Entry {
+                if let Some(cap) = self.max_entries {
+                    while entries.values().map(Vec::len).sum::<usize>() >= cap {
+                        self.evict_lru(&mut entries);
+                    }
+                }
+                entries.entry(hash).or_default().push(Entry {
                     canon,
                     compiled: Arc::clone(&compiled),
+                    last_used: stamp,
                 });
                 compiled
             }
@@ -155,6 +200,29 @@ impl CompiledCache {
             circuit,
             compiled,
         })
+    }
+
+    /// Remove the least-recently-used entry; once its hash bucket empties,
+    /// drop the hash's sidecars too (no live entry can reach them).
+    fn evict_lru(&self, entries: &mut HashMap<u64, Vec<Entry>>) {
+        let victim = entries
+            .iter()
+            .flat_map(|(&h, bucket)| {
+                bucket.iter().enumerate().map(move |(i, e)| (e.last_used, h, i))
+            })
+            .min()
+            .map(|(_, h, i)| (h, i));
+        let Some((h, i)) = victim else { return };
+        let bucket = entries.get_mut(&h).expect("victim bucket exists");
+        bucket.remove(i);
+        if bucket.is_empty() {
+            entries.remove(&h);
+            self.sidecars
+                .lock()
+                .expect("sidecar cache poisoned")
+                .retain(|&(sh, _), _| sh != h);
+        }
+        self.telemetry.add("ir_cache.evictions", 1);
     }
 
     /// A typed artifact previously stored for `hash` (e.g. an analog
@@ -262,6 +330,55 @@ mod tests {
         cache.get_or_compile(&stretched).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn malformed_ir_is_an_error_not_a_panic() {
+        // REVIEW regression: a dangling machine index must surface as the
+        // `to_circuit` validation error — previously `canonical_bytes` ran
+        // first and panicked on the unchecked index.
+        let mut ir = small_jtl_ir();
+        if let super::super::IrNode::Instance { machine, .. } = &mut ir.nodes[1] {
+            *machine = 99;
+        }
+        let cache = CompiledCache::new();
+        assert!(matches!(
+            cache.get_or_compile(&ir),
+            Err(IrError::Malformed(_))
+        ));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn max_entries_evicts_least_recently_used() {
+        let tel = Telemetry::new();
+        let cache = CompiledCache::new().with_max_entries(2).with_telemetry(&tel);
+        let base = small_jtl_ir();
+        let variant = |shift: f64| {
+            let mut ir = base.clone();
+            if let super::super::IrNode::Source { pulses } = &mut ir.nodes[0] {
+                for t in pulses.iter_mut() {
+                    *t += shift;
+                }
+            }
+            ir
+        };
+        let (a, b, c) = (variant(0.0), variant(1.0), variant(2.0));
+        cache.get_or_compile(&a).unwrap();
+        cache.get_or_compile(&b).unwrap();
+        cache.put_sidecar(b.content_hash(), Arc::new(vec![1u8]));
+        // Touch `a` so `b` is the LRU entry, then overflow with `c`.
+        assert!(cache.get_or_compile(&a).unwrap().hit);
+        cache.get_or_compile(&c).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get_or_compile(&a).unwrap().hit, "a survived");
+        assert!(cache.get_or_compile(&c).unwrap().hit, "c survived");
+        assert!(!cache.get_or_compile(&b).unwrap().hit, "b was evicted");
+        assert!(
+            cache.sidecar::<Vec<u8>>(b.content_hash()).is_none(),
+            "b's sidecar went with it"
+        );
+        assert!(tel.report().counter("ir_cache.evictions") >= 2);
     }
 
     #[test]

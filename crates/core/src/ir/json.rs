@@ -44,9 +44,16 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Deepest array/object nesting [`JsonValue::parse`] accepts. Deeper
+/// documents fail with a [`JsonError`] instead of overflowing the stack
+/// (the parser recurses once per level, so untrusted input must be
+/// depth-bounded).
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -208,7 +215,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            self.err(format!("nesting deeper than {MAX_DEPTH} levels"))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.descend()?;
+        let v = self.array_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn array_body(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -231,6 +254,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.descend()?;
+        let v = self.object_body();
+        self.depth -= 1;
+        v
+    }
+
+    fn object_body(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -287,11 +317,13 @@ pub fn write_f64(v: f64, out: &mut String) {
 }
 
 impl JsonValue {
-    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    /// Parse a complete JSON document; trailing non-whitespace is an
+    /// error, as is array/object nesting deeper than [`MAX_DEPTH`] levels.
     pub fn parse(s: &str) -> Result<JsonValue, JsonError> {
         let mut p = Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         let v = p.value()?;
         p.skip_ws();
@@ -489,6 +521,22 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // REVIEW regression: the recursive parser must bound its depth —
+        // a line of hundreds of thousands of '[' previously aborted the
+        // whole process with a stack overflow.
+        let bomb = "[".repeat(200_000);
+        let err = JsonValue::parse(&bomb).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        let deep_obj = "{\"k\":".repeat(MAX_DEPTH + 1);
+        let err = JsonValue::parse(&deep_obj).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{err}");
+        // Exactly MAX_DEPTH levels still parse.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(JsonValue::parse(&ok).is_ok());
     }
 
     #[test]

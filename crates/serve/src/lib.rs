@@ -59,6 +59,11 @@ pub struct ServeOptions {
     /// Worker threads for sweeps and the model checker (0 = available
     /// parallelism). Thread count never changes response bytes.
     pub threads: usize,
+    /// Compiled-cache entry cap (0 = unbounded). A long-lived server fed
+    /// many distinct circuits would otherwise grow without limit; overflow
+    /// evicts least-recently-used entries, which only affects the summary's
+    /// hit/miss counters, never response bytes.
+    pub max_cache_entries: usize,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +74,7 @@ impl Default for ServeOptions {
             max_seconds: 600.0,
             max_until: f64::INFINITY,
             threads: 0,
+            max_cache_entries: 1024,
         }
     }
 }
@@ -208,10 +214,11 @@ fn hex_hash(hash: u64) -> JsonValue {
 impl Server {
     /// A server with the given budgets and an empty compiled cache.
     pub fn new(opts: ServeOptions) -> Self {
-        Server {
-            cache: CompiledCache::new(),
-            opts,
-        }
+        let cache = match opts.max_cache_entries {
+            0 => CompiledCache::new(),
+            cap => CompiledCache::new().with_max_entries(cap),
+        };
+        Server { cache, opts }
     }
 
     /// The shared compiled-artifact cache (for tests and embedding).
@@ -603,6 +610,54 @@ mod tests {
         let r = server.handle_line("{\"id\":\"x\",\"kind\":\"simulate\"}");
         assert!(r.starts_with("{\"id\":\"x\","), "{r}");
         assert!(r.contains("needs an 'ir' object"), "{r}");
+    }
+
+    #[test]
+    fn hostile_request_lines_never_panic() {
+        // REVIEW regressions: both lines previously killed the whole batch
+        // (an out-of-bounds machine index panicked in `canonical_bytes`; a
+        // deeply nested line overflowed the parser's stack).
+        let server = Server::new(ServeOptions::default());
+        let dangling = "{\"kind\":\"simulate\",\"ir\":{\"version\":1,\"name\":\"\",\
+             \"machines\":[],\"nodes\":[{\"kind\":\"cell\",\"machine\":0}],\
+             \"wires\":[],\"queries\":[]}}";
+        let r = server.handle_line(dangling);
+        assert!(r.contains("\"ok\":false"), "{r}");
+        assert!(r.contains("machine"), "{r}");
+
+        let bomb = format!("{}{}", "[".repeat(200_000), "]".repeat(200_000));
+        let r = server.handle_line(&bomb);
+        assert!(r.contains("\"ok\":false"), "{r}");
+        assert!(r.contains("bad request JSON"), "{r}");
+
+        // The server still answers well-formed requests afterwards.
+        let ir = rlse_designs::design_ir("min_max", 1.0);
+        let good = format!(
+            "{{\"kind\":\"simulate\",\"ir\":{}}}",
+            ir.to_value().to_compact()
+        );
+        assert!(server.handle_line(&good).contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_keeps_serving() {
+        let server = Server::new(ServeOptions {
+            max_cache_entries: 1,
+            ..Default::default()
+        });
+        let line = |scale: f64| {
+            format!(
+                "{{\"kind\":\"simulate\",\"ir\":{}}}",
+                rlse_designs::design_ir("min_max", scale).to_value().to_compact()
+            )
+        };
+        let first = server.handle_line(&line(1.0));
+        server.handle_line(&line(2.0)); // evicts the scale-1.0 entry
+        let again = server.handle_line(&line(1.0)); // recompiles
+        assert_eq!(first, again, "eviction never changes response bytes");
+        assert_eq!(server.cache().len(), 1);
+        assert_eq!(server.cache().hits(), 0);
+        assert_eq!(server.cache().misses(), 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! rlse-serve [--input FILE] [--output FILE] [--repeat N] [--check-repeat]
 //!            [--emit-fixture] [--summary]
 //!            [--max-trials N] [--max-states N] [--max-seconds S] [--threads N]
+//!            [--max-cache N]
 //! ```
 //!
 //! Reads one request per line from `--input` (default stdin) and writes one
@@ -13,7 +14,9 @@
 //! unless every pass produced byte-identical responses. `--emit-fixture`
 //! prints the built-in fixture request corpus instead of serving.
 //! `--summary` prints end-of-run accounting (requests, errors, cache
-//! hits/misses) as one JSON line on stderr.
+//! hits/misses) as one JSON line on stderr. `--max-cache N` caps the
+//! compiled cache at N entries with LRU eviction (0 = unbounded;
+//! default 1024).
 
 use rlse_serve::{fixture_requests, ServeOptions, Server};
 use std::io::{BufReader, Read, Write};
@@ -74,6 +77,11 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--max-cache" => {
+                args.opts.max_cache_entries = value("--max-cache")?
+                    .parse()
+                    .map_err(|e| format!("--max-cache: {e}"))?;
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
