@@ -4,9 +4,11 @@
 //! the default for every engine, so this bounds what the telemetry layer
 //! costs users who never opt in.
 //!
-//! Also exercises the enabled path end-to-end (counters, spans, Chrome
-//! trace) and writes the timeline JSON next to the build artifacts so CI can
-//! upload it.
+//! Also exercises the enabled path end-to-end (counters, spans, the
+//! span-fed latency histograms, Chrome trace) and writes the timeline JSON
+//! next to the build artifacts so CI can upload it. The <2% budget is
+//! measured with histograms compiled in — recording them rides on the
+//! existing span path, so the disabled handle still costs one branch.
 //!
 //! Usage:
 //!
@@ -96,6 +98,22 @@ fn main() {
     assert!(report.counter("sim.dispatches") > 0);
     assert!(report.gauge("sim.max_heap_depth") > 0);
     assert!(!report.cells.is_empty(), "per-cell tallies recorded");
+    // Every surviving span feeds a duration histogram; the enabled run must
+    // therefore expose a `sim.run` latency histogram covering its runs.
+    let hist = enabled
+        .histogram("sim.run")
+        .expect("enabled run records a sim.run duration histogram");
+    assert!(
+        hist.count() >= reps as u64,
+        "sim.run histogram covers the timed runs ({} < {reps})",
+        hist.count()
+    );
+    assert!(hist.quantile(0.5) <= hist.max(), "quantiles are ordered");
+    let disabled_hists = disabled.histograms();
+    assert!(
+        disabled_hists.is_empty(),
+        "disabled handle records no histograms"
+    );
     let trace = enabled.chrome_trace_json();
     assert!(trace.starts_with("{\"traceEvents\":["));
     assert!(trace.contains("\"sim.run\""));

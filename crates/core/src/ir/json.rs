@@ -288,7 +288,10 @@ impl<'a> Parser<'a> {
 }
 
 /// Escape `s` into `out` as the body of a JSON string (no surrounding
-/// quotes) — same rules as telemetry's renderer.
+/// quotes). This is the one escaping helper shared by every hand-rolled
+/// JSON emitter in the workspace (telemetry reports, serve summaries,
+/// access logs): hostile cell/wire/tenant names must never break a JSON
+/// document, so new emitters must route strings through here.
 pub fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {

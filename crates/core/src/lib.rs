@@ -89,5 +89,5 @@ pub mod prelude {
     pub use crate::sim::parallel::ParallelSim;
     pub use crate::sim::{Simulation, TraceEntry, Variability};
     pub use crate::sweep::{OutputStats, Sweep, SweepError, SweepReport};
-    pub use crate::telemetry::{Telemetry, TelemetryReport};
+    pub use crate::telemetry::{Histogram, Telemetry, TelemetryReport};
 }

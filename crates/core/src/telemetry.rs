@@ -20,6 +20,14 @@
 //!   worker, no cross-thread contention) and merged deterministically: the
 //!   exported order is a pure function of `(track, seq)`, never of thread
 //!   scheduling.
+//! * **Latency histograms** — log-linear [`Histogram`]s (HDR-style: 32
+//!   linear sub-buckets per power of two, ~3% relative error) recorded
+//!   explicitly via [`Telemetry::record_hist`] and implicitly from every
+//!   span's duration, rendered as p50/p90/p99/max quantiles. Histograms
+//!   are deterministic to *merge* (bucket counts add, `Eq` compares them),
+//!   but the recorded values are wall-clock durations, so — like spans —
+//!   they are exported only out-of-band ([`Telemetry::histograms`]), never
+//!   through the [`TelemetryReport`].
 //! * **Exporters** — a [`TelemetryReport`] of the counter state (hand-rolled
 //!   JSON in the `BENCH_sim.json` style plus a human [`std::fmt::Display`]
 //!   summary), and a Chrome `trace_event` JSON timeline loadable in
@@ -72,6 +80,7 @@
 //! # }
 //! ```
 
+use crate::ir::json::escape_json;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -197,6 +206,156 @@ impl SpanRing {
     }
 }
 
+/// Sub-bucket precision of [`Histogram`]: 2^5 = 32 linear sub-buckets per
+/// power of two, bounding the relative quantile error at ~3%.
+pub const HIST_SUB_BITS: u32 = 5;
+const HIST_SUB: u64 = 1 << HIST_SUB_BITS;
+
+/// A log-linear (HDR-style) histogram of `u64` samples — typically
+/// durations in microseconds.
+///
+/// Values below 32 get exact unit buckets; above that, each power of two
+/// is split into 32 linear sub-buckets, so any quantile is reported with
+/// at most ~3% relative error while the whole `u64` range fits in under
+/// 2k buckets (allocated lazily up to the largest recorded value).
+///
+/// Histograms are **deterministically mergeable**: [`merge`](Self::merge)
+/// adds bucket counts element-wise, and `Eq` compares the bucket counts,
+/// so folding per-worker histograms in any order yields equal results.
+/// The recorded *values* are usually wall-clock, which is why histograms
+/// live outside the deterministic [`TelemetryReport`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket counts; the last element is always nonzero (the vector
+    /// grows only as far as the largest recorded value's bucket).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < HIST_SUB {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let offset = ((v >> (msb - HIST_SUB_BITS)) - HIST_SUB) as usize;
+            (msb - HIST_SUB_BITS + 1) as usize * HIST_SUB as usize + offset
+        }
+    }
+
+    /// Largest value that lands in bucket `i` — the value quantiles report
+    /// for samples in that bucket.
+    pub fn bucket_bound(i: usize) -> u64 {
+        let i = i as u64;
+        if i < HIST_SUB {
+            i
+        } else {
+            let (octave, off) = (i / HIST_SUB, i % HIST_SUB);
+            ((HIST_SUB + off + 1) << (octave - 1)) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` samples of value `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = Self::index_of(v);
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into this histogram (bucket counts add element-wise;
+    /// merge order never changes the result).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, c) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest value recorded (exact, not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The value at quantile `q` in [0, 1] (bucket upper bound, capped at
+    /// the exact max; 0 for an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)`, in increasing value
+    /// order — the shape a Prometheus-histogram exposition accumulates.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bound(i), c))
+    }
+
+    /// One-line quantile summary: `count=N p50=… p90=… p99=… max=…`.
+    pub fn render(&self) -> String {
+        format!(
+            "count={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
 /// Shared mutable telemetry state behind the handle's `Arc`.
 #[derive(Debug, Default)]
 struct State {
@@ -208,6 +367,10 @@ struct State {
     cells: BTreeMap<String, CellTally>,
     /// Merged spans from every ring and direct record.
     spans: Vec<SpanRec>,
+    /// Duration histograms: one per span name (fed automatically by
+    /// [`Telemetry::record_span`] / [`Telemetry::merge_ring`]) plus any
+    /// recorded explicitly via [`Telemetry::record_hist`].
+    hists: BTreeMap<&'static str, Histogram>,
     /// Spans lost to ring overwrites or the shared-store cap.
     dropped_spans: u64,
     /// Sequence counter for spans recorded directly (track-0 convenience).
@@ -319,6 +482,12 @@ impl Telemetry {
         let SpanRing { buf, head, .. } = ring;
         // Oldest-first: [head..] then [..head].
         for rec in buf[head..].iter().chain(&buf[..head]) {
+            // Histograms take every surviving span's duration even past the
+            // span-store cap: a capped store shouldn't skew latency stats.
+            st.hists
+                .entry(rec.name)
+                .or_default()
+                .record(rec.dur_us as u64);
             if st.spans.len() >= MAX_STORED_SPANS {
                 st.dropped_spans += 1;
             } else {
@@ -336,6 +505,7 @@ impl Telemetry {
         let mut st = inner.state.lock().expect("telemetry poisoned");
         let seq = st.direct_seq;
         st.direct_seq = st.direct_seq.wrapping_add(1);
+        st.hists.entry(name).or_default().record(dur_us as u64);
         if st.spans.len() >= MAX_STORED_SPANS {
             st.dropped_spans += 1;
         } else {
@@ -354,6 +524,52 @@ impl Telemetry {
     /// disabled path never reads the clock.
     pub fn now(&self) -> Option<Instant> {
         self.inner.as_ref().map(|_| Instant::now())
+    }
+
+    /// Record one sample into the histogram `name` (no-op when disabled).
+    /// Span recording feeds the span-name histogram automatically; this is
+    /// for values that aren't spans (queue depths, payload sizes, …).
+    pub fn record_hist(&self, name: &'static str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .state
+                .lock()
+                .expect("telemetry poisoned")
+                .hists
+                .entry(name)
+                .or_default()
+                .record(v);
+        }
+    }
+
+    /// Snapshot every histogram, sorted by name. Like spans (and unlike
+    /// [`report`](Self::report)), histogram contents are wall-clock data:
+    /// out-of-band only, never part of a deterministic response.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .state
+                .lock()
+                .expect("telemetry poisoned")
+                .hists
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Snapshot the single histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.as_ref().and_then(|inner| {
+            inner
+                .state
+                .lock()
+                .expect("telemetry poisoned")
+                .hists
+                .get(name)
+                .cloned()
+        })
     }
 
     /// Clear all recorded counters, tallies, and spans, keeping the epoch.
@@ -402,21 +618,6 @@ impl Telemetry {
                 spans.sort_by_key(|s| (s.track, s.seq));
                 chrome_trace_for(&spans, st.dropped_spans)
             }
-        }
-    }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn escape_json(s: &str, out: &mut String) {
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
         }
     }
 }
@@ -689,6 +890,97 @@ mod tests {
         assert!(json.contains("\"name\":\"worker-1\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.ends_with("}"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_below_32_and_3pct_above() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+            assert_eq!(Histogram::bucket_bound(Histogram::index_of(v)), v);
+        }
+        // Above the linear range the bucket bound over-reports by < 1/32.
+        for v in [32u64, 100, 999, 4096, 123_456, u64::MAX / 2] {
+            let bound = Histogram::bucket_bound(Histogram::index_of(v));
+            assert!(bound >= v, "{v} -> {bound}");
+            assert!(bound as f64 <= v as f64 * (1.0 + 1.0 / 32.0), "{v} -> {bound}");
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn histogram_quantiles_and_render() {
+        let mut h = Histogram::new();
+        h.record_n(10, 90); // p50, p90 land here
+        h.record_n(1000, 9); // p99 lands here
+        h.record(50_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 10);
+        assert_eq!(h.quantile(0.9), 10);
+        let p99 = h.quantile(0.99);
+        assert!((1000..=1031).contains(&p99), "{p99}");
+        assert_eq!(h.max(), 50_000);
+        let line = h.render();
+        assert!(line.starts_with("count=100 p50=10 p90=10 p99="), "{line}");
+        assert!(line.ends_with("max=50000"), "{line}");
+        assert_eq!(Histogram::new().quantile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent_and_eq_compares_buckets() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3u64, 77, 500, 500, 1_000_000] {
+            a.record(v);
+        }
+        for v in [9u64, 77, 123_456] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 8);
+        assert_eq!(ab.max(), 1_000_000);
+        // Recording the same multiset directly compares equal too.
+        let mut direct = Histogram::new();
+        for v in [3u64, 9, 77, 77, 500, 500, 123_456, 1_000_000] {
+            direct.record(v);
+        }
+        assert_eq!(ab, direct);
+        // Cumulative bucket counts are monotone (the Prometheus shape).
+        let total: u64 = ab.buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, ab.count());
+    }
+
+    #[test]
+    fn spans_feed_duration_histograms() {
+        let tel = Telemetry::new();
+        let t0 = Instant::now();
+        tel.record_span("sim.run", 0, t0, 1);
+        let mut ring = tel.ring(1).unwrap();
+        ring.record("sweep.worker", t0, 0);
+        ring.record("sweep.worker", t0, 1);
+        tel.merge_ring(ring);
+        tel.record_hist("queue.depth", 17);
+        let hists = tel.histograms();
+        let names: Vec<&str> = hists.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["queue.depth", "sim.run", "sweep.worker"]);
+        assert_eq!(tel.histogram("sim.run").unwrap().count(), 1);
+        assert_eq!(tel.histogram("sweep.worker").unwrap().count(), 2);
+        assert_eq!(tel.histogram("queue.depth").unwrap().max(), 17);
+        assert!(tel.histogram("nope").is_none());
+        // Disabled handles never record or allocate.
+        let off = Telemetry::disabled();
+        off.record_hist("x", 1);
+        assert!(off.histograms().is_empty());
+        // Reset clears histograms with everything else.
+        tel.reset();
+        assert!(tel.histograms().is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # rlse-serve — the JSON-lines batch serving front end
 //!
 //! A request file (or stdin) holds one JSON object per line; each line is
-//! answered with exactly one JSON response line, in request order. Four
+//! answered with exactly one JSON response line, in request order. Five
 //! request kinds are served:
 //!
 //! * `simulate` — rebuild a netlist-IR circuit and run one simulation,
@@ -12,6 +12,9 @@
 //!   evaluation designs.
 //! * `model_check` — translate an IR circuit to timed automata and check
 //!   its embedded queries (Query 1 / Query 2 of the paper).
+//! * `ping` — a deterministic liveness probe: answers `"ok":true` without
+//!   touching the compiled cache or any engine. Batch drivers use it to
+//!   check the service end to end at near-zero cost.
 //!
 //! Circuits arrive as [`Ir`] documents. Every IR-bearing request goes
 //! through one shared [`CompiledCache`], so repeating a request (or sharing
@@ -27,6 +30,15 @@
 //! Each response embeds the request's own deterministic telemetry counters
 //! under `"telemetry"`.
 //!
+//! ## Observability
+//!
+//! All wall-clock and operational data flows *out-of-band* (see [`obs`]):
+//! a JSON-lines access log per request, phase-latency histograms exposed
+//! as Prometheus text, per-tenant accounting in the [`ServeSummary`], and
+//! Chrome traces for slow requests. Requests may carry an optional
+//! `"tenant"` label (and the existing `"id"`); both are accounting-only —
+//! neither enters the circuit content hash nor changes response bytes.
+//!
 //! ## Budgets
 //!
 //! [`ServeOptions`] caps what one request may ask for: sweep/shmoo trials,
@@ -37,11 +49,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod obs;
+
+pub use obs::{prometheus_text_for, AccessRecord, ObserveOptions, Observer};
+
 use rlse_core::ir::json::JsonValue;
 use rlse_core::ir::{CompiledCache, Ir, IrQuery};
 use rlse_core::prelude::*;
 use rlse_ta::prelude::*;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// Per-request resource caps. A request may ask for less than any cap but
 /// never gets more.
@@ -79,8 +97,39 @@ impl Default for ServeOptions {
     }
 }
 
-/// End-of-run accounting: requests served and compiled-cache traffic.
+/// Per-request-kind accounting within a [`ServeSummary`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindTally {
+    /// Requests of this kind answered.
+    pub requests: u64,
+    /// Of those, requests answered with `"ok":false`.
+    pub errors: u64,
+}
+
+/// Per-tenant accounting within a [`ServeSummary`]. Requests without a
+/// `"tenant"` field aggregate under the empty-string tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantTally {
+    /// Requests this tenant submitted.
+    pub requests: u64,
+    /// Of those, requests answered with `"ok":false`.
+    pub errors: u64,
+    /// Compiled-cache hits attributable to this tenant's requests.
+    pub cache_hits: u64,
+    /// Compiled-cache misses (compilations) this tenant triggered.
+    pub cache_misses: u64,
+    /// Monte-Carlo trials executed for this tenant (sweep + shmoo).
+    pub trials: u64,
+    /// Model-checker states explored for this tenant.
+    pub states: u64,
+    /// Simulation events dispatched for this tenant.
+    pub events: u64,
+}
+
+/// End-of-run accounting: requests served, compiled-cache traffic, and
+/// per-kind / per-tenant breakdowns. Deterministic — it carries no
+/// wall-clock data (latency lives in the [`obs`] histograms).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeSummary {
     /// Request lines answered (including error responses).
     pub requests: u64,
@@ -90,15 +139,89 @@ pub struct ServeSummary {
     pub cache_hits: u64,
     /// Compiled-cache misses (compilations) across all requests so far.
     pub cache_misses: u64,
+    /// Per-request-kind tallies (`simulate`, `sweep`, …, plus `error` for
+    /// lines with no recognizable kind), name-sorted.
+    pub kinds: BTreeMap<String, KindTally>,
+    /// Per-tenant tallies, tenant-name-sorted ("" = untenanted requests).
+    pub tenants: BTreeMap<String, TenantTally>,
 }
 
 impl ServeSummary {
-    /// One-line JSON rendering (the `--summary` output).
+    /// Fold one served request into the tallies (cache traffic is patched
+    /// in separately from the shared cache's counters).
+    pub fn absorb(&mut self, rec: &AccessRecord) {
+        self.requests += 1;
+        if !rec.ok {
+            self.errors += 1;
+        }
+        let k = self.kinds.entry(rec.kind.clone()).or_default();
+        k.requests += 1;
+        if !rec.ok {
+            k.errors += 1;
+        }
+        let t = self
+            .tenants
+            .entry(rec.tenant.clone().unwrap_or_default())
+            .or_default();
+        t.requests += 1;
+        if !rec.ok {
+            t.errors += 1;
+        }
+        match rec.cache_hit {
+            Some(true) => t.cache_hits += 1,
+            Some(false) => t.cache_misses += 1,
+            None => {}
+        }
+        t.trials += rec.counter("sweep.trials") + rec.counter("shmoo.trials");
+        t.states += rec.counter("mc.states");
+        t.events += rec.counter("sim.dispatches");
+    }
+
+    /// One-line JSON rendering (the `--summary` output). Built through the
+    /// shared JSON emitter, so hostile tenant names are escaped.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"requests\":{},\"errors\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
-            self.requests, self.errors, self.cache_hits, self.cache_misses
-        )
+        let kinds = JsonValue::Obj(
+            self.kinds
+                .iter()
+                .map(|(kind, t)| {
+                    (
+                        kind.clone(),
+                        JsonValue::Obj(vec![
+                            ("requests".into(), int(t.requests)),
+                            ("errors".into(), int(t.errors)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let tenants = JsonValue::Obj(
+            self.tenants
+                .iter()
+                .map(|(tenant, t)| {
+                    (
+                        tenant.clone(),
+                        JsonValue::Obj(vec![
+                            ("requests".into(), int(t.requests)),
+                            ("errors".into(), int(t.errors)),
+                            ("cache_hits".into(), int(t.cache_hits)),
+                            ("cache_misses".into(), int(t.cache_misses)),
+                            ("trials".into(), int(t.trials)),
+                            ("states".into(), int(t.states)),
+                            ("events".into(), int(t.events)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Obj(vec![
+            ("requests".into(), int(self.requests)),
+            ("errors".into(), int(self.errors)),
+            ("cache_hits".into(), int(self.cache_hits)),
+            ("cache_misses".into(), int(self.cache_misses)),
+            ("kinds".into(), kinds),
+            ("tenants".into(), tenants),
+        ])
+        .to_compact()
     }
 }
 
@@ -112,6 +235,34 @@ pub struct Server {
 
 /// An internal request failure, rendered as an `"ok":false` response line.
 struct RequestError(String);
+
+/// Per-request bookkeeping threaded through the handlers: the request's
+/// telemetry handle plus everything the access log needs that a handler
+/// learns along the way. None of it feeds back into response bytes except
+/// the telemetry counters the handlers were already embedding.
+struct ReqCtx {
+    tel: Telemetry,
+    hash: Option<u64>,
+    cache_hit: Option<bool>,
+    clamps: Vec<&'static str>,
+    cache_us: u64,
+}
+
+impl ReqCtx {
+    fn new() -> Self {
+        ReqCtx {
+            tel: Telemetry::new(),
+            hash: None,
+            cache_hit: None,
+            clamps: Vec::new(),
+            cache_us: 0,
+        }
+    }
+}
+
+fn elapsed_us(t: Instant) -> u64 {
+    t.elapsed().as_micros() as u64
+}
 
 impl<E: std::fmt::Display> From<E> for RequestError {
     fn from(e: E) -> Self {
@@ -230,10 +381,9 @@ impl Server {
     /// [`serve_reader`](Self::serve_reader); cache traffic always counts.
     pub fn summary(&self) -> ServeSummary {
         ServeSummary {
-            requests: 0,
-            errors: 0,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            ..ServeSummary::default()
         }
     }
 
@@ -241,18 +391,38 @@ impl Server {
     /// trailing newline). Parse and dispatch failures become
     /// `"ok":false` responses, never panics.
     pub fn handle_line(&self, line: &str) -> String {
-        let (id, kind, body) = match JsonValue::parse(line) {
+        self.handle_recorded(line).0
+    }
+
+    /// [`handle_line`](Self::handle_line) plus the request's
+    /// [`AccessRecord`] (with `seq` left at 0 for the caller to assign)
+    /// and its telemetry handle, whose spans back slow-request traces.
+    /// The response string is byte-identical to `handle_line`'s.
+    pub fn handle_recorded(&self, line: &str) -> (String, AccessRecord, Telemetry) {
+        let t_total = Instant::now();
+        let mut ctx = ReqCtx::new();
+        let t_parse = Instant::now();
+        let parsed = JsonValue::parse(line);
+        let parse_us = elapsed_us(t_parse);
+        let mut tenant = None;
+        let t_run = Instant::now();
+        let (id, kind, body) = match parsed {
             Ok(req) => {
+                tenant = req
+                    .get("tenant")
+                    .and_then(JsonValue::as_str)
+                    .map(String::from);
                 let id = req.get("id").and_then(JsonValue::as_str).map(String::from);
                 let kind = req
                     .get("kind")
                     .and_then(JsonValue::as_str)
                     .map(String::from);
                 match kind.as_deref() {
-                    Some("simulate") => (id, kind, self.simulate(&req)),
-                    Some("sweep") => (id, kind, self.sweep(&req)),
-                    Some("shmoo") => (id, kind, self.shmoo(&req)),
-                    Some("model_check") => (id, kind, self.model_check(&req)),
+                    Some("simulate") => (id, kind, self.simulate(&req, &mut ctx)),
+                    Some("sweep") => (id, kind, self.sweep(&req, &mut ctx)),
+                    Some("shmoo") => (id, kind, self.shmoo(&req, &mut ctx)),
+                    Some("model_check") => (id, kind, self.model_check(&req, &mut ctx)),
+                    Some("ping") => (id, kind, Ok(Vec::new())),
                     Some(other) => (
                         id,
                         None,
@@ -263,25 +433,48 @@ impl Server {
             }
             Err(e) => (None, None, Err(RequestError(format!("bad request JSON: {e}")))),
         };
+        let run_us = elapsed_us(t_run).saturating_sub(ctx.cache_us);
         let mut fields: Vec<(String, JsonValue)> = Vec::new();
-        if let Some(id) = id {
-            fields.push(("id".into(), s(&id)));
+        if let Some(id) = &id {
+            fields.push(("id".into(), s(id)));
         }
         fields.push((
             "kind".into(),
             s(kind.as_deref().unwrap_or("error")),
         ));
-        match body {
+        let error = match body {
             Ok(rest) => {
                 fields.push(("ok".into(), JsonValue::Bool(true)));
                 fields.extend(rest);
+                None
             }
             Err(RequestError(msg)) => {
                 fields.push(("ok".into(), JsonValue::Bool(false)));
                 fields.push(("error".into(), s(&msg)));
+                Some(msg)
             }
-        }
-        JsonValue::Obj(fields).to_compact()
+        };
+        let t_encode = Instant::now();
+        let response = JsonValue::Obj(fields).to_compact();
+        let encode_us = elapsed_us(t_encode);
+        let rec = AccessRecord {
+            seq: 0,
+            tenant,
+            id,
+            kind: kind.unwrap_or_else(|| "error".into()),
+            ok: error.is_none(),
+            error,
+            hash: ctx.hash,
+            cache_hit: ctx.cache_hit,
+            clamps: ctx.clamps,
+            counters: ctx.tel.report().counters,
+            parse_us,
+            cache_us: ctx.cache_us,
+            run_us,
+            encode_us,
+            total_us: elapsed_us(t_total),
+        };
+        (response, rec, ctx.tel)
     }
 
     /// Serve every non-blank line of `input`, writing one response line per
@@ -294,7 +487,25 @@ impl Server {
     pub fn serve_reader(
         &self,
         input: impl BufRead,
+        output: impl Write,
+    ) -> std::io::Result<ServeSummary> {
+        self.serve_observed(input, output, &mut Observer::disabled())
+    }
+
+    /// [`serve_reader`](Self::serve_reader) with out-of-band observability:
+    /// each request is appended to the observer's access log and latency
+    /// histograms, slow requests dump Chrome traces, and the metrics file
+    /// is rewritten at the configured stride and at end of batch. Response
+    /// bytes are identical to the unobserved path.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `input`/`output` or from the observer's sinks.
+    pub fn serve_observed(
+        &self,
+        input: impl BufRead,
         mut output: impl Write,
+        observer: &mut Observer,
     ) -> std::io::Result<ServeSummary> {
         let mut summary = ServeSummary::default();
         for line in input.lines() {
@@ -302,41 +513,55 @@ impl Server {
             if line.trim().is_empty() {
                 continue;
             }
-            let response = self.handle_line(&line);
-            summary.requests += 1;
-            if response.contains("\"ok\":false") {
-                summary.errors += 1;
+            let (response, mut rec, tel) = self.handle_recorded(&line);
+            rec.seq = observer.next_seq();
+            summary.absorb(&rec);
+            observer.observe(&rec, &tel)?;
+            if observer.metrics_due() {
+                observer.flush(self.cache.hits(), self.cache.misses())?;
             }
             writeln!(output, "{response}")?;
         }
         summary.cache_hits = self.cache.hits();
         summary.cache_misses = self.cache.misses();
+        observer.flush(self.cache.hits(), self.cache.misses())?;
         Ok(summary)
     }
 
-    /// Parse the request's `"ir"` field and resolve it through the cache.
+    /// Parse the request's `"ir"` field and resolve it through the cache,
+    /// timing the lookup/compile and recording the hash and hit/miss for
+    /// the access log.
     fn load_ir(
         &self,
         req: &JsonValue,
+        ctx: &mut ReqCtx,
     ) -> Result<(Ir, rlse_core::ir::CacheOutcome), RequestError> {
         let ir_val = req
             .get("ir")
             .ok_or_else(|| RequestError("request needs an 'ir' object".into()))?;
         let ir = Ir::from_json(&ir_val.to_compact())?;
-        let outcome = self.cache.get_or_compile(&ir)?;
+        let t0 = Instant::now();
+        let outcome = self.cache.get_or_compile(&ir);
+        ctx.cache_us += elapsed_us(t0);
+        let outcome = outcome?;
+        ctx.hash = Some(outcome.hash);
+        ctx.cache_hit = Some(outcome.hit);
         Ok((ir, outcome))
     }
 
-    fn simulate(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
-        let (_ir, outcome) = self.load_ir(req)?;
-        let tel = Telemetry::new();
+    fn simulate(
+        &self,
+        req: &JsonValue,
+        ctx: &mut ReqCtx,
+    ) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let (_ir, outcome) = self.load_ir(req, ctx)?;
         let mut sim = Simulation::with_compiled(outcome.circuit, outcome.compiled);
-        sim.set_telemetry(&tel);
-        let until = req
-            .get("until")
-            .and_then(JsonValue::as_f64)
-            .unwrap_or(f64::INFINITY)
-            .min(self.opts.max_until);
+        sim.set_telemetry(&ctx.tel);
+        let requested = req.get("until").and_then(JsonValue::as_f64);
+        let until = requested.unwrap_or(f64::INFINITY).min(self.opts.max_until);
+        if requested.is_some_and(|r| until < r) {
+            ctx.clamps.push("until");
+        }
         if until.is_finite() {
             sim.set_until(Some(until));
         }
@@ -350,26 +575,35 @@ impl Server {
         Ok(vec![
             ("hash".into(), hex_hash(outcome.hash)),
             ("events".into(), events_obj(&events)),
-            ("telemetry".into(), telemetry_obj(&tel.report())),
+            ("telemetry".into(), telemetry_obj(&ctx.tel.report())),
         ])
     }
 
-    fn sweep(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
-        let (ir, outcome) = self.load_ir(req)?;
-        let trials = req
+    fn sweep(
+        &self,
+        req: &JsonValue,
+        ctx: &mut ReqCtx,
+    ) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let (ir, outcome) = self.load_ir(req, ctx)?;
+        let requested_trials = req
             .get("trials")
             .and_then(JsonValue::as_f64)
-            .map_or(100, |t| t as u64)
-            .min(self.opts.max_trials);
+            .map(|t| t as u64);
+        let trials = requested_trials.unwrap_or(100).min(self.opts.max_trials);
+        if requested_trials.is_some_and(|r| trials < r) {
+            ctx.clamps.push("trials");
+        }
         let seed = req
             .get("seed")
             .and_then(JsonValue::as_f64)
             .map_or(0, |v| v as u64);
-        let until = req
-            .get("until")
-            .and_then(JsonValue::as_f64)
+        let requested_until = req.get("until").and_then(JsonValue::as_f64);
+        let until = requested_until
             .unwrap_or(f64::INFINITY)
             .min(self.opts.max_until);
+        if requested_until.is_some_and(|r| until < r) {
+            ctx.clamps.push("until");
+        }
         let variability = req.get("variability").map(parse_variability).transpose()?;
         // `check:true` turns the IR's expected-output query into the
         // per-trial verdict (a trial passes when every listed output fires
@@ -387,14 +621,13 @@ impl Server {
                 None
             };
 
-        let tel = Telemetry::new();
         let mut sweep = Sweep::over(move || {
             ir.to_circuit().expect("IR validated by the cache lookup")
         })
         .trials(trials)
         .master_seed(seed)
         .threads(self.opts.threads)
-        .telemetry(&tel);
+        .telemetry(&ctx.tel);
         if until.is_finite() {
             sweep = sweep.until(until);
         }
@@ -431,11 +664,15 @@ impl Server {
             ("timing_violations".into(), int(report.timing_violations)),
             ("other_errors".into(), int(report.other_errors)),
             ("outputs".into(), JsonValue::Arr(outputs)),
-            ("telemetry".into(), telemetry_obj(&tel.report())),
+            ("telemetry".into(), telemetry_obj(&ctx.tel.report())),
         ])
     }
 
-    fn shmoo(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
+    fn shmoo(
+        &self,
+        req: &JsonValue,
+        ctx: &mut ReqCtx,
+    ) -> Result<Vec<(String, JsonValue)>, RequestError> {
         let design = req
             .get("design")
             .and_then(JsonValue::as_str)
@@ -462,6 +699,9 @@ impl Server {
         if let Some(t) = req.get("trials").and_then(JsonValue::as_f64) {
             opts.trials = t as u64;
         }
+        if opts.trials > self.opts.max_trials {
+            ctx.clamps.push("trials");
+        }
         opts.trials = opts.trials.min(self.opts.max_trials);
         if let Some(seed) = req.get("seed").and_then(JsonValue::as_f64) {
             opts.master_seed = seed as u64;
@@ -473,6 +713,11 @@ impl Server {
             opts.adaptive = adaptive;
         }
         let map = rlse_designs::shmoo_map(design, &sigmas, &scales, &opts);
+        // The shmoo engine runs without a telemetry handle; account its
+        // trial volume here so per-tenant trial totals cover it. The shmoo
+        // response embeds no telemetry, so this never reaches a response.
+        ctx.tel
+            .add("shmoo.trials", map.evaluated.saturating_mul(map.trials));
         let rows = (0..sigmas.len())
             .map(|row| {
                 let line: String = (0..scales.len())
@@ -498,19 +743,29 @@ impl Server {
         ])
     }
 
-    fn model_check(&self, req: &JsonValue) -> Result<Vec<(String, JsonValue)>, RequestError> {
-        let (ir, outcome) = self.load_ir(req)?;
+    fn model_check(
+        &self,
+        req: &JsonValue,
+        ctx: &mut ReqCtx,
+    ) -> Result<Vec<(String, JsonValue)>, RequestError> {
+        let (ir, outcome) = self.load_ir(req, ctx)?;
+        let req_states = req.get("max_states").and_then(JsonValue::as_usize);
+        let max_states = req_states
+            .unwrap_or(self.opts.max_states)
+            .min(self.opts.max_states);
+        if req_states.is_some_and(|r| max_states < r) {
+            ctx.clamps.push("max_states");
+        }
+        let req_seconds = req.get("max_seconds").and_then(JsonValue::as_f64);
+        let max_seconds = req_seconds
+            .unwrap_or(self.opts.max_seconds)
+            .min(self.opts.max_seconds);
+        if req_seconds.is_some_and(|r| max_seconds < r) {
+            ctx.clamps.push("max_seconds");
+        }
         let mc_opts = McOptions {
-            max_states: req
-                .get("max_states")
-                .and_then(JsonValue::as_usize)
-                .unwrap_or(self.opts.max_states)
-                .min(self.opts.max_states),
-            max_seconds: req
-                .get("max_seconds")
-                .and_then(JsonValue::as_f64)
-                .unwrap_or(self.opts.max_seconds)
-                .min(self.opts.max_seconds),
+            max_states,
+            max_seconds,
             threads: self.opts.threads,
         };
         let tr = translate_circuit(&outcome.circuit)?;
@@ -519,7 +774,6 @@ impl Server {
         } else {
             ir.queries.clone()
         };
-        let tel = Telemetry::new();
         let results = queries
             .iter()
             .map(|q| {
@@ -531,7 +785,7 @@ impl Server {
                     &tr.net,
                     &McQuery::from_ir(&tr, q),
                     mc_opts,
-                    Some(&tel),
+                    Some(&ctx.tel),
                 );
                 JsonValue::Obj(vec![
                     ("query".into(), s(label)),
@@ -556,32 +810,34 @@ impl Server {
             ("hash".into(), hex_hash(outcome.hash)),
             ("max_states".into(), int(mc_opts.max_states as u64)),
             ("results".into(), JsonValue::Arr(results)),
-            ("telemetry".into(), telemetry_obj(&tel.report())),
+            ("telemetry".into(), telemetry_obj(&ctx.tel.report())),
         ])
     }
 }
 
 /// The fixture request corpus: one request of each kind over the `min_max`
-/// design, as JSON lines. The smoke tests and the CI serve step pipe this
-/// file through the server twice and require byte-identical responses with
-/// cache hits on the second pass.
+/// design, as JSON lines, with tenant labels exercising the per-tenant
+/// accounting (and one untenanted request for the "" row). The smoke tests
+/// and the CI serve step pipe this file through the server twice and
+/// require byte-identical responses with cache hits on the second pass.
 pub fn fixture_requests() -> String {
     let ir = rlse_designs::design_ir("min_max", 1.0);
     let ir_line = |ir: &Ir| ir.to_value().to_compact();
     let with_outputs = rlse_designs::design_ir_with_expected_outputs("min_max", 1.0);
     let mut out = String::new();
+    out.push_str("{\"id\":\"ping-1\",\"kind\":\"ping\",\"tenant\":\"probe\"}\n");
     out.push_str(&format!(
-        "{{\"id\":\"sim-1\",\"kind\":\"simulate\",\"ir\":{}}}\n",
+        "{{\"id\":\"sim-1\",\"kind\":\"simulate\",\"tenant\":\"acme\",\"ir\":{}}}\n",
         ir_line(&ir)
     ));
     out.push_str(&format!(
-        "{{\"id\":\"sweep-1\",\"kind\":\"sweep\",\"trials\":40,\"seed\":7,\
+        "{{\"id\":\"sweep-1\",\"kind\":\"sweep\",\"tenant\":\"acme\",\"trials\":40,\"seed\":7,\
          \"variability\":{{\"kind\":\"gaussian\",\"std\":0.2}},\"ir\":{}}}\n",
         ir_line(&ir)
     ));
     out.push_str(&format!(
-        "{{\"id\":\"sweep-2\",\"kind\":\"sweep\",\"trials\":20,\"seed\":3,\"check\":true,\
-         \"ir\":{}}}\n",
+        "{{\"id\":\"sweep-2\",\"kind\":\"sweep\",\"tenant\":\"beta\",\"trials\":20,\"seed\":3,\
+         \"check\":true,\"ir\":{}}}\n",
         ir_line(&with_outputs)
     ));
     out.push_str(
@@ -589,7 +845,8 @@ pub fn fixture_requests() -> String {
          \"sigmas\":[0.0,0.4],\"scales\":[0.6,1.0,1.4],\"trials\":24,\"seed\":11}\n",
     );
     out.push_str(&format!(
-        "{{\"id\":\"mc-1\",\"kind\":\"model_check\",\"max_states\":200000,\"ir\":{}}}\n",
+        "{{\"id\":\"mc-1\",\"kind\":\"model_check\",\"tenant\":\"beta\",\
+         \"max_states\":200000,\"ir\":{}}}\n",
         ir_line(&ir)
     ));
     out
@@ -713,7 +970,7 @@ mod tests {
             .serve_reader(requests.as_bytes(), &mut pass2)
             .unwrap();
         assert_eq!(pass1, pass2, "responses must be byte-identical");
-        assert_eq!(sum1.requests, 5);
+        assert_eq!(sum1.requests, 6);
         assert_eq!(sum1.errors, 0, "{}", String::from_utf8_lossy(&pass1));
         assert_eq!(sum1.cache_misses, sum2.cache_misses, "no new compiles");
         assert!(sum2.cache_hits > sum1.cache_hits, "second pass must hit");

@@ -5,6 +5,8 @@
 //!            [--emit-fixture] [--summary]
 //!            [--max-trials N] [--max-states N] [--max-seconds S] [--threads N]
 //!            [--max-cache N]
+//!            [--access-log FILE] [--metrics FILE] [--metrics-every N]
+//!            [--slow-trace-ms MS] [--trace-dir DIR]
 //! ```
 //!
 //! Reads one request per line from `--input` (default stdin) and writes one
@@ -14,11 +16,20 @@
 //! unless every pass produced byte-identical responses. `--emit-fixture`
 //! prints the built-in fixture request corpus instead of serving.
 //! `--summary` prints end-of-run accounting (requests, errors, cache
-//! hits/misses) as one JSON line on stderr. `--max-cache N` caps the
-//! compiled cache at N entries with LRU eviction (0 = unbounded;
-//! default 1024).
+//! hits/misses, per-kind and per-tenant tallies) as one JSON line on
+//! stderr. `--max-cache N` caps the compiled cache at N entries with LRU
+//! eviction (0 = unbounded; default 1024).
+//!
+//! Observability (all out-of-band — response bytes never change):
+//! `--access-log FILE` appends one JSON line per request (tenant, kind,
+//! circuit hash, cache hit, budget clamps, counter deltas, wall-clock
+//! phase micros). `--metrics FILE` writes Prometheus text-format metrics
+//! at end of run, and additionally every N requests with
+//! `--metrics-every N`. `--slow-trace-ms MS` dumps a Chrome trace of any
+//! request at least MS milliseconds of wall clock into `--trace-dir`
+//! (default `traces`); `--slow-trace-ms 0` traces every request.
 
-use rlse_serve::{fixture_requests, ServeOptions, Server};
+use rlse_serve::{fixture_requests, ObserveOptions, Observer, ServeOptions, Server};
 use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
 
@@ -30,6 +41,7 @@ struct Args {
     emit_fixture: bool,
     summary: bool,
     opts: ServeOptions,
+    obs: ObserveOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         emit_fixture: false,
         summary: false,
         opts: ServeOptions::default(),
+        obs: ObserveOptions::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,11 +96,31 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-cache: {e}"))?;
             }
+            "--access-log" => args.obs.access_log = Some(value("--access-log")?.into()),
+            "--metrics" => args.obs.metrics = Some(value("--metrics")?.into()),
+            "--metrics-every" => {
+                args.obs.metrics_every = value("--metrics-every")?
+                    .parse()
+                    .map_err(|e| format!("--metrics-every: {e}"))?;
+            }
+            "--slow-trace-ms" => {
+                let ms: f64 = value("--slow-trace-ms")?
+                    .parse()
+                    .map_err(|e| format!("--slow-trace-ms: {e}"))?;
+                if ms.is_nan() || ms < 0.0 {
+                    return Err("--slow-trace-ms must be >= 0".into());
+                }
+                args.obs.slow_trace_us = Some((ms * 1000.0) as u64);
+            }
+            "--trace-dir" => args.obs.trace_dir = Some(value("--trace-dir")?.into()),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if args.repeat == 0 {
         return Err("--repeat must be at least 1".into());
+    }
+    if args.obs.slow_trace_us.is_some() && args.obs.trace_dir.is_none() {
+        args.obs.trace_dir = Some("traces".into());
     }
     Ok(args)
 }
@@ -113,12 +146,14 @@ fn run() -> Result<bool, String> {
     };
 
     let server = Server::new(args.opts);
+    let mut observer =
+        Observer::from_options(&args.obs).map_err(|e| format!("opening observability sinks: {e}"))?;
     let mut passes: Vec<Vec<u8>> = Vec::with_capacity(args.repeat as usize);
     let mut summary = Default::default();
     for _ in 0..args.repeat {
         let mut out = Vec::new();
         summary = server
-            .serve_reader(BufReader::new(requests.as_bytes()), &mut out)
+            .serve_observed(BufReader::new(requests.as_bytes()), &mut out, &mut observer)
             .map_err(|e| format!("serving: {e}"))?;
         passes.push(out);
     }

@@ -1,0 +1,462 @@
+//! Out-of-band observability for the serving front end: structured access
+//! logging, phase-latency histograms, Prometheus text exposition, and
+//! slow-request Chrome traces.
+//!
+//! ## Determinism rules
+//!
+//! The serving contract (DESIGN.md §15) is that **response lines are
+//! byte-deterministic**: a byte-identical request line always yields a
+//! byte-identical response line, with or without observability enabled.
+//! Everything in this module is therefore *out-of-band* — it flows to the
+//! access log, the metrics file, the summary, or a trace file, never into
+//! a response. Wall-clock data (the `*_us` fields of an [`AccessRecord`],
+//! every [`Histogram`] sample, span timestamps in slow traces) appears
+//! *only* here; deterministic data (counters, verdicts, events) may appear
+//! in both places.
+
+use crate::{ServeSummary, TenantTally};
+use rlse_core::ir::json::JsonValue;
+use rlse_core::telemetry::{Histogram, Telemetry};
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+/// One served request, as recorded in the JSON-lines access log. All
+/// fields except the `*_us` wall-clock phase timings are deterministic
+/// functions of the request line and the server's budget configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessRecord {
+    /// 1-based sequence number across the [`Observer`]'s lifetime (spans
+    /// `--repeat` passes).
+    pub seq: u64,
+    /// The request's optional `"tenant"` field — a client-supplied
+    /// accounting label, never part of the circuit content hash.
+    pub tenant: Option<String>,
+    /// The request's optional `"id"` field, echoed as in the response.
+    pub id: Option<String>,
+    /// Request kind (`simulate`/`sweep`/`shmoo`/`model_check`/`ping`), or
+    /// `error` when the line had no recognizable kind.
+    pub kind: String,
+    /// Whether the response line carried `"ok":true`.
+    pub ok: bool,
+    /// The error message of an `"ok":false` response.
+    pub error: Option<String>,
+    /// The IR content hash, for requests that carried a circuit.
+    pub hash: Option<u64>,
+    /// Whether the compiled circuit came from the cache (requests without
+    /// a circuit record `None`).
+    pub cache_hit: Option<bool>,
+    /// Which per-request budget clamps fired (`trials`, `until`,
+    /// `max_states`, `max_seconds`).
+    pub clamps: Vec<&'static str>,
+    /// The request's deterministic telemetry counter deltas (the same
+    /// counters an IR-bearing response embeds under `"telemetry"`).
+    pub counters: Vec<(String, u64)>,
+    /// Wall-clock micros parsing the request line.
+    pub parse_us: u64,
+    /// Wall-clock micros in the compiled cache (lookup or compile).
+    pub cache_us: u64,
+    /// Wall-clock micros in the engine (handler time minus cache time).
+    pub run_us: u64,
+    /// Wall-clock micros encoding the response line.
+    pub encode_us: u64,
+    /// Wall-clock micros for the whole request.
+    pub total_us: u64,
+}
+
+impl AccessRecord {
+    /// The counter delta `name`, or 0 if the request never recorded it.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// One compact JSON line (no trailing newline). String fields are
+    /// escaped by the shared JSON emitter, so hostile tenant or error
+    /// strings cannot break the log. Wall-clock fields all end in `_us`;
+    /// stripping those keys yields a deterministic record.
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, JsonValue)> = vec![(
+            "seq".into(),
+            JsonValue::Num(self.seq as f64),
+        )];
+        if let Some(t) = &self.tenant {
+            fields.push(("tenant".into(), JsonValue::Str(t.clone())));
+        }
+        if let Some(id) = &self.id {
+            fields.push(("id".into(), JsonValue::Str(id.clone())));
+        }
+        fields.push(("kind".into(), JsonValue::Str(self.kind.clone())));
+        fields.push(("ok".into(), JsonValue::Bool(self.ok)));
+        if let Some(e) = &self.error {
+            fields.push(("error".into(), JsonValue::Str(e.clone())));
+        }
+        if let Some(h) = self.hash {
+            fields.push(("hash".into(), JsonValue::Str(format!("{h:016x}"))));
+        }
+        if let Some(hit) = self.cache_hit {
+            fields.push(("cache_hit".into(), JsonValue::Bool(hit)));
+        }
+        fields.push((
+            "clamps".into(),
+            JsonValue::Arr(
+                self.clamps
+                    .iter()
+                    .map(|c| JsonValue::Str((*c).to_string()))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "counters".into(),
+            JsonValue::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                    .collect(),
+            ),
+        ));
+        for (key, v) in [
+            ("parse_us", self.parse_us),
+            ("cache_us", self.cache_us),
+            ("run_us", self.run_us),
+            ("encode_us", self.encode_us),
+            ("total_us", self.total_us),
+        ] {
+            fields.push((key.into(), JsonValue::Num(v as f64)));
+        }
+        JsonValue::Obj(fields).to_compact()
+    }
+}
+
+/// Where the out-of-band streams go. Everything defaults to off; the plain
+/// [`Server::serve_reader`](crate::Server::serve_reader) path uses a
+/// disabled [`Observer`] and pays only a few branch checks per request.
+#[derive(Debug, Clone, Default)]
+pub struct ObserveOptions {
+    /// JSON-lines access log path (one [`AccessRecord`] per request).
+    pub access_log: Option<PathBuf>,
+    /// Prometheus text-format metrics path, rewritten at end of batch.
+    pub metrics: Option<PathBuf>,
+    /// Also rewrite the metrics file every N requests (0 = end of batch
+    /// only) so long batches expose progress before they finish.
+    pub metrics_every: u64,
+    /// Requests whose total wall-clock micros reach this threshold dump a
+    /// Chrome trace of their engine spans into `trace_dir` (0 traces every
+    /// request; `None` disables tracing).
+    pub slow_trace_us: Option<u64>,
+    /// Directory for slow-request traces (created on demand).
+    pub trace_dir: Option<PathBuf>,
+}
+
+/// The stateful sink for all out-of-band streams: the open access log,
+/// the cumulative phase histograms and summary backing the metrics file,
+/// and the slow-trace writer. One observer spans every pass of a
+/// `--repeat` run, so its accounting covers the whole process.
+pub struct Observer {
+    access: Option<Box<dyn Write + Send>>,
+    metrics_path: Option<PathBuf>,
+    metrics_every: u64,
+    slow_trace_us: Option<u64>,
+    trace_dir: Option<PathBuf>,
+    seq: u64,
+    traces_written: u64,
+    hists: BTreeMap<String, Histogram>,
+    summary: ServeSummary,
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("seq", &self.seq)
+            .field("access", &self.access.is_some())
+            .field("metrics_path", &self.metrics_path)
+            .field("slow_trace_us", &self.slow_trace_us)
+            .field("traces_written", &self.traces_written)
+            .finish()
+    }
+}
+
+impl Observer {
+    /// An observer that records nothing (the plain serving path).
+    pub fn disabled() -> Self {
+        Observer {
+            access: None,
+            metrics_path: None,
+            metrics_every: 0,
+            slow_trace_us: None,
+            trace_dir: None,
+            seq: 0,
+            traces_written: 0,
+            hists: BTreeMap::new(),
+            summary: ServeSummary::default(),
+        }
+    }
+
+    /// Open every sink named by `opts` (truncating existing files, creating
+    /// the trace directory on first use).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the access-log file.
+    pub fn from_options(opts: &ObserveOptions) -> io::Result<Self> {
+        let access: Option<Box<dyn Write + Send>> = match &opts.access_log {
+            Some(path) => Some(Box::new(BufWriter::new(std::fs::File::create(path)?))),
+            None => None,
+        };
+        Ok(Observer {
+            access,
+            metrics_path: opts.metrics.clone(),
+            metrics_every: opts.metrics_every,
+            slow_trace_us: opts.slow_trace_us,
+            trace_dir: opts.trace_dir.clone(),
+            ..Observer::disabled()
+        })
+    }
+
+    /// Route the access log to an arbitrary writer (tests observe
+    /// in-memory buffers instead of files).
+    #[must_use]
+    pub fn with_access_writer(mut self, w: Box<dyn Write + Send>) -> Self {
+        self.access = Some(w);
+        self
+    }
+
+    /// The next request's sequence number (1-based, process-lifetime).
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Record one served request: append the access-log line, fold the
+    /// phase timings into the latency histograms, update the cumulative
+    /// summary, and dump a slow trace when the threshold is met.
+    pub(crate) fn observe(&mut self, rec: &AccessRecord, tel: &Telemetry) -> io::Result<()> {
+        self.summary.absorb(rec);
+        if let Some(w) = &mut self.access {
+            writeln!(w, "{}", rec.to_json())?;
+        }
+        if self.metrics_path.is_some() {
+            for (name, v) in [
+                ("parse", rec.parse_us),
+                ("cache", rec.cache_us),
+                ("encode", rec.encode_us),
+                ("total", rec.total_us),
+            ] {
+                self.hists.entry(name.to_string()).or_default().record(v);
+            }
+            self.hists
+                .entry(format!("run.{}", rec.kind))
+                .or_default()
+                .record(rec.run_us);
+        }
+        if self
+            .slow_trace_us
+            .is_some_and(|limit| rec.total_us >= limit)
+        {
+            if let Some(dir) = self.trace_dir.clone() {
+                std::fs::create_dir_all(&dir)?;
+                let path = dir.join(format!("trace-{:06}-{}.json", rec.seq, rec.kind));
+                std::fs::write(path, tel.chrome_trace_json())?;
+                self.traces_written += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// True after a request whose sequence number hits the `metrics_every`
+    /// stride (never at stride 0).
+    pub(crate) fn metrics_due(&self) -> bool {
+        self.metrics_path.is_some()
+            && self.metrics_every > 0
+            && self.seq.is_multiple_of(self.metrics_every)
+    }
+
+    /// Rewrite the metrics file from the cumulative summary (with the
+    /// shared cache's process-wide traffic patched in) and flush the
+    /// access log.
+    pub(crate) fn flush(&mut self, cache_hits: u64, cache_misses: u64) -> io::Result<()> {
+        if let Some(w) = &mut self.access {
+            w.flush()?;
+        }
+        if let Some(path) = &self.metrics_path {
+            self.summary.cache_hits = cache_hits;
+            self.summary.cache_misses = cache_misses;
+            let hists: Vec<(String, Histogram)> =
+                self.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            std::fs::write(path, prometheus_text_for(&self.summary, &hists))?;
+        }
+        Ok(())
+    }
+
+    /// The cumulative (process-lifetime) summary this observer has folded.
+    pub fn summary(&self) -> &ServeSummary {
+        &self.summary
+    }
+
+    /// The phase histograms backing the metrics exposition.
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.hists
+    }
+
+    /// Slow traces written so far.
+    pub fn traces_written(&self) -> u64 {
+        self.traces_written
+    }
+}
+
+/// Escape a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`, per the text-format spec).
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`ServeSummary`] plus phase-latency histograms as Prometheus
+/// text format (version 0.0.4). Pure function of its inputs — the golden
+/// test pins the exact bytes — and deterministic: maps are name-sorted and
+/// histogram buckets are emitted in increasing-bound order with cumulative
+/// counts, `+Inf`, `_sum`, and `_count` series.
+pub fn prometheus_text_for(summary: &ServeSummary, hists: &[(String, Histogram)]) -> String {
+    let mut out = String::new();
+    let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    };
+    counter(
+        &mut out,
+        "rlse_requests_total",
+        "Request lines answered, including error responses.",
+        summary.requests,
+    );
+    counter(
+        &mut out,
+        "rlse_errors_total",
+        "Requests answered with ok=false.",
+        summary.errors,
+    );
+    counter(
+        &mut out,
+        "rlse_cache_hits_total",
+        "Compiled-circuit cache hits.",
+        summary.cache_hits,
+    );
+    counter(
+        &mut out,
+        "rlse_cache_misses_total",
+        "Compiled-circuit cache misses (compilations).",
+        summary.cache_misses,
+    );
+
+    if !summary.kinds.is_empty() {
+        out.push_str(
+            "# HELP rlse_requests_by_kind_total Requests answered, by request kind.\n\
+             # TYPE rlse_requests_by_kind_total counter\n",
+        );
+        for (kind, t) in &summary.kinds {
+            out.push_str(&format!(
+                "rlse_requests_by_kind_total{{kind=\"{}\"}} {}\n",
+                prom_escape(kind),
+                t.requests
+            ));
+        }
+        out.push_str(
+            "# HELP rlse_errors_by_kind_total Error responses, by request kind.\n\
+             # TYPE rlse_errors_by_kind_total counter\n",
+        );
+        for (kind, t) in &summary.kinds {
+            out.push_str(&format!(
+                "rlse_errors_by_kind_total{{kind=\"{}\"}} {}\n",
+                prom_escape(kind),
+                t.errors
+            ));
+        }
+    }
+
+    if !summary.tenants.is_empty() {
+        type Getter = fn(&TenantTally) -> u64;
+        let series: [(&str, &str, Getter); 7] = [
+            ("rlse_tenant_requests_total", "Requests, by tenant.", |t| {
+                t.requests
+            }),
+            ("rlse_tenant_errors_total", "Error responses, by tenant.", |t| {
+                t.errors
+            }),
+            (
+                "rlse_tenant_cache_hits_total",
+                "Compiled-cache hits, by tenant.",
+                |t| t.cache_hits,
+            ),
+            (
+                "rlse_tenant_cache_misses_total",
+                "Compiled-cache misses, by tenant.",
+                |t| t.cache_misses,
+            ),
+            (
+                "rlse_tenant_trials_total",
+                "Monte-Carlo trials executed, by tenant.",
+                |t| t.trials,
+            ),
+            (
+                "rlse_tenant_states_total",
+                "Model-checker states explored, by tenant.",
+                |t| t.states,
+            ),
+            (
+                "rlse_tenant_events_total",
+                "Simulation events dispatched, by tenant.",
+                |t| t.events,
+            ),
+        ];
+        for (name, help, get) in series {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for (tenant, t) in &summary.tenants {
+                out.push_str(&format!(
+                    "{name}{{tenant=\"{}\"}} {}\n",
+                    prom_escape(tenant),
+                    get(t)
+                ));
+            }
+        }
+    }
+
+    if !hists.is_empty() {
+        out.push_str(
+            "# HELP rlse_phase_us Wall-clock serving latency per pipeline phase, microseconds.\n\
+             # TYPE rlse_phase_us histogram\n",
+        );
+        for (phase, h) in hists {
+            let label = prom_escape(phase);
+            let mut cum = 0u64;
+            for (bound, count) in h.buckets() {
+                cum += count;
+                out.push_str(&format!(
+                    "rlse_phase_us_bucket{{phase=\"{label}\",le=\"{bound}\"}} {cum}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "rlse_phase_us_bucket{{phase=\"{label}\",le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "rlse_phase_us_sum{{phase=\"{label}\"}} {}\n",
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "rlse_phase_us_count{{phase=\"{label}\"}} {}\n",
+                h.count()
+            ));
+        }
+    }
+    out
+}

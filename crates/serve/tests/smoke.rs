@@ -1,5 +1,5 @@
 //! End-to-end smoke test of the `rlse-serve` binary: the fixture corpus
-//! (all four request kinds) served twice through one process must produce
+//! (all five request kinds) served twice through one process must produce
 //! byte-identical responses, with the second pass served from the compiled
 //! cache. This is the same invocation the CI serve step runs.
 
@@ -24,9 +24,9 @@ fn fixture_file_served_twice_is_byte_identical_with_cache_hits() {
 
     let stdout = String::from_utf8(out.stdout).expect("responses are UTF-8");
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 10, "5 requests × 2 passes:\n{stdout}");
-    assert_eq!(&lines[..5], &lines[5..], "passes must be byte-identical");
-    for line in &lines[..5] {
+    assert_eq!(lines.len(), 12, "6 requests × 2 passes:\n{stdout}");
+    assert_eq!(&lines[..6], &lines[6..], "passes must be byte-identical");
+    for line in &lines[..6] {
         assert!(line.contains("\"ok\":true"), "{line}");
     }
 
