@@ -302,6 +302,65 @@ where
     }
 }
 
+/// One `serve_throughput` row: the generated mixed corpus served end to end
+/// through the request scheduler at a fixed worker count, cache-cold (a
+/// fresh server, so every distinct circuit compiles) and cache-warm (the
+/// same server again, so every circuit hits). Every pass's response bytes
+/// are asserted identical to the first — the worker count may only change
+/// the wall clock, never the output.
+struct ServeRow {
+    workers: usize,
+    engine_threads: usize,
+    cold_rps: f64,
+    warm_rps: f64,
+    singleflight_waits: u64,
+}
+
+fn measure_serve_throughput(corpus: &str, workers_list: &[usize]) -> Vec<ServeRow> {
+    use rlse_serve::{ServeOptions, Server};
+    let n = corpus.lines().count() as f64;
+    let mut reference: Option<Vec<u8>> = None;
+    workers_list
+        .iter()
+        .map(|&workers| {
+            let server = Server::new(ServeOptions {
+                workers,
+                ..ServeOptions::default()
+            });
+            let mut out = Vec::new();
+            let t0 = Instant::now();
+            server.serve_reader(corpus.as_bytes(), &mut out).expect("cold pass serves");
+            let cold_s = t0.elapsed().as_secs_f64();
+            match &reference {
+                Some(r) => assert_eq!(
+                    *r, out,
+                    "workers={workers}: responses must be byte-identical to workers={}",
+                    workers_list[0]
+                ),
+                None => reference = Some(out.clone()),
+            }
+            // Warm: the same server, so every circuit hits the compiled
+            // cache. Median of three passes.
+            let mut warm = Vec::with_capacity(3);
+            for _ in 0..3 {
+                let mut again = Vec::new();
+                let t0 = Instant::now();
+                server.serve_reader(corpus.as_bytes(), &mut again).expect("warm pass serves");
+                warm.push(t0.elapsed().as_secs_f64());
+                assert_eq!(out, again, "workers={workers}: warm pass changed bytes");
+            }
+            warm.sort_by(f64::total_cmp);
+            ServeRow {
+                workers,
+                engine_threads: server.engine_threads(),
+                cold_rps: n / cold_s.max(1e-9),
+                warm_rps: n / warm[1].max(1e-9),
+                singleflight_waits: server.cache().singleflight_waits(),
+            }
+        })
+        .collect()
+}
+
 /// Telemetry overhead on the reused bitonic_8 workload: median run time
 /// with no handle attached, with a disabled handle, and with an enabled
 /// handle. The first two must be indistinguishable (the disabled handle is
@@ -643,6 +702,14 @@ fn main() {
     let overhead = measure_overhead();
     let analog_rows = measure_analog();
 
+    // Serving throughput: the generated 200-request mixed corpus through
+    // the request scheduler at the canonical worker counts. On a 1-core
+    // host the multi-worker rows measure scheduling overhead, not speedup;
+    // host_cores is recorded so readers can judge.
+    const SERVE_CORPUS: usize = 200;
+    let serve_corpus = rlse_serve::generated_requests(SERVE_CORPUS);
+    let serve_rows = measure_serve_throughput(&serve_corpus, &[1, 2, 4, 8]);
+
     // Hand-rolled JSON (the workspace deliberately has no serde dependency).
     let mut out = String::new();
     out.push_str("{\n");
@@ -790,6 +857,24 @@ fn main() {
             r.report.counter("mc.subsumed"),
             r.report.counter("mc.evicted"),
             if i + 1 == mc_rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]},\n");
+    out.push_str(&format!(
+        "  \"serve_throughput\": {{\"corpus_requests\": {SERVE_CORPUS}, \
+         \"host_cores\": {host_cores}, \"rows\": [\n"
+    ));
+    for (i, r) in serve_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"engine_threads\": {}, \
+             \"cold_requests_per_sec\": {:.1}, \"warm_requests_per_sec\": {:.1}, \
+             \"singleflight_waits\": {}}}{}\n",
+            r.workers,
+            r.engine_threads,
+            r.cold_rps,
+            r.warm_rps,
+            r.singleflight_waits,
+            if i + 1 == serve_rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]},\n");

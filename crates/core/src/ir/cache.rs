@@ -6,6 +6,25 @@
 //! requests. Entries store the full canonical byte encoding and compare it
 //! exactly on lookup, so a 64-bit hash collision can never alias two
 //! different circuits.
+//!
+//! The cache is built for concurrent callers (the `rlse-serve` worker pool
+//! hits one shared instance from every request worker):
+//!
+//! * **Sharding** — entries and sidecars are split across
+//!   [`SHARDS`] independently-locked shards by content hash, so lookups for
+//!   different circuits never contend on one lock.
+//! * **Single-flight compilation** — when N requests for the same hash
+//!   arrive while no entry exists yet, exactly one caller compiles; the
+//!   rest block on the in-flight marker and are served the finished entry
+//!   (counted in [`singleflight_waits`](CompiledCache::singleflight_waits)
+//!   and the `ir_cache.singleflight_waits` telemetry counter). If the
+//!   compiling caller panics, waiters wake and retry — one of them becomes
+//!   the new leader — so a poisoned flight can never strand the queue.
+//! * **Global LRU** — the entry cap is enforced across all shards: the
+//!   eviction path briefly locks every shard (in index order) and removes
+//!   the globally least-recently-used entry. Eviction is the rare slow path
+//!   by construction, so the full sweep does not affect steady-state
+//!   lookups.
 
 use super::{Ir, IrError};
 use crate::circuit::Circuit;
@@ -13,8 +32,12 @@ use crate::compiled::CompiledCircuit;
 use crate::telemetry::Telemetry;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Number of independently-locked shards (a power of two; the shard index
+/// is the hash's low bits).
+const SHARDS: usize = 16;
 
 /// The result of a cache lookup: the rebuilt circuit plus the (possibly
 /// memoized) compiled form.
@@ -22,7 +45,8 @@ use std::sync::{Arc, Mutex};
 pub struct CacheOutcome {
     /// The IR's content hash — the cache key, also usable with the sidecar.
     pub hash: u64,
-    /// True if the compiled circuit was served from the cache.
+    /// True if the compiled circuit was served from the cache (including
+    /// after waiting on another caller's in-flight compilation).
     pub hit: bool,
     /// A fresh circuit rebuilt from the IR (cheap; every caller needs one).
     pub circuit: Circuit,
@@ -37,9 +61,74 @@ struct Entry {
     last_used: u64,
 }
 
+/// An in-flight compilation: waiters block on the condvar until the leader
+/// marks it done (or abandons it by unwinding).
+struct Flight {
+    canon: Vec<u8>,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new(canon: Vec<u8>) -> Self {
+        Flight {
+            canon,
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the leader finishes (successfully or not).
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("flight poisoned");
+        while !*done {
+            done = self.cv.wait(done).expect("flight poisoned");
+        }
+    }
+
+    /// Wake every waiter; called exactly once, by the leader's guard.
+    fn finish(&self) {
+        *self.done.lock().expect("flight poisoned") = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Removes the leader's flight marker and wakes waiters on drop, so a
+/// panicking compile can never strand the waiters — they retry and one
+/// becomes the new leader.
+struct FlightGuard<'a> {
+    cache: &'a CompiledCache,
+    hash: u64,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut shard = self.cache.shard(self.hash);
+        if shard
+            .flights
+            .get(&self.hash)
+            .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
+        {
+            shard.flights.remove(&self.hash);
+        }
+        drop(shard);
+        self.flight.finish();
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, Vec<Entry>>,
+    flights: HashMap<u64, Arc<Flight>>,
+}
+
+type SidecarShard = HashMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>;
+
 /// A thread-safe memo of compiled circuits keyed on IR content, with a
 /// type-keyed sidecar for downstream artifacts (e.g. analog cell-template
-/// banks) cached under the same hash.
+/// banks) cached under the same hash. Sharded and single-flight — see the
+/// module docs for the concurrency design.
 ///
 /// By default the cache is **unbounded**: every distinct circuit compiled
 /// through it stays resident (entries plus their sidecars) until
@@ -47,7 +136,7 @@ struct Entry {
 /// batch runs over a fixed request corpus; a long-lived embedder fed many
 /// distinct IRs should cap it with
 /// [`with_max_entries`](CompiledCache::with_max_entries), which evicts the
-/// least-recently-used entry (and its sidecars) on overflow.
+/// globally least-recently-used entry (and its sidecars) on overflow.
 ///
 /// ```
 /// use rlse_core::circuit::Circuit;
@@ -69,15 +158,23 @@ struct Entry {
 /// assert!(std::sync::Arc::ptr_eq(&first.compiled, &second.compiled));
 /// ```
 pub struct CompiledCache {
-    entries: Mutex<HashMap<u64, Vec<Entry>>>,
-    sidecars: Mutex<HashMap<(u64, TypeId), Arc<dyn Any + Send + Sync>>>,
+    shards: Vec<Mutex<Shard>>,
+    sidecars: Vec<Mutex<SidecarShard>>,
+    /// Entry count across all shards (kept in step under the shard locks;
+    /// read lock-free for the cheap over-cap check).
+    count: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    singleflight_waits: AtomicU64,
     /// Monotone lookup counter stamping `Entry::last_used`.
     tick: AtomicU64,
     /// Entry cap; `None` means unbounded (the default).
     max_entries: Option<usize>,
     telemetry: Telemetry,
+    /// Test hook run by the compile leader between claiming the flight and
+    /// compiling; lets tests hold the compile open deterministically.
+    #[cfg(test)]
+    compile_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl std::fmt::Debug for CompiledCache {
@@ -86,6 +183,7 @@ impl std::fmt::Debug for CompiledCache {
             .field("len", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("singleflight_waits", &self.singleflight_waits())
             .finish()
     }
 }
@@ -100,20 +198,25 @@ impl CompiledCache {
     /// An empty, unbounded cache with no telemetry attached.
     pub fn new() -> Self {
         CompiledCache {
-            entries: Mutex::new(HashMap::new()),
-            sidecars: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            sidecars: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            count: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            singleflight_waits: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             max_entries: None,
             telemetry: Telemetry::disabled(),
+            #[cfg(test)]
+            compile_hook: Mutex::new(None),
         }
     }
 
     /// Bound the cache to at most `max` compiled circuits (clamped to at
-    /// least 1). Inserting past the bound evicts the least-recently-used
-    /// entry, along with its sidecars once no other entry shares its hash;
-    /// evictions count `ir_cache.evictions` on the attached telemetry.
+    /// least 1). Inserting past the bound evicts the globally
+    /// least-recently-used entry, along with its sidecars once no other
+    /// entry shares its hash; evictions count `ir_cache.evictions` on the
+    /// attached telemetry.
     #[must_use]
     pub fn with_max_entries(mut self, max: usize) -> Self {
         self.max_entries = Some(max.max(1));
@@ -121,15 +224,30 @@ impl CompiledCache {
     }
 
     /// Attach a telemetry handle; lookups count `ir_cache.hits` /
-    /// `ir_cache.misses` (and `ir_cache.sidecar_hits` / `_misses`) on it.
+    /// `ir_cache.misses` / `ir_cache.singleflight_waits` (and
+    /// `ir_cache.sidecar_hits` / `_misses`) on it.
     #[must_use]
     pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
         self.telemetry = tel.clone();
         self
     }
 
+    fn shard(&self, hash: u64) -> MutexGuard<'_, Shard> {
+        self.shards[hash as usize & (SHARDS - 1)]
+            .lock()
+            .expect("compiled cache poisoned")
+    }
+
+    fn sidecar_shard(&self, hash: u64) -> MutexGuard<'_, SidecarShard> {
+        self.sidecars[hash as usize & (SHARDS - 1)]
+            .lock()
+            .expect("sidecar cache poisoned")
+    }
+
     /// Rebuild the IR's circuit and return its compiled form, compiling at
-    /// most once per distinct canonical content.
+    /// most once per distinct canonical content — even under contention:
+    /// concurrent callers for the same content wait for the one in-flight
+    /// compilation instead of duplicating it, and are served as hits.
     ///
     /// The circuit is re-validated **before** the IR is hashed, on every
     /// call: [`Ir::to_circuit`] rejects dangling machine indices (among
@@ -143,97 +261,162 @@ impl CompiledCache {
         let circuit = ir.to_circuit()?;
         let canon = ir.canonical_bytes();
         let hash = super::fnv1a(&canon);
-        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
 
-        if let Some(found) = self
-            .entries
-            .lock()
-            .expect("compiled cache poisoned")
-            .get_mut(&hash)
-            .and_then(|bucket| bucket.iter_mut().find(|e| e.canon == canon))
-            .map(|e| {
-                e.last_used = stamp;
-                Arc::clone(&e.compiled)
-            })
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.telemetry.add("ir_cache.hits", 1);
-            return Ok(CacheOutcome {
-                hash,
-                hit: true,
-                circuit,
-                compiled: found,
-            });
-        }
-
-        let compiled = Arc::new(CompiledCircuit::compile(&circuit));
-        let mut entries = self.entries.lock().expect("compiled cache poisoned");
-        // A racing writer may have inserted while we compiled; keep theirs.
-        let compiled = match entries
-            .get_mut(&hash)
-            .and_then(|bucket| bucket.iter_mut().find(|e| e.canon == canon))
-        {
-            Some(e) => {
-                e.last_used = stamp;
-                Arc::clone(&e.compiled)
-            }
-            None => {
-                if let Some(cap) = self.max_entries {
-                    while entries.values().map(Vec::len).sum::<usize>() >= cap {
-                        self.evict_lru(&mut entries);
+        loop {
+            let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+            let flight = {
+                let mut shard = self.shard(hash);
+                if let Some(found) = shard
+                    .entries
+                    .get_mut(&hash)
+                    .and_then(|bucket| bucket.iter_mut().find(|e| e.canon == canon))
+                    .map(|e| {
+                        e.last_used = stamp;
+                        Arc::clone(&e.compiled)
+                    })
+                {
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.add("ir_cache.hits", 1);
+                    return Ok(CacheOutcome {
+                        hash,
+                        hit: true,
+                        circuit,
+                        compiled: found,
+                    });
+                }
+                match shard.flights.get(&hash) {
+                    // Same content is already compiling: join the flight.
+                    Some(f) if f.canon == canon => Some(Arc::clone(f)),
+                    // A different canon under the same 64-bit hash is
+                    // compiling (vanishingly rare): compile independently,
+                    // without registering a flight of our own.
+                    Some(_) => None,
+                    None => {
+                        let f = Arc::new(Flight::new(canon.clone()));
+                        shard.flights.insert(hash, Arc::clone(&f));
+                        None
                     }
                 }
-                entries.entry(hash).or_default().push(Entry {
-                    canon,
-                    compiled: Arc::clone(&compiled),
-                    last_used: stamp,
-                });
-                compiled
+            };
+
+            if let Some(flight) = flight {
+                self.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.add("ir_cache.singleflight_waits", 1);
+                flight.wait();
+                // The leader either inserted the entry (next iteration is
+                // a hit) or unwound (we race to become the new leader).
+                continue;
             }
-        };
-        drop(entries);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.telemetry.add("ir_cache.misses", 1);
-        Ok(CacheOutcome {
-            hash,
-            hit: false,
-            circuit,
-            compiled,
-        })
+
+            // We are the compile leader (or an independent hash-collision
+            // compile). The guard wakes waiters even if compile panics.
+            let guard = {
+                let shard = self.shard(hash);
+                shard
+                    .flights
+                    .get(&hash)
+                    .filter(|f| f.canon == canon)
+                    .map(|f| FlightGuard {
+                        cache: self,
+                        hash,
+                        flight: Arc::clone(f),
+                    })
+            };
+            #[cfg(test)]
+            if let Some(hook) = &*self.compile_hook.lock().expect("hook poisoned") {
+                hook();
+            }
+            let compiled = Arc::new(CompiledCircuit::compile(&circuit));
+            let compiled = {
+                let mut shard = self.shard(hash);
+                // A racing hash-collision compile of the same canon may
+                // have inserted while we worked; keep theirs.
+                match shard
+                    .entries
+                    .get_mut(&hash)
+                    .and_then(|bucket| bucket.iter_mut().find(|e| e.canon == canon))
+                {
+                    Some(e) => {
+                        e.last_used = stamp;
+                        Arc::clone(&e.compiled)
+                    }
+                    None => {
+                        shard.entries.entry(hash).or_default().push(Entry {
+                            canon,
+                            compiled: Arc::clone(&compiled),
+                            last_used: stamp,
+                        });
+                        self.count.fetch_add(1, Ordering::Relaxed);
+                        compiled
+                    }
+                }
+            };
+            drop(guard);
+            if let Some(cap) = self.max_entries {
+                self.enforce_cap(cap);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.telemetry.add("ir_cache.misses", 1);
+            return Ok(CacheOutcome {
+                hash,
+                hit: false,
+                circuit,
+                compiled,
+            });
+        }
     }
 
-    /// Remove the least-recently-used entry; once its hash bucket empties,
-    /// drop the hash's sidecars too (no live entry can reach them).
-    fn evict_lru(&self, entries: &mut HashMap<u64, Vec<Entry>>) {
-        let victim = entries
-            .iter()
-            .flat_map(|(&h, bucket)| {
-                bucket.iter().enumerate().map(move |(i, e)| (e.last_used, h, i))
-            })
-            .min()
-            .map(|(_, h, i)| (h, i));
-        let Some((h, i)) = victim else { return };
-        let bucket = entries.get_mut(&h).expect("victim bucket exists");
-        bucket.remove(i);
-        if bucket.is_empty() {
-            entries.remove(&h);
-            self.sidecars
-                .lock()
-                .expect("sidecar cache poisoned")
-                .retain(|&(sh, _), _| sh != h);
+    /// Evict globally least-recently-used entries until at most `cap`
+    /// remain. Locks every shard (in index order — the only multi-shard
+    /// lock path, so it cannot deadlock against single-shard users); once a
+    /// victim's hash bucket empties, its sidecars go too.
+    fn enforce_cap(&self, cap: usize) {
+        if self.count.load(Ordering::Relaxed) <= cap {
+            return;
         }
-        self.telemetry.add("ir_cache.evictions", 1);
+        let mut shards: Vec<MutexGuard<'_, Shard>> = self
+            .shards
+            .iter()
+            .map(|m| m.lock().expect("compiled cache poisoned"))
+            .collect();
+        loop {
+            let total: usize = shards
+                .iter()
+                .map(|s| s.entries.values().map(Vec::len).sum::<usize>())
+                .sum();
+            self.count.store(total, Ordering::Relaxed);
+            if total <= cap {
+                return;
+            }
+            let victim = shards
+                .iter()
+                .enumerate()
+                .flat_map(|(si, shard)| {
+                    shard.entries.iter().flat_map(move |(&h, bucket)| {
+                        bucket
+                            .iter()
+                            .enumerate()
+                            .map(move |(i, e)| (e.last_used, si, h, i))
+                    })
+                })
+                .min();
+            let Some((_, si, h, i)) = victim else { return };
+            let bucket = shards[si].entries.get_mut(&h).expect("victim bucket exists");
+            bucket.remove(i);
+            self.count.fetch_sub(1, Ordering::Relaxed);
+            if bucket.is_empty() {
+                shards[si].entries.remove(&h);
+                self.sidecar_shard(h).retain(|&(sh, _), _| sh != h);
+            }
+            self.telemetry.add("ir_cache.evictions", 1);
+        }
     }
 
     /// A typed artifact previously stored for `hash` (e.g. an analog
     /// template bank), if present.
     pub fn sidecar<T: Any + Send + Sync>(&self, hash: u64) -> Option<Arc<T>> {
-        let got = self
-            .sidecars
-            .lock()
-            .expect("sidecar cache poisoned")
-            .get(&(hash, TypeId::of::<T>()))
-            .cloned();
+        let got = self.sidecar_shard(hash).get(&(hash, TypeId::of::<T>())).cloned();
         match got {
             Some(v) => {
                 self.telemetry.add("ir_cache.sidecar_hits", 1);
@@ -249,19 +432,22 @@ impl CompiledCache {
     /// Store a typed artifact under `hash`, replacing any previous value of
     /// the same type.
     pub fn put_sidecar<T: Any + Send + Sync>(&self, hash: u64, value: Arc<T>) {
-        self.sidecars
-            .lock()
-            .expect("sidecar cache poisoned")
+        self.sidecar_shard(hash)
             .insert((hash, TypeId::of::<T>()), value);
     }
 
     /// Number of distinct compiled circuits held.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("compiled cache poisoned")
-            .values()
-            .map(Vec::len)
+        self.shards
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .expect("compiled cache poisoned")
+                    .entries
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -270,26 +456,42 @@ impl CompiledCache {
         self.len() == 0
     }
 
-    /// Total cache hits since construction.
+    /// Total cache hits since construction (including single-flight waiters
+    /// served the leader's entry).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Total cache misses (compilations) since construction.
+    /// Total cache misses (compilations) since construction. Under
+    /// single-flight, concurrent requests for the same content cost one
+    /// miss total.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Times a caller blocked on another caller's in-flight compilation of
+    /// the same content instead of compiling it again.
+    pub fn singleflight_waits(&self) -> u64 {
+        self.singleflight_waits.load(Ordering::Relaxed)
+    }
+
+    /// Install a function the compile leader runs before compiling (tests
+    /// hold the compile open to force single-flight waits).
+    #[cfg(test)]
+    fn set_compile_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        *self.compile_hook.lock().expect("hook poisoned") = Some(hook);
+    }
+
     /// Drop every entry and sidecar (counters are kept).
     pub fn clear(&self) {
-        self.entries
-            .lock()
-            .expect("compiled cache poisoned")
-            .clear();
-        self.sidecars
-            .lock()
-            .expect("sidecar cache poisoned")
-            .clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("compiled cache poisoned");
+            shard.entries.clear();
+        }
+        for shard in &self.sidecars {
+            shard.lock().expect("sidecar cache poisoned").clear();
+        }
+        self.count.store(0, Ordering::Relaxed);
     }
 }
 
@@ -297,6 +499,7 @@ impl CompiledCache {
 mod tests {
     use super::super::tests_support::small_jtl_ir;
     use super::*;
+    use std::sync::Barrier;
 
     #[test]
     fn hit_after_miss_shares_the_compiled_tables() {
@@ -311,6 +514,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a.compiled, &b.compiled));
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.singleflight_waits(), 0);
         let report = tel.report();
         assert_eq!(report.counter("ir_cache.hits"), 1);
         assert_eq!(report.counter("ir_cache.misses"), 1);
@@ -394,5 +598,150 @@ mod tests {
         cache.clear();
         assert!(cache.sidecar::<Vec<u32>>(hash).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn single_flight_compiles_once_under_contention() {
+        // The compile hook holds the leader inside the compile until every
+        // other thread has reached the cache, so all N-1 of them MUST find
+        // the in-flight marker and wait — making the wait count exact, not
+        // timing-dependent.
+        const THREADS: usize = 4;
+        let tel = Telemetry::new();
+        let cache = Arc::new(CompiledCache::new().with_telemetry(&tel));
+        let in_compile = Arc::new(Barrier::new(THREADS));
+        {
+            let in_compile = Arc::clone(&in_compile);
+            cache.set_compile_hook(Box::new(move || {
+                in_compile.wait();
+                // Give the waiters time to move from the barrier into the
+                // flight wait (they hold no lock the leader needs).
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }));
+        }
+        let ir = small_jtl_ir();
+        let outcomes: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|i| {
+                    let cache = Arc::clone(&cache);
+                    let ir = ir.clone();
+                    let in_compile = Arc::clone(&in_compile);
+                    s.spawn(move || {
+                        if i != 0 {
+                            // Wait until the leader is provably mid-compile.
+                            in_compile.wait();
+                        }
+                        cache.get_or_compile(&ir).unwrap().hit
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.misses(), 1, "compile ran exactly once");
+        assert_eq!(cache.hits(), THREADS as u64 - 1);
+        assert_eq!(cache.singleflight_waits(), THREADS as u64 - 1);
+        assert_eq!(outcomes.iter().filter(|hit| !**hit).count(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            tel.report().counter("ir_cache.singleflight_waits"),
+            THREADS as u64 - 1
+        );
+    }
+
+    #[test]
+    fn concurrent_distinct_compiles_respect_the_entry_cap() {
+        const THREADS: usize = 8;
+        const CAP: usize = 3;
+        let cache = Arc::new(CompiledCache::new().with_max_entries(CAP));
+        let base = small_jtl_ir();
+        let start = Arc::new(Barrier::new(THREADS));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let start = Arc::clone(&start);
+                let mut ir = base.clone();
+                if let super::super::IrNode::Source { pulses } = &mut ir.nodes[0] {
+                    for p in pulses.iter_mut() {
+                        *p += t as f64;
+                    }
+                }
+                s.spawn(move || {
+                    start.wait();
+                    for _ in 0..3 {
+                        let got = cache.get_or_compile(&ir).unwrap();
+                        assert_eq!(got.hash, ir.content_hash());
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= CAP, "cap holds after concurrent churn");
+        assert!(cache.misses() >= THREADS as u64, "each distinct IR compiled");
+        assert_eq!(cache.count.load(Ordering::Relaxed), cache.len());
+    }
+
+    #[test]
+    fn concurrent_same_hash_waiters_all_get_working_artifacts() {
+        // No hook: rely on a barrier for best-effort contention and assert
+        // the invariants that must hold at ANY interleaving — one entry,
+        // hits + misses == calls, every outcome shares the same tables.
+        const THREADS: usize = 8;
+        let cache = Arc::new(CompiledCache::new());
+        let ir = small_jtl_ir();
+        let start = Arc::new(Barrier::new(THREADS));
+        let compiled: Vec<Arc<CompiledCircuit>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let ir = ir.clone();
+                    let start = Arc::clone(&start);
+                    s.spawn(move || {
+                        start.wait();
+                        cache.get_or_compile(&ir).unwrap().compiled
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), THREADS as u64);
+        assert_eq!(cache.misses(), 1, "single-flight deduped the compile");
+        for c in &compiled {
+            assert!(Arc::ptr_eq(c, &compiled[0]), "all callers share one artifact");
+        }
+    }
+
+    #[test]
+    fn sidecars_preloaded_concurrently_account_hits_per_shard() {
+        let tel = Telemetry::new();
+        let cache = Arc::new(CompiledCache::new().with_telemetry(&tel));
+        let base = small_jtl_ir();
+        let irs: Vec<_> = (0..6)
+            .map(|t| {
+                let mut ir = base.clone();
+                if let super::super::IrNode::Source { pulses } = &mut ir.nodes[0] {
+                    for p in pulses.iter_mut() {
+                        *p += t as f64;
+                    }
+                }
+                ir
+            })
+            .collect();
+        for ir in &irs {
+            cache.put_sidecar(ir.content_hash(), Arc::new(ir.content_hash()));
+        }
+        std::thread::scope(|s| {
+            for ir in &irs {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    let hash = ir.content_hash();
+                    let got = cache.sidecar::<u64>(hash).expect("preloaded");
+                    assert_eq!(*got, hash, "sidecar shards never cross wires");
+                    assert!(cache.sidecar::<String>(hash).is_none());
+                });
+            }
+        });
+        let report = tel.report();
+        assert_eq!(report.counter("ir_cache.sidecar_hits"), 6);
+        assert_eq!(report.counter("ir_cache.sidecar_misses"), 6);
     }
 }

@@ -50,8 +50,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod obs;
+mod sched;
 
-pub use obs::{prometheus_text_for, AccessRecord, ObserveOptions, Observer};
+pub use obs::{
+    prometheus_text_for, prometheus_text_for_with_sched, AccessRecord, ObserveOptions, Observer,
+    SchedStats,
+};
 
 use rlse_core::ir::json::JsonValue;
 use rlse_core::ir::{CompiledCache, Ir, IrQuery};
@@ -74,9 +78,15 @@ pub struct ServeOptions {
     /// Largest simulation time horizon (`until`) in ps; `simulate` requests
     /// without an explicit horizon inherit it when finite.
     pub max_until: f64,
-    /// Worker threads for sweeps and the model checker (0 = available
-    /// parallelism). Thread count never changes response bytes.
+    /// Worker threads for the engines *inside* one request — sweeps and
+    /// the model checker (0 = let the governor split the host between
+    /// request workers; see [`Server::new`]). Thread count never changes
+    /// response bytes.
     pub threads: usize,
+    /// Concurrent request workers (0 = available parallelism). Responses
+    /// are emitted strictly in input order and are byte-identical at any
+    /// worker count; see [`Server::serve_observed`].
+    pub workers: usize,
     /// Compiled-cache entry cap (0 = unbounded). A long-lived server fed
     /// many distinct circuits would otherwise grow without limit; overflow
     /// evicts least-recently-used entries, which only affects the summary's
@@ -92,6 +102,7 @@ impl Default for ServeOptions {
             max_seconds: 600.0,
             max_until: f64::INFINITY,
             threads: 0,
+            workers: 1,
             max_cache_entries: 1024,
         }
     }
@@ -231,6 +242,14 @@ impl ServeSummary {
 pub struct Server {
     cache: CompiledCache,
     opts: ServeOptions,
+    /// Resolved request-worker count (the governor ran at construction).
+    workers: usize,
+    /// Resolved per-request engine thread count (never 0 — two concurrent
+    /// requests must not each claim every core).
+    engine_threads: usize,
+    /// Deterministic serial-replay of cache hit/miss outcomes for the
+    /// access log; see `sched`'s module docs.
+    hit_model: std::sync::Mutex<sched::HitModel>,
 }
 
 /// An internal request failure, rendered as an `"ok":false` response line.
@@ -364,17 +383,59 @@ fn hex_hash(hash: u64) -> JsonValue {
 
 impl Server {
     /// A server with the given budgets and an empty compiled cache.
+    ///
+    /// The **thread-budget governor** runs here, once, so concurrent
+    /// requests can't each claim the whole host: with `H` hardware threads,
+    /// `workers = 0` resolves to `H` request workers, and `threads = 0`
+    /// resolves to `max(1, H / workers)` engine threads per request —
+    /// `workers × engine_threads ≈ H`. Explicit non-zero values are
+    /// honored verbatim (deliberate oversubscription stays possible). The
+    /// defaults (`workers = 1`, `threads = 0`) reproduce the historical
+    /// serial behaviour: one request at a time, each using every core.
     pub fn new(opts: ServeOptions) -> Self {
         let cache = match opts.max_cache_entries {
             0 => CompiledCache::new(),
             cap => CompiledCache::new().with_max_entries(cap),
         };
-        Server { cache, opts }
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = if opts.workers == 0 { host } else { opts.workers };
+        let engine_threads = if opts.threads == 0 {
+            (host / workers).max(1)
+        } else {
+            opts.threads
+        };
+        let hit_model = std::sync::Mutex::new(sched::HitModel::new(match opts.max_cache_entries {
+            0 => None,
+            cap => Some(cap),
+        }));
+        Server {
+            cache,
+            opts,
+            workers,
+            engine_threads,
+            hit_model,
+        }
     }
 
     /// The shared compiled-artifact cache (for tests and embedding).
     pub fn cache(&self) -> &CompiledCache {
         &self.cache
+    }
+
+    /// Resolved request-worker count (after the governor's 0 → available
+    /// parallelism substitution).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Resolved per-request engine thread count (after the governor's
+    /// split; never 0).
+    pub fn engine_threads(&self) -> usize {
+        self.engine_threads
+    }
+
+    pub(crate) fn hit_model(&self) -> std::sync::MutexGuard<'_, sched::HitModel> {
+        self.hit_model.lock().expect("hit model poisoned")
     }
 
     /// Current accounting. `requests`/`errors` only advance through
@@ -473,6 +534,8 @@ impl Server {
             run_us,
             encode_us,
             total_us: elapsed_us(t_total),
+            queue_us: 0,
+            reorder_us: 0,
         };
         (response, rec, ctx.tel)
     }
@@ -486,7 +549,7 @@ impl Server {
     /// in-band.
     pub fn serve_reader(
         &self,
-        input: impl BufRead,
+        input: impl BufRead + Send,
         output: impl Write,
     ) -> std::io::Result<ServeSummary> {
         self.serve_observed(input, output, &mut Observer::disabled())
@@ -495,37 +558,24 @@ impl Server {
     /// [`serve_reader`](Self::serve_reader) with out-of-band observability:
     /// each request is appended to the observer's access log and latency
     /// histograms, slow requests dump Chrome traces, and the metrics file
-    /// is rewritten at the configured stride and at end of batch. Response
-    /// bytes are identical to the unobserved path.
+    /// is rewritten at the configured stride, on writer idle, and at end
+    /// of batch. Response bytes are identical to the unobserved path.
+    ///
+    /// Requests are handled by [`workers`](Self::workers) concurrent
+    /// request workers behind an in-order reorder buffer (internals in
+    /// DESIGN.md §16): responses and access records are emitted strictly
+    /// in input order, byte-identical at any worker count.
     ///
     /// # Errors
     ///
     /// I/O errors from `input`/`output` or from the observer's sinks.
     pub fn serve_observed(
         &self,
-        input: impl BufRead,
-        mut output: impl Write,
+        input: impl BufRead + Send,
+        output: impl Write,
         observer: &mut Observer,
     ) -> std::io::Result<ServeSummary> {
-        let mut summary = ServeSummary::default();
-        for line in input.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let (response, mut rec, tel) = self.handle_recorded(&line);
-            rec.seq = observer.next_seq();
-            summary.absorb(&rec);
-            observer.observe(&rec, &tel)?;
-            if observer.metrics_due() {
-                observer.flush(self.cache.hits(), self.cache.misses())?;
-            }
-            writeln!(output, "{response}")?;
-        }
-        summary.cache_hits = self.cache.hits();
-        summary.cache_misses = self.cache.misses();
-        observer.flush(self.cache.hits(), self.cache.misses())?;
-        Ok(summary)
+        sched::serve_pipeline(self, input, output, observer, self.workers)
     }
 
     /// Parse the request's `"ir"` field and resolve it through the cache,
@@ -626,7 +676,7 @@ impl Server {
         })
         .trials(trials)
         .master_seed(seed)
-        .threads(self.opts.threads)
+        .threads(self.engine_threads)
         .telemetry(&ctx.tel);
         if until.is_finite() {
             sweep = sweep.until(until);
@@ -693,7 +743,7 @@ impl Server {
         let sigmas = axis("sigmas")?;
         let scales = axis("scales")?;
         let mut opts = rlse_designs::ShmooOptions {
-            threads: self.opts.threads,
+            threads: self.engine_threads,
             ..Default::default()
         };
         if let Some(t) = req.get("trials").and_then(JsonValue::as_f64) {
@@ -766,7 +816,7 @@ impl Server {
         let mc_opts = McOptions {
             max_states,
             max_seconds,
-            threads: self.opts.threads,
+            threads: self.engine_threads,
         };
         let tr = translate_circuit(&outcome.circuit)?;
         let queries: Vec<IrQuery> = if ir.queries.is_empty() {
@@ -849,6 +899,63 @@ pub fn fixture_requests() -> String {
          \"max_states\":200000,\"ir\":{}}}\n",
         ir_line(&ir)
     ));
+    out
+}
+
+/// A deterministically generated mixed corpus for the differential
+/// concurrency tests and the `serve_throughput` benchmark: `n` JSON request
+/// lines cycling through every request kind, with only four distinct IR
+/// documents behind all the circuit-bearing lines so duplicate content
+/// hashes interleave — concurrent workers pile onto the same cache entries
+/// and exercise single-flight compilation. Budgets are small enough that a
+/// 200-line corpus serves in seconds on one core.
+pub fn generated_requests(n: usize) -> String {
+    let irs: Vec<String> = [("min_max", 1.0), ("min_max", 2.0), ("race_tree", 1.0)]
+        .iter()
+        .map(|(name, scale)| rlse_designs::design_ir(name, *scale).to_value().to_compact())
+        .collect();
+    let checked = rlse_designs::design_ir_with_expected_outputs("min_max", 1.0)
+        .to_value()
+        .to_compact();
+    let tenants = ["acme", "beta", ""];
+    let mut out = String::new();
+    for i in 0..n {
+        let tenant = tenants[i % tenants.len()];
+        let tenant_field = if tenant.is_empty() {
+            String::new()
+        } else {
+            format!("\"tenant\":\"{tenant}\",")
+        };
+        let ir = &irs[i % irs.len()];
+        let line = match i % 8 {
+            0 | 1 => {
+                format!("{{\"id\":\"sim-{i}\",\"kind\":\"simulate\",{tenant_field}\"ir\":{ir}}}")
+            }
+            2 => format!(
+                "{{\"id\":\"sweep-{i}\",\"kind\":\"sweep\",{tenant_field}\"trials\":10,\
+                 \"seed\":{i},\"variability\":{{\"kind\":\"gaussian\",\"std\":0.2}},\"ir\":{ir}}}"
+            ),
+            3 => format!(
+                "{{\"id\":\"sweep-{i}\",\"kind\":\"sweep\",{tenant_field}\"trials\":8,\
+                 \"seed\":{i},\"check\":true,\"ir\":{checked}}}"
+            ),
+            4 => format!(
+                "{{\"id\":\"shmoo-{i}\",\"kind\":\"shmoo\",{tenant_field}\"design\":\"min_max\",\
+                 \"sigmas\":[0.0,0.4],\"scales\":[0.8,1.2],\"trials\":8,\"seed\":{i}}}"
+            ),
+            5 => format!(
+                "{{\"id\":\"mc-{i}\",\"kind\":\"model_check\",{tenant_field}\
+                 \"max_states\":50000,\"ir\":{ir}}}"
+            ),
+            6 => format!("{{\"id\":\"ping-{i}\",\"kind\":\"ping\",{tenant_field}\"probe\":true}}"),
+            _ => format!(
+                "{{\"id\":\"sim-{i}\",\"kind\":\"simulate\",{tenant_field}\"until\":5000,\
+                 \"ir\":{ir}}}"
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
     out
 }
 

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! rlse-serve [--input FILE] [--output FILE] [--repeat N] [--check-repeat]
-//!            [--emit-fixture] [--summary]
+//!            [--emit-fixture] [--emit-corpus N] [--summary]
 //!            [--max-trials N] [--max-states N] [--max-seconds S] [--threads N]
-//!            [--max-cache N]
+//!            [--workers N] [--max-cache N]
 //!            [--access-log FILE] [--metrics FILE] [--metrics-every N]
 //!            [--slow-trace-ms MS] [--trace-dir DIR]
 //! ```
@@ -14,11 +14,20 @@
 //! serves the whole request file N times through the same process (and one
 //! shared compiled cache); with `--check-repeat` the process exits nonzero
 //! unless every pass produced byte-identical responses. `--emit-fixture`
-//! prints the built-in fixture request corpus instead of serving.
-//! `--summary` prints end-of-run accounting (requests, errors, cache
-//! hits/misses, per-kind and per-tenant tallies) as one JSON line on
-//! stderr. `--max-cache N` caps the compiled cache at N entries with LRU
-//! eviction (0 = unbounded; default 1024).
+//! prints the built-in fixture request corpus instead of serving;
+//! `--emit-corpus N` prints the N-line generated mixed corpus. `--summary`
+//! prints end-of-run accounting (requests, errors, cache hits/misses,
+//! per-kind and per-tenant tallies) as one JSON line on stderr.
+//! `--max-cache N` caps the compiled cache at N entries with LRU eviction
+//! (0 = unbounded; default 1024).
+//!
+//! `--workers N` serves requests through N concurrent request workers
+//! (0 = available parallelism; default 1). Responses still come out
+//! strictly in input order and are byte-identical at any worker count; the
+//! thread governor splits the host between request workers and per-request
+//! engine threads when `--threads` is left at 0. At `--repeat 1` input and
+//! output stream — responses emerge as requests arrive, so the CLI can sit
+//! on a long-poll pipe.
 //!
 //! Observability (all out-of-band — response bytes never change):
 //! `--access-log FILE` appends one JSON line per request (tenant, kind,
@@ -29,8 +38,8 @@
 //! request at least MS milliseconds of wall clock into `--trace-dir`
 //! (default `traces`); `--slow-trace-ms 0` traces every request.
 
-use rlse_serve::{fixture_requests, ObserveOptions, Observer, ServeOptions, Server};
-use std::io::{BufReader, Read, Write};
+use rlse_serve::{fixture_requests, generated_requests, ObserveOptions, Observer, ServeOptions, Server};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 
 struct Args {
@@ -39,6 +48,7 @@ struct Args {
     repeat: u32,
     check_repeat: bool,
     emit_fixture: bool,
+    emit_corpus: Option<usize>,
     summary: bool,
     opts: ServeOptions,
     obs: ObserveOptions,
@@ -51,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         repeat: 1,
         check_repeat: false,
         emit_fixture: false,
+        emit_corpus: None,
         summary: false,
         opts: ServeOptions::default(),
         obs: ObserveOptions::default(),
@@ -70,6 +81,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--check-repeat" => args.check_repeat = true,
             "--emit-fixture" => args.emit_fixture = true,
+            "--emit-corpus" => {
+                args.emit_corpus = Some(
+                    value("--emit-corpus")?
+                        .parse()
+                        .map_err(|e| format!("--emit-corpus: {e}"))?,
+                );
+            }
             "--summary" => args.summary = true,
             "--max-trials" => {
                 args.opts.max_trials = value("--max-trials")?
@@ -90,6 +108,11 @@ fn parse_args() -> Result<Args, String> {
                 args.opts.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--workers" => {
+                args.opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
             }
             "--max-cache" => {
                 args.opts.max_cache_entries = value("--max-cache")?
@@ -131,6 +154,39 @@ fn run() -> Result<bool, String> {
         print!("{}", fixture_requests());
         return Ok(true);
     }
+    if let Some(n) = args.emit_corpus {
+        print!("{}", generated_requests(n));
+        return Ok(true);
+    }
+
+    let server = Server::new(args.opts);
+    let mut observer =
+        Observer::from_options(&args.obs).map_err(|e| format!("opening observability sinks: {e}"))?;
+
+    if args.repeat == 1 {
+        // Single pass: stream. Responses emerge as requests arrive, and a
+        // stalled input pipe triggers idle metrics flushes instead of
+        // blocking before serving begins.
+        let input: Box<dyn BufRead + Send> = match &args.input {
+            Some(path) => Box::new(BufReader::new(
+                std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?,
+            )),
+            None => Box::new(BufReader::new(std::io::stdin())),
+        };
+        let output: Box<dyn Write> = match &args.output {
+            Some(path) => Box::new(
+                std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+            ),
+            None => Box::new(std::io::stdout().lock()),
+        };
+        let summary = server
+            .serve_observed(input, output, &mut observer)
+            .map_err(|e| format!("serving: {e}"))?;
+        if args.summary {
+            eprintln!("{}", summary.to_json());
+        }
+        return Ok(true);
+    }
 
     let requests = match &args.input {
         Some(path) => {
@@ -145,9 +201,6 @@ fn run() -> Result<bool, String> {
         }
     };
 
-    let server = Server::new(args.opts);
-    let mut observer =
-        Observer::from_options(&args.obs).map_err(|e| format!("opening observability sinks: {e}"))?;
     let mut passes: Vec<Vec<u8>> = Vec::with_capacity(args.repeat as usize);
     let mut summary = Default::default();
     for _ in 0..args.repeat {

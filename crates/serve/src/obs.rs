@@ -62,6 +62,12 @@ pub struct AccessRecord {
     pub encode_us: u64,
     /// Wall-clock micros for the whole request.
     pub total_us: u64,
+    /// Wall-clock micros between the reader thread enqueuing the request
+    /// and a scheduler worker picking it up.
+    pub queue_us: u64,
+    /// Wall-clock micros the finished response waited in the reorder
+    /// buffer for earlier-sequence requests to complete.
+    pub reorder_us: u64,
 }
 
 impl AccessRecord {
@@ -123,11 +129,36 @@ impl AccessRecord {
             ("run_us", self.run_us),
             ("encode_us", self.encode_us),
             ("total_us", self.total_us),
+            ("queue_us", self.queue_us),
+            ("reorder_us", self.reorder_us),
         ] {
             fields.push((key.into(), JsonValue::Num(v as f64)));
         }
         JsonValue::Obj(fields).to_compact()
     }
+}
+
+/// Point-in-time scheduler statistics, exposed as out-of-band gauges in
+/// the metrics file. All of it is operational (timing- and
+/// scheduling-dependent) data that never reaches a response line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Resolved request-level worker count serving this process.
+    pub workers: u64,
+    /// Engine threads granted to each in-flight request by the thread
+    /// governor.
+    pub engine_threads: u64,
+    /// Peak depth of the parsed-request input queue.
+    pub queue_depth_peak: u64,
+    /// Peak number of finished responses parked in the reorder buffer
+    /// waiting for an earlier-sequence request.
+    pub reorder_depth_peak: u64,
+    /// Times a request blocked on another request's in-flight compilation
+    /// of the same circuit instead of compiling it again.
+    pub singleflight_waits: u64,
+    /// Metrics rewrites triggered by writer-thread idleness (a stalled
+    /// input stream) rather than the request stride or end of batch.
+    pub idle_flushes: u64,
 }
 
 /// Where the out-of-band streams go. Everything defaults to off; the plain
@@ -161,9 +192,15 @@ pub struct Observer {
     slow_trace_us: Option<u64>,
     trace_dir: Option<PathBuf>,
     seq: u64,
+    /// Requests folded through [`observe`](Observer::observe); drives the
+    /// `metrics_every` stride (the sequence counter can no longer serve —
+    /// sequence numbers are assigned at read time, observations happen at
+    /// emission time).
+    observed: u64,
     traces_written: u64,
     hists: BTreeMap<String, Histogram>,
     summary: ServeSummary,
+    sched: SchedStats,
 }
 
 impl std::fmt::Debug for Observer {
@@ -188,9 +225,11 @@ impl Observer {
             slow_trace_us: None,
             trace_dir: None,
             seq: 0,
+            observed: 0,
             traces_written: 0,
             hists: BTreeMap::new(),
             summary: ServeSummary::default(),
+            sched: SchedStats::default(),
         }
     }
 
@@ -233,6 +272,7 @@ impl Observer {
     /// phase timings into the latency histograms, update the cumulative
     /// summary, and dump a slow trace when the threshold is met.
     pub(crate) fn observe(&mut self, rec: &AccessRecord, tel: &Telemetry) -> io::Result<()> {
+        self.observed += 1;
         self.summary.absorb(rec);
         if let Some(w) = &mut self.access {
             writeln!(w, "{}", rec.to_json())?;
@@ -243,6 +283,8 @@ impl Observer {
                 ("cache", rec.cache_us),
                 ("encode", rec.encode_us),
                 ("total", rec.total_us),
+                ("queue", rec.queue_us),
+                ("reorder", rec.reorder_us),
             ] {
                 self.hists.entry(name.to_string()).or_default().record(v);
             }
@@ -265,12 +307,29 @@ impl Observer {
         Ok(())
     }
 
-    /// True after a request whose sequence number hits the `metrics_every`
-    /// stride (never at stride 0).
+    /// True after a request whose observation count hits the
+    /// `metrics_every` stride (never at stride 0).
     pub(crate) fn metrics_due(&self) -> bool {
         self.metrics_path.is_some()
             && self.metrics_every > 0
-            && self.seq.is_multiple_of(self.metrics_every)
+            && self.observed.is_multiple_of(self.metrics_every)
+    }
+
+    /// True when a metrics sink is configured at all (the idle-flush path
+    /// checks before bothering).
+    pub(crate) fn wants_metrics(&self) -> bool {
+        self.metrics_path.is_some()
+    }
+
+    /// Requests folded so far (drives idle-flush staleness tracking).
+    pub(crate) fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Replace the scheduler statistics carried in the next metrics
+    /// rewrite.
+    pub(crate) fn set_sched_stats(&mut self, sched: SchedStats) {
+        self.sched = sched;
     }
 
     /// Rewrite the metrics file from the cumulative summary (with the
@@ -285,7 +344,10 @@ impl Observer {
             self.summary.cache_misses = cache_misses;
             let hists: Vec<(String, Histogram)> =
                 self.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-            std::fs::write(path, prometheus_text_for(&self.summary, &hists))?;
+            std::fs::write(
+                path,
+                prometheus_text_for_with_sched(&self.summary, &hists, &self.sched),
+            )?;
         }
         Ok(())
     }
@@ -304,6 +366,12 @@ impl Observer {
     pub fn traces_written(&self) -> u64 {
         self.traces_written
     }
+
+    /// The scheduler statistics carried in the metrics exposition (zeroed
+    /// until a serve pass updates them).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched
+    }
 }
 
 /// Escape a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
@@ -321,12 +389,23 @@ fn prom_escape(s: &str) -> String {
     out
 }
 
-/// Render a [`ServeSummary`] plus phase-latency histograms as Prometheus
-/// text format (version 0.0.4). Pure function of its inputs — the golden
-/// test pins the exact bytes — and deterministic: maps are name-sorted and
-/// histogram buckets are emitted in increasing-bound order with cumulative
-/// counts, `+Inf`, `_sum`, and `_count` series.
+/// [`prometheus_text_for_with_sched`] with zeroed scheduler statistics —
+/// the exposition for embedders that never ran the request scheduler.
 pub fn prometheus_text_for(summary: &ServeSummary, hists: &[(String, Histogram)]) -> String {
+    prometheus_text_for_with_sched(summary, hists, &SchedStats::default())
+}
+
+/// Render a [`ServeSummary`], phase-latency histograms, and scheduler
+/// statistics as Prometheus text format (version 0.0.4). Pure function of
+/// its inputs — the golden test pins the exact bytes — and deterministic:
+/// maps are name-sorted and histogram buckets are emitted in
+/// increasing-bound order with cumulative counts, `+Inf`, `_sum`, and
+/// `_count` series.
+pub fn prometheus_text_for_with_sched(
+    summary: &ServeSummary,
+    hists: &[(String, Histogram)],
+    sched: &SchedStats,
+) -> String {
     let mut out = String::new();
     let counter = |out: &mut String, name: &str, help: &str, v: u64| {
         out.push_str(&format!(
@@ -458,5 +537,47 @@ pub fn prometheus_text_for(summary: &ServeSummary, hists: &[(String, Histogram)]
             ));
         }
     }
+
+    let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+        ));
+    };
+    gauge(
+        &mut out,
+        "rlse_sched_workers",
+        "Request-level scheduler workers serving this process.",
+        sched.workers,
+    );
+    gauge(
+        &mut out,
+        "rlse_sched_engine_threads",
+        "Engine threads the governor grants each in-flight request.",
+        sched.engine_threads,
+    );
+    gauge(
+        &mut out,
+        "rlse_sched_queue_depth_peak",
+        "Peak depth of the parsed-request input queue.",
+        sched.queue_depth_peak,
+    );
+    gauge(
+        &mut out,
+        "rlse_sched_reorder_depth_peak",
+        "Peak responses parked in the reorder buffer.",
+        sched.reorder_depth_peak,
+    );
+    counter(
+        &mut out,
+        "rlse_cache_singleflight_waits_total",
+        "Requests that waited on an in-flight compilation of the same circuit.",
+        sched.singleflight_waits,
+    );
+    counter(
+        &mut out,
+        "rlse_sched_idle_flushes_total",
+        "Metrics rewrites triggered by writer-thread idleness.",
+        sched.idle_flushes,
+    );
     out
 }

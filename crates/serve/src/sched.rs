@@ -1,0 +1,414 @@
+//! The deterministic concurrent request pipeline behind
+//! [`Server::serve_observed`](crate::Server::serve_observed).
+//!
+//! ```text
+//!            ┌────────┐   bounded    ┌──────────┐  completion   ┌───────────┐
+//!  input ──▶ │ reader │ ──────────▶  │ worker×N │ ────────────▶ │ collector │ ──▶ output
+//!            │ thread │    queue     │   pool   │    channel    │ (reorder) │
+//!            └────────┘              └──────────┘               └───────────┘
+//! ```
+//!
+//! * The **reader thread** pulls request lines off the input, stamps each
+//!   with its input index, and pushes into a bounded queue (backpressure:
+//!   a slow pool blocks the reader, not memory).
+//! * **Workers** (the `--workers` pool) pop lines and run the ordinary
+//!   [`handle_recorded`](crate::Server::handle_recorded) handler — the same
+//!   code the serial path runs — against the shared single-flight
+//!   [`CompiledCache`](rlse_core::ir::CompiledCache).
+//! * The **collector** (the calling thread) holds a sequence-stamped
+//!   reorder buffer and emits each response *strictly in input order*, so
+//!   the output byte stream at any worker count is identical to one worker
+//!   — and to the historical serial loop, because each response line
+//!   depends only on its own request line (PR 8's determinism contract).
+//!
+//! ## Determinism
+//!
+//! Response bytes are trivially order-independent (per-request purity);
+//! the subtle part is the **access log**. Records are also emitted from
+//! the reorder buffer in input order, and the one genuinely racy field —
+//! did this request hit the compiled cache? — is replaced by the verdict
+//! of a deterministic replay model ([`HitModel`]): an LRU set with the
+//! same capacity as the real cache, fed in input order. In serial
+//! operation the model's verdict equals the real outcome exactly; under
+//! concurrency it reports the canonical serial-equivalent verdict (the
+//! lowest-sequence request for a circuit is the miss) even when a
+//! later-sequence request happened to win the compile race. The real
+//! cache's aggregate traffic is still reported out-of-band in the summary
+//! and metrics, where totals — which single-flight keeps deterministic —
+//! matter but per-request attribution does not. Under eviction pressure
+//! (more distinct circuits in flight than `--max-cache`), concurrent
+//! eviction order may diverge from the model; the model stays the
+//! deterministic reference.
+//!
+//! Wall-clock phase fields (`queue_us`, `reorder_us`, …) remain
+//! nondeterministic and live only under `*_us` keys, which every
+//! downstream consumer already strips.
+
+use crate::obs::SchedStats;
+use crate::{Observer, ServeSummary, Server};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the collector waits for a completion before treating the
+/// writer as idle and refreshing the metrics file (so a stalled input
+/// stream doesn't leave stale metrics for long-poll deployments).
+const IDLE_FLUSH: Duration = Duration::from_millis(250);
+
+/// Bound on the parsed-request queue, per worker: deep enough to keep the
+/// pool busy across uneven request costs, shallow enough to backpressure
+/// the reader instead of buffering an unbounded stream.
+const QUEUE_DEPTH_PER_WORKER: usize = 4;
+
+/// A parsed request line travelling from the reader to a worker.
+struct Job {
+    idx: u64,
+    line: String,
+    enqueued: Instant,
+}
+
+/// A finished request travelling from a worker to the collector.
+struct Done {
+    idx: u64,
+    response: String,
+    rec: crate::AccessRecord,
+    tel: rlse_core::telemetry::Telemetry,
+    finished: Instant,
+}
+
+/// A minimal bounded MPMC queue (mutex + condvars): the reader blocks when
+/// full, workers block when empty, and `close` drains-then-terminates.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    cap: usize,
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                cap: cap.max(1),
+                peak: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Block until there is room, then enqueue. Returns `false` if the
+    /// queue was closed underneath us (an aborting collector).
+    fn push(&self, item: T) -> bool {
+        let mut st = self.inner.lock().expect("queue poisoned");
+        while st.items.len() >= st.cap && !st.closed {
+            st = self.not_full.wait(st).expect("queue poisoned");
+        }
+        if st.closed {
+            return false;
+        }
+        st.items.push_back(item);
+        st.peak = st.peak.max(st.items.len());
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Block until an item is available; `None` once the queue is closed
+    /// *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut st = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Stop accepting pushes; blocked producers and (after the drain)
+    /// consumers wake.
+    fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Drop queued items and close (the abort path).
+    fn abort(&self) {
+        let mut st = self.inner.lock().expect("queue poisoned");
+        st.items.clear();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn peak(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").peak
+    }
+}
+
+/// Deterministic replay of the compiled cache's hit/miss behaviour, fed in
+/// input order by the collector: an LRU set of content hashes with the
+/// same capacity as the real cache. See the module docs for why the access
+/// log uses this instead of the racy per-request outcome.
+#[derive(Debug)]
+pub(crate) struct HitModel {
+    /// Capacity in distinct hashes; `None` = unbounded (cache uncapped).
+    cap: Option<usize>,
+    tick: u64,
+    last_used: HashMap<u64, u64>,
+}
+
+impl HitModel {
+    pub(crate) fn new(cap: Option<usize>) -> Self {
+        HitModel {
+            cap: cap.map(|c| c.max(1)),
+            tick: 0,
+            last_used: HashMap::new(),
+        }
+    }
+
+    /// Record an access to `hash` and report whether it was resident —
+    /// exactly the verdict a serial pass over the same stream would see.
+    pub(crate) fn touch(&mut self, hash: u64) -> bool {
+        self.tick += 1;
+        if self.last_used.insert(hash, self.tick).is_some() {
+            return true;
+        }
+        if let Some(cap) = self.cap {
+            while self.last_used.len() > cap {
+                let lru = self
+                    .last_used
+                    .iter()
+                    .min_by_key(|(_, &t)| t)
+                    .map(|(&h, _)| h)
+                    .expect("nonempty over cap");
+                self.last_used.remove(&lru);
+            }
+        }
+        false
+    }
+}
+
+/// Serve every non-blank line of `input` through `workers` concurrent
+/// request handlers, emitting responses (and access records) strictly in
+/// input order. This is the engine behind `serve_observed`; at
+/// `workers == 1` it degenerates to the historical serial behaviour with a
+/// prefetching reader thread.
+pub(crate) fn serve_pipeline(
+    server: &Server,
+    input: impl BufRead + Send,
+    mut output: impl Write,
+    observer: &mut Observer,
+    workers: usize,
+) -> std::io::Result<ServeSummary> {
+    let workers = workers.max(1);
+    let queue = BoundedQueue::new(workers * QUEUE_DEPTH_PER_WORKER);
+    let read_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+
+    let mut summary = ServeSummary::default();
+    let mut result: std::io::Result<()> = Ok(());
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut idx = 0u64;
+            for line in input.lines() {
+                let line = match line {
+                    Ok(line) => line,
+                    Err(e) => {
+                        *read_error.lock().expect("error slot poisoned") = Some(e);
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let job = Job {
+                    idx,
+                    line,
+                    enqueued: Instant::now(),
+                };
+                idx += 1;
+                if !queue.push(job) {
+                    break; // collector aborted
+                }
+            }
+            queue.close();
+        });
+
+        let queue_ref = &queue;
+        for _ in 0..workers {
+            let tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Some(job) = queue_ref.pop() {
+                    let picked = Instant::now();
+                    let (response, mut rec, tel) = server.handle_recorded(&job.line);
+                    rec.queue_us = picked.duration_since(job.enqueued).as_micros() as u64;
+                    let done = Done {
+                        idx: job.idx,
+                        response,
+                        rec,
+                        tel,
+                        finished: Instant::now(),
+                    };
+                    if tx.send(done).is_err() {
+                        break; // collector gone; nothing left to do
+                    }
+                }
+            });
+        }
+        drop(done_tx); // collector's recv disconnects once workers finish
+
+        // Collector: reorder, patch determinism-sensitive fields, emit.
+        let mut pending: BTreeMap<u64, Done> = BTreeMap::new();
+        let mut next_idx = 0u64;
+        let mut reorder_peak = 0u64;
+        let mut idle_flushes = 0u64;
+        let mut flushed_at = 0u64;
+        let stats = |queue_peak: usize, reorder_peak: u64, idle_flushes: u64| SchedStats {
+            workers: workers as u64,
+            engine_threads: server.engine_threads() as u64,
+            queue_depth_peak: queue_peak as u64,
+            reorder_depth_peak: reorder_peak,
+            singleflight_waits: server.cache().singleflight_waits(),
+            idle_flushes,
+        };
+        'collect: loop {
+            let done = match done_rx.recv_timeout(IDLE_FLUSH) {
+                Ok(done) => done,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Writer idle: refresh the metrics file if anything
+                    // changed since the last rewrite, so a stalled input
+                    // stream can't leave stale metrics behind.
+                    if observer.wants_metrics() && observer.observed() != flushed_at {
+                        idle_flushes += 1;
+                        observer.set_sched_stats(stats(queue.peak(), reorder_peak, idle_flushes));
+                        if let Err(e) =
+                            observer.flush(server.cache().hits(), server.cache().misses())
+                        {
+                            result = Err(e);
+                            queue.abort();
+                            break 'collect;
+                        }
+                        flushed_at = observer.observed();
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            };
+            pending.insert(done.idx, done);
+            reorder_peak = reorder_peak.max(pending.len() as u64);
+            while let Some(done) = pending.remove(&next_idx) {
+                next_idx += 1;
+                let Done {
+                    response,
+                    mut rec,
+                    tel,
+                    finished,
+                    ..
+                } = done;
+                rec.seq = observer.next_seq();
+                rec.reorder_us = finished.elapsed().as_micros() as u64;
+                if let Some(hash) = rec.hash {
+                    rec.cache_hit = Some(server.hit_model().touch(hash));
+                }
+                summary.absorb(&rec);
+                let emit = observer
+                    .observe(&rec, &tel)
+                    .and_then(|()| {
+                        if observer.metrics_due() {
+                            observer
+                                .set_sched_stats(stats(queue.peak(), reorder_peak, idle_flushes));
+                            observer.flush(server.cache().hits(), server.cache().misses())?;
+                            flushed_at = observer.observed();
+                        }
+                        Ok(())
+                    })
+                    .and_then(|()| writeln!(output, "{response}"));
+                if let Err(e) = emit {
+                    result = Err(e);
+                    queue.abort();
+                    break 'collect;
+                }
+            }
+        }
+        // Drain any stragglers so workers can exit before the scope joins.
+        while done_rx.recv().is_ok() {}
+        observer.set_sched_stats(stats(queue.peak(), reorder_peak, idle_flushes));
+    });
+
+    result?;
+    if let Some(e) = read_error.lock().expect("error slot poisoned").take() {
+        return Err(e);
+    }
+    summary.cache_hits = server.cache().hits();
+    summary.cache_misses = server.cache().misses();
+    observer.flush(server.cache().hits(), server.cache().misses())?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_model_replays_serial_lru_semantics() {
+        let mut m = HitModel::new(Some(2));
+        assert!(!m.touch(1), "first sight is a miss");
+        assert!(!m.touch(2));
+        assert!(m.touch(1), "resident is a hit");
+        assert!(!m.touch(3), "over cap: evicts LRU (2)");
+        assert!(m.touch(1), "1 was touched, survived");
+        assert!(!m.touch(2), "2 was the LRU victim");
+    }
+
+    #[test]
+    fn hit_model_unbounded_never_evicts() {
+        let mut m = HitModel::new(None);
+        for h in 0..1000u64 {
+            assert!(!m.touch(h));
+        }
+        for h in 0..1000u64 {
+            assert!(m.touch(h));
+        }
+    }
+
+    #[test]
+    fn bounded_queue_backpressures_and_drains_on_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                // Blocks until the consumer makes room.
+                assert!(q.push(3));
+            });
+            assert_eq!(q.pop(), Some(1));
+            h.join().unwrap();
+        });
+        q.close();
+        assert!(!q.push(4), "closed queue refuses new work");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3), "close still drains queued work");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peak(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Differential tests for the request scheduler: the response stream and
+//! the deterministic (wall-clock-stripped) access log must not depend on
+//! the worker count. `--workers 8` on the generated mixed corpus has to
+//! produce the same bytes as `--workers 1` — which in turn matches the
+//! historical serial loop — while the shared cache's single-flight path
+//! keeps the compile count equal to the number of distinct circuits.
+
+use rlse_core::ir::json::JsonValue;
+use rlse_serve::{
+    fixture_requests, generated_requests, ObserveOptions, Observer, ServeOptions, Server,
+};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable in-memory `Write` sink (the observer takes ownership of its
+/// access-log writer; the test keeps the other handle).
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("UTF-8 access log")
+    }
+}
+
+/// Drop every wall-clock (`*_us`) field of an access-log line, leaving the
+/// deterministic record.
+fn strip_wall_clock(line: &str) -> String {
+    match JsonValue::parse(line).expect("access-log line parses as JSON") {
+        JsonValue::Obj(fields) => JsonValue::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| !k.ends_with("_us"))
+                .collect(),
+        )
+        .to_compact(),
+        other => panic!("access-log line is not an object: {other:?}"),
+    }
+}
+
+/// Serve `requests` at the given worker count, returning the response
+/// bytes and the `*_us`-stripped access-log lines.
+fn serve_at(requests: &str, workers: usize) -> (String, Vec<String>) {
+    let server = Server::new(ServeOptions {
+        workers,
+        ..ServeOptions::default()
+    });
+    let buf = SharedBuf::default();
+    let mut observer = Observer::disabled().with_access_writer(Box::new(buf.clone()));
+    let mut out = Vec::new();
+    server
+        .serve_observed(requests.as_bytes(), &mut out, &mut observer)
+        .unwrap();
+    let stripped = buf.contents().lines().map(strip_wall_clock).collect();
+    (String::from_utf8(out).expect("UTF-8 responses"), stripped)
+}
+
+#[test]
+fn fixture_corpus_is_byte_identical_at_every_worker_count() {
+    let requests = fixture_requests();
+    let (serial, serial_log) = serve_at(&requests, 1);
+    assert_eq!(serial.lines().count(), 6);
+    for workers in [2, 4, 8] {
+        let (concurrent, log) = serve_at(&requests, workers);
+        assert_eq!(
+            serial, concurrent,
+            "responses must be byte-identical at workers={workers}"
+        );
+        assert_eq!(
+            serial_log, log,
+            "stripped access log must be identical at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn generated_corpus_is_byte_identical_at_every_worker_count() {
+    // The full 200-request mixed corpus: every request kind, duplicate
+    // hashes interleaved, three tenants. This is the acceptance-criterion
+    // test — worker counts 2/4/8 against 1.
+    let requests = generated_requests(200);
+    assert_eq!(requests.lines().count(), 200);
+    let (serial, serial_log) = serve_at(&requests, 1);
+    assert_eq!(serial.lines().count(), 200);
+    assert!(
+        !serial.contains("\"ok\":false"),
+        "the generated corpus serves clean"
+    );
+    for workers in [2, 4, 8] {
+        let (concurrent, log) = serve_at(&requests, workers);
+        assert_eq!(
+            serial, concurrent,
+            "responses must be byte-identical at workers={workers}"
+        );
+        // Stronger than the issue's multiset requirement: records are
+        // emitted from the reorder buffer in input order, so the stripped
+        // logs are equal as *sequences*.
+        assert_eq!(
+            serial_log, log,
+            "stripped access log must be identical at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_serving_matches_the_historical_serial_loop() {
+    // workers=1 goes through the same scheduler (reader thread + reorder
+    // buffer); this pins it against a plain in-test serial loop over
+    // handle_line, the pre-scheduler behaviour.
+    let requests = generated_requests(48);
+    let server = Server::new(ServeOptions::default());
+    let mut serial = String::new();
+    for line in requests.lines().filter(|l| !l.trim().is_empty()) {
+        serial.push_str(&server.handle_line(line));
+        serial.push('\n');
+    }
+    let (piped, _) = serve_at(&requests, 4);
+    assert_eq!(serial, piped, "scheduler output equals a plain serial loop");
+}
+
+#[test]
+fn duplicate_hash_corpus_compiles_each_distinct_circuit_once() {
+    // Acceptance criterion: with duplicate hashes interleaved, misses ==
+    // distinct circuits no matter how many workers race, because losers of
+    // the compile race wait on the leader's flight instead of recompiling.
+    let requests = generated_requests(200);
+    let distinct = 4; // three design IRs + the expected-outputs variant
+    for workers in [1, 8] {
+        let server = Server::new(ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        });
+        let mut out = Vec::new();
+        let summary = server.serve_reader(requests.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            summary.cache_misses, distinct,
+            "workers={workers}: one compile per distinct circuit"
+        );
+        assert!(
+            summary.cache_hits > summary.cache_misses,
+            "workers={workers}: duplicates hit"
+        );
+    }
+}
+
+#[test]
+fn per_tenant_cache_accounting_is_worker_count_independent() {
+    // The per-tenant hit/miss split comes from the deterministic replay
+    // model, so the summary JSON (which carries no wall-clock data) must
+    // be identical at any worker count.
+    let requests = generated_requests(96);
+    let summary_at = |workers: usize| {
+        let server = Server::new(ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        });
+        let mut out = Vec::new();
+        server
+            .serve_reader(requests.as_bytes(), &mut out)
+            .unwrap()
+            .to_json()
+    };
+    let serial = summary_at(1);
+    for workers in [2, 8] {
+        assert_eq!(serial, summary_at(workers), "workers={workers}");
+    }
+}
+
+#[test]
+fn governor_resolves_thread_budgets_once_at_construction() {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Explicit values are honored verbatim.
+    let server = Server::new(ServeOptions {
+        workers: 3,
+        threads: 2,
+        ..ServeOptions::default()
+    });
+    assert_eq!(server.workers(), 3);
+    assert_eq!(server.engine_threads(), 2);
+
+    // workers=0 resolves to the host; threads=0 splits what's left so
+    // concurrent requests don't each claim every core.
+    let server = Server::new(ServeOptions {
+        workers: 0,
+        threads: 0,
+        ..ServeOptions::default()
+    });
+    assert_eq!(server.workers(), host);
+    assert_eq!(server.engine_threads(), (host / server.workers()).max(1));
+    assert!(server.engine_threads() >= 1);
+
+    // The historical default (one worker, threads=0) still grants a single
+    // request the whole host.
+    let server = Server::new(ServeOptions::default());
+    assert_eq!(server.workers(), 1);
+    assert_eq!(server.engine_threads(), host);
+}
+
+#[test]
+fn metrics_flush_on_writer_idle_keeps_the_file_fresh() {
+    // Feed the pipeline through a reader that stalls after the first
+    // request: the idle-flush path must rewrite the metrics file while
+    // the batch is still open (the serial loop only flushed at the stride
+    // or end of batch).
+    use std::io::Read;
+
+    struct StallingReader {
+        first: std::io::Cursor<Vec<u8>>,
+        stalled: bool,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.first.read(buf)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            if !self.stalled {
+                self.stalled = true;
+                // Stall past the ~250ms idle threshold before signalling
+                // end of input.
+                std::thread::sleep(std::time::Duration::from_millis(700));
+            }
+            Ok(0)
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("rlse-idle-flush-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.prom");
+
+    let reader = std::io::BufReader::new(StallingReader {
+        first: std::io::Cursor::new(
+            "{\"id\":\"p\",\"kind\":\"ping\"}\n".to_string().into_bytes(),
+        ),
+        stalled: false,
+    });
+
+    let server = Server::new(ServeOptions::default());
+    let opts = ObserveOptions {
+        metrics: Some(metrics.clone()),
+        metrics_every: 0, // stride disabled: only idle + end-of-batch flush
+        ..ObserveOptions::default()
+    };
+    let mut observer = Observer::from_options(&opts).unwrap();
+    let mut out = Vec::new();
+    server
+        .serve_observed(reader, &mut out, &mut observer)
+        .unwrap();
+
+    assert!(
+        observer.sched_stats().idle_flushes >= 1,
+        "the stalled stream triggered an idle flush: {:?}",
+        observer.sched_stats()
+    );
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(text.contains("rlse_requests_total 1"), "{text}");
+    assert!(text.contains("rlse_sched_idle_flushes_total"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,8 +11,8 @@
 use rlse_core::ir::json::JsonValue;
 use rlse_core::telemetry::Histogram;
 use rlse_serve::{
-    fixture_requests, prometheus_text_for, KindTally, ObserveOptions, Observer, ServeOptions,
-    ServeSummary, Server, TenantTally,
+    fixture_requests, prometheus_text_for, prometheus_text_for_with_sched, KindTally,
+    ObserveOptions, Observer, ServeOptions, ServeSummary, Server, TenantTally,
 };
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -329,7 +329,10 @@ fn metrics_file_is_written_at_stride_and_end_of_batch() {
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
-    assert_eq!(text, prometheus_text_for(observer.summary(), &hists));
+    assert_eq!(
+        text,
+        prometheus_text_for_with_sched(observer.summary(), &hists, &observer.sched_stats())
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
